@@ -1,0 +1,66 @@
+//! A deterministic **asynchronous PRAM (APRAM) simulator** — the paper's
+//! machine model as an executable substrate.
+//!
+//! Jayanti & Tarjan analyze their algorithms on the APRAM of Cole & Zajicek
+//! / Gibbons: `p` processes share a memory of single-word cells supporting
+//! atomic `read`, `write`, and `Cas`; processes run completely
+//! asynchronously (an adversary chooses which process takes the next step),
+//! and *total work* is the number of primitive steps summed over processes.
+//!
+//! Real hardware offers no control over scheduling, so the paper's
+//! schedule-sensitive claims — the lockstep halving⇔splitting simulation of
+//! Section 3, the lockstep lower bound of Theorem 5.4, linearizability
+//! under adversarial interleavings — are exercised here, where the schedule
+//! is an explicit, replayable object:
+//!
+//! * [`Memory`] — the shared cells, with exact access counting;
+//! * [`Program`] — a process as a step machine: each
+//!   [`step`](Program::step) performs **at most one** shared-memory access
+//!   (the machine enforces this);
+//! * [`Scheduler`] — who steps next: [`RoundRobin`] (= lockstep rounds),
+//!   [`SeededRandom`], [`Weighted`] (adversarially skewed), [`Scripted`]
+//!   (an explicit schedule), or [`StarveAfter`] (the crash adversary that
+//!   wait-freedom tests use);
+//! * [`Machine`] — runs programs to completion, enforcing the one-access
+//!   rule and collecting per-process step counts.
+//!
+//! The DSU algorithms compiled to step machines live in the `apram-dsu`
+//! crate.
+//!
+//! # Example
+//!
+//! ```
+//! use apram::{Machine, Memory, Program, RoundRobin, StepOutcome, Ctx};
+//!
+//! /// Increments cell 0 with a CAS loop, `k` times.
+//! struct Incr { k: usize, pending: Option<usize> }
+//! impl Program for Incr {
+//!     fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+//!         if self.k == 0 { return StepOutcome::Done(0); }
+//!         match self.pending.take() {
+//!             None => { self.pending = Some(ctx.mem.read(0)); StepOutcome::Running }
+//!             Some(old) => {
+//!                 if ctx.mem.cas(0, old, old + 1) { self.k -= 1; }
+//!                 StepOutcome::Running
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut machine = Machine::new(Memory::new(vec![0]));
+//! let mut a = Incr { k: 3, pending: None };
+//! let mut b = Incr { k: 2, pending: None };
+//! let report = machine.run(&mut [&mut a, &mut b], &mut RoundRobin::new(), 10_000);
+//! assert_eq!(machine.memory().peek(0), 5);
+//! assert!(report.completed);
+//! ```
+
+pub mod machine;
+pub mod memory;
+pub mod program;
+pub mod scheduler;
+
+pub use machine::{Machine, RunReport};
+pub use memory::Memory;
+pub use program::{Ctx, Program, StepOutcome};
+pub use scheduler::{RoundRobin, Scheduler, Scripted, SeededRandom, StarveAfter, Weighted};

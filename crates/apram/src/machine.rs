@@ -1,0 +1,224 @@
+//! The execution engine: steps programs under a scheduler until all
+//! terminate, enforcing the one-access-per-step discipline.
+
+use crate::memory::Memory;
+use crate::program::{Ctx, Program, StepOutcome};
+use crate::scheduler::Scheduler;
+
+/// Summary of a completed (or aborted) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// `true` if every program terminated within the step budget.
+    pub completed: bool,
+    /// Total steps taken across all processes.
+    pub total_steps: u64,
+    /// Steps taken by each process.
+    pub steps_per_proc: Vec<u64>,
+    /// Each process's `Done` value (`None` if it never finished).
+    pub results: Vec<Option<usize>>,
+    /// Total shared-memory accesses during the run (= the paper's total
+    /// work, up to per-step local constants).
+    pub memory_accesses: u64,
+}
+
+/// Owns the shared [`Memory`] and runs batches of programs over it.
+///
+/// Memory persists across [`run`](Machine::run) calls, so multi-phase
+/// experiments (build sequentially, then query concurrently) run each phase
+/// with its own program set and scheduler against the same state.
+#[derive(Debug)]
+pub struct Machine {
+    memory: Memory,
+}
+
+impl Machine {
+    /// A machine over the given initial memory.
+    pub fn new(memory: Memory) -> Self {
+        Machine { memory }
+    }
+
+    /// The shared memory (for inspection between phases).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Consumes the machine, yielding the memory.
+    pub fn into_memory(self) -> Memory {
+        self.memory
+    }
+
+    /// Runs `programs` under `scheduler` until every program is done or
+    /// `max_steps` total steps have been taken.
+    ///
+    /// Programs are borrowed, not consumed, so callers keep ownership and
+    /// can harvest whatever the programs recorded (the DSU processes record
+    /// timed operation histories this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program performs more than one shared-memory access in a
+    /// single step (a violation of the APRAM step discipline), or if the
+    /// scheduler returns a process id that is not runnable.
+    pub fn run(
+        &mut self,
+        programs: &mut [&mut dyn Program],
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> RunReport {
+        let p = programs.len();
+        let mut done: Vec<Option<usize>> = vec![None; p];
+        let mut steps_per_proc = vec![0u64; p];
+        let mut runnable: Vec<usize> = (0..p).collect();
+        let mut total_steps = 0u64;
+        let accesses_before = self.memory.accesses();
+        while !runnable.is_empty() && total_steps < max_steps {
+            let pick = scheduler.next(&runnable);
+            assert!(
+                runnable.contains(&pick),
+                "scheduler chose non-runnable process {pick}"
+            );
+            let before = self.memory.accesses();
+            let outcome = {
+                let mut ctx = Ctx { mem: &mut self.memory, proc_id: pick, step: total_steps };
+                programs[pick].step(&mut ctx)
+            };
+            let used = self.memory.accesses() - before;
+            assert!(
+                used <= 1,
+                "process {pick} performed {used} shared accesses in one step"
+            );
+            steps_per_proc[pick] += 1;
+            total_steps += 1;
+            if let StepOutcome::Done(v) = outcome {
+                done[pick] = Some(v);
+                runnable.retain(|&q| q != pick);
+            }
+        }
+        RunReport {
+            completed: runnable.is_empty(),
+            total_steps,
+            steps_per_proc,
+            results: done,
+            memory_accesses: self.memory.accesses() - accesses_before,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{RoundRobin, Scripted, SeededRandom};
+
+    /// Reads cell `src` then writes the value to cell `dst`; done.
+    struct Copy {
+        src: usize,
+        dst: usize,
+        tmp: Option<usize>,
+    }
+    impl Program for Copy {
+        fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+            match self.tmp {
+                None => {
+                    self.tmp = Some(ctx.mem.read(self.src));
+                    StepOutcome::Running
+                }
+                Some(v) => {
+                    ctx.mem.write(self.dst, v);
+                    StepOutcome::Done(v)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_completion_and_reports() {
+        let mut machine = Machine::new(Memory::new(vec![42, 0, 0]));
+        let mut p0 = Copy { src: 0, dst: 1, tmp: None };
+        let mut p1 = Copy { src: 0, dst: 2, tmp: None };
+        let report = machine.run(&mut [&mut p0, &mut p1], &mut RoundRobin::new(), 100);
+        assert!(report.completed);
+        assert_eq!(report.total_steps, 4);
+        assert_eq!(report.steps_per_proc, vec![2, 2]);
+        assert_eq!(report.results, vec![Some(42), Some(42)]);
+        assert_eq!(report.memory_accesses, 4);
+        assert_eq!(machine.memory().peek(1), 42);
+        assert_eq!(machine.memory().peek(2), 42);
+    }
+
+    #[test]
+    fn step_budget_aborts() {
+        let mut machine = Machine::new(Memory::identity(2));
+        struct Forever;
+        impl Program for Forever {
+            fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+                ctx.mem.read(0);
+                StepOutcome::Running
+            }
+        }
+        let mut f = Forever;
+        let report = machine.run(&mut [&mut f], &mut RoundRobin::new(), 50);
+        assert!(!report.completed);
+        assert_eq!(report.total_steps, 50);
+        assert_eq!(report.results, vec![None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared accesses in one step")]
+    fn double_access_is_caught() {
+        struct Greedy;
+        impl Program for Greedy {
+            fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+                ctx.mem.read(0);
+                ctx.mem.read(0);
+                StepOutcome::Running
+            }
+        }
+        let mut g = Greedy;
+        Machine::new(Memory::identity(1)).run(&mut [&mut g], &mut RoundRobin::new(), 10);
+    }
+
+    #[test]
+    fn scheduling_order_determines_interleaving() {
+        // Two writers race to cell 0; the scripted loser writes last.
+        struct WriteMe(usize, bool);
+        impl Program for WriteMe {
+            fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+                if self.1 {
+                    return StepOutcome::Done(0);
+                }
+                ctx.mem.write(0, self.0);
+                self.1 = true;
+                StepOutcome::Running
+            }
+        }
+        // Script: proc 1 writes, then proc 0 writes -> final value 100.
+        let mut machine = Machine::new(Memory::identity(1));
+        let (mut a, mut b) = (WriteMe(100, false), WriteMe(200, false));
+        machine.run(&mut [&mut a, &mut b], &mut Scripted::new(vec![1, 0]), 100);
+        assert_eq!(machine.memory().peek(0), 100);
+        // Reverse script -> final value 200.
+        let mut machine = Machine::new(Memory::identity(1));
+        let (mut a, mut b) = (WriteMe(100, false), WriteMe(200, false));
+        machine.run(&mut [&mut a, &mut b], &mut Scripted::new(vec![0, 1]), 100);
+        assert_eq!(machine.memory().peek(0), 200);
+    }
+
+    #[test]
+    fn memory_persists_across_phases() {
+        let mut machine = Machine::new(Memory::new(vec![7, 0]));
+        let mut c1 = Copy { src: 0, dst: 1, tmp: None };
+        machine.run(&mut [&mut c1], &mut RoundRobin::new(), 10);
+        // Phase 2 reads what phase 1 wrote.
+        let mut c2 = Copy { src: 1, dst: 0, tmp: None };
+        let report = machine.run(&mut [&mut c2], &mut SeededRandom::new(1), 10);
+        assert_eq!(report.results, vec![Some(7)]);
+    }
+
+    #[test]
+    fn empty_program_set_completes_trivially() {
+        let mut machine = Machine::new(Memory::identity(1));
+        let report = machine.run(&mut [], &mut RoundRobin::new(), 10);
+        assert!(report.completed);
+        assert_eq!(report.total_steps, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The shared memory: single-word cells with atomic `read` / `write` /
+//! `cas`, and exact access accounting.
+//!
+//! The simulator is single-threaded (concurrency is *modeled* by step
+//! interleaving), so the cells are plain `usize`s; atomicity is inherent
+//! because exactly one process steps at a time.
+
+/// Shared memory of `usize` cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    cells: Vec<usize>,
+    accesses: u64,
+    reads: u64,
+    writes: u64,
+    cas_ok: u64,
+    cas_fail: u64,
+}
+
+impl Memory {
+    /// Memory initialized to the given cell values.
+    pub fn new(cells: Vec<usize>) -> Self {
+        Memory { cells, accesses: 0, reads: 0, writes: 0, cas_ok: 0, cas_fail: 0 }
+    }
+
+    /// Memory of `n` cells where cell `i` holds `i` — the initial parent
+    /// array of a singleton forest.
+    pub fn identity(n: usize) -> Self {
+        Memory::new((0..n).collect())
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomic read of cell `i` (counts as one access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn read(&mut self, i: usize) -> usize {
+        self.accesses += 1;
+        self.reads += 1;
+        self.cells[i]
+    }
+
+    /// Atomic write to cell `i` (counts as one access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn write(&mut self, i: usize, value: usize) {
+        self.accesses += 1;
+        self.writes += 1;
+        self.cells[i] = value;
+    }
+
+    /// Atomic compare-and-swap on cell `i`: if the cell holds `old`, store
+    /// `new` and return `true`; otherwise return `false`. One access either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cas(&mut self, i: usize, old: usize, new: usize) -> bool {
+        self.accesses += 1;
+        if self.cells[i] == old {
+            self.cells[i] = new;
+            self.cas_ok += 1;
+            true
+        } else {
+            self.cas_fail += 1;
+            false
+        }
+    }
+
+    /// Non-counting inspection of cell `i` (for assertions and reports, not
+    /// for programs).
+    pub fn peek(&self, i: usize) -> usize {
+        self.cells[i]
+    }
+
+    /// Non-counting snapshot of all cells.
+    pub fn snapshot(&self) -> Vec<usize> {
+        self.cells.clone()
+    }
+
+    /// Total accesses so far (reads + writes + CAS attempts) — the paper's
+    /// "total work" once summed over a run.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// `(reads, writes, cas_ok, cas_fail)` breakdown.
+    pub fn access_breakdown(&self) -> (u64, u64, u64, u64) {
+        (self.reads, self.writes, self.cas_ok, self.cas_fail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_cas() {
+        let mut m = Memory::new(vec![5, 6]);
+        assert_eq!(m.read(0), 5);
+        m.write(1, 9);
+        assert_eq!(m.read(1), 9);
+        assert!(m.cas(0, 5, 7));
+        assert!(!m.cas(0, 5, 8));
+        assert_eq!(m.peek(0), 7);
+        assert_eq!(m.accesses(), 5);
+        assert_eq!(m.access_breakdown(), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn identity_memory() {
+        let m = Memory::identity(4);
+        assert_eq!(m.snapshot(), vec![0, 1, 2, 3]);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.accesses(), 0, "peek/snapshot never count");
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_read_panics() {
+        Memory::identity(1).read(1);
+    }
+}

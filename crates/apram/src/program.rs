@@ -1,0 +1,66 @@
+//! Processes as step machines.
+
+use crate::memory::Memory;
+
+/// What a program's step produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The program has more steps to take.
+    Running,
+    /// The program terminated with a summary value (meaning is
+    /// program-defined; DSU processes return their completed-op count).
+    Done(usize),
+}
+
+/// Everything a step may touch: the shared memory, plus read-only run
+/// context (which process this is and the global step number, used for
+/// history timestamps).
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// The shared memory. Each step may perform **at most one** access
+    /// (`read` / `write` / `cas`); the machine enforces this.
+    pub mem: &'a mut Memory,
+    /// The id of the process being stepped.
+    pub proc_id: usize,
+    /// The global step number (0-based) of the step in progress.
+    pub step: u64,
+}
+
+/// An APRAM process: a state machine advanced one shared-memory access at a
+/// time by the [`Machine`](crate::Machine) under a
+/// [`Scheduler`](crate::Scheduler)'s control.
+///
+/// The one-access-per-step discipline is what makes schedules meaningful:
+/// two programs' accesses interleave exactly as the scheduler dictates,
+/// which is the adversary of the paper's model.
+pub trait Program {
+    /// Advance by one step, performing at most one shared-memory access.
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct WriteOnce(bool);
+    impl Program for WriteOnce {
+        fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+            if self.0 {
+                return StepOutcome::Done(99);
+            }
+            ctx.mem.write(0, ctx.proc_id + 1);
+            self.0 = true;
+            StepOutcome::Running
+        }
+    }
+
+    #[test]
+    fn ctx_carries_identity() {
+        let mut mem = Memory::identity(1);
+        let mut p = WriteOnce(false);
+        let mut ctx = Ctx { mem: &mut mem, proc_id: 7, step: 0 };
+        assert_eq!(p.step(&mut ctx), StepOutcome::Running);
+        assert_eq!(p.step(&mut ctx), StepOutcome::Done(99));
+        assert_eq!(mem.peek(0), 8);
+    }
+}

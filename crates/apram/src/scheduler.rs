@@ -1,0 +1,293 @@
+//! Schedulers: the adversary of the APRAM model, reified.
+//!
+//! A scheduler is asked, each step, to pick one of the currently runnable
+//! processes. Determinism of the whole simulation follows from determinism
+//! of the scheduler (all of these are deterministic given their seed or
+//! script).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Picks which runnable process steps next.
+pub trait Scheduler {
+    /// Chooses one element of `runnable` (process ids of the not-yet-done
+    /// processes, ascending). Must return a member of `runnable`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `runnable` is empty (the machine never
+    /// calls with an empty set).
+    fn next(&mut self, runnable: &[usize]) -> usize;
+}
+
+/// Cycles through the runnable processes in order. With equal-length
+/// programs this is exactly the *lockstep* schedule the paper's
+/// constructions use (every process takes its `i`-th step before any takes
+/// its `i+1`-st).
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin schedule starting at the lowest process id.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        assert!(!runnable.is_empty(), "no runnable process");
+        // Find the first runnable id >= cursor, else wrap.
+        let pick = runnable
+            .iter()
+            .copied()
+            .find(|&p| p >= self.cursor)
+            .unwrap_or(runnable[0]);
+        self.cursor = pick + 1;
+        pick
+    }
+}
+
+/// Uniformly random choice from a seeded generator — the "average"
+/// asynchronous adversary; different seeds explore different interleavings
+/// reproducibly.
+#[derive(Debug)]
+pub struct SeededRandom {
+    rng: ChaCha12Rng,
+}
+
+impl SeededRandom {
+    /// A random schedule determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom { rng: ChaCha12Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for SeededRandom {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        assert!(!runnable.is_empty(), "no runnable process");
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Skewed random choice: process `i` is picked with probability
+/// proportional to `weights[i]`. Extreme weights approximate adversaries
+/// that nearly starve some processes — useful for shaking out schedules a
+/// uniform adversary rarely visits.
+#[derive(Debug)]
+pub struct Weighted {
+    weights: Vec<u64>,
+    rng: ChaCha12Rng,
+}
+
+impl Weighted {
+    /// A weighted schedule; `weights[i]` is process `i`'s relative rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or the list is empty.
+    pub fn new(weights: Vec<u64>, seed: u64) -> Self {
+        assert!(
+            !weights.is_empty() && weights.iter().any(|&w| w > 0),
+            "need at least one positive weight"
+        );
+        Weighted { weights, rng: ChaCha12Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for Weighted {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        assert!(!runnable.is_empty(), "no runnable process");
+        let total: u64 = runnable.iter().map(|&p| self.weights.get(p).copied().unwrap_or(1)).sum();
+        if total == 0 {
+            // All runnable processes have zero weight: fall back to uniform
+            // so the run still terminates.
+            return runnable[self.rng.gen_range(0..runnable.len())];
+        }
+        let mut ticket = self.rng.gen_range(0..total);
+        for &p in runnable {
+            let w = self.weights.get(p).copied().unwrap_or(1);
+            if ticket < w {
+                return p;
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket exceeded total weight")
+    }
+}
+
+/// An explicit schedule: step process `script[0]`, then `script[1]`, …
+/// Entries naming finished (or non-existent) processes are skipped; if the
+/// script runs out, falls back to round-robin. Used by the exact
+/// constructions (e.g. the Section 3 lockstep simulation).
+#[derive(Debug)]
+pub struct Scripted {
+    script: std::collections::VecDeque<usize>,
+    fallback: RoundRobin,
+}
+
+impl Scripted {
+    /// A schedule that follows `script` then degrades to round-robin.
+    pub fn new(script: Vec<usize>) -> Self {
+        Scripted { script: script.into(), fallback: RoundRobin::new() }
+    }
+
+    /// Steps remaining in the script.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for Scripted {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        assert!(!runnable.is_empty(), "no runnable process");
+        while let Some(p) = self.script.pop_front() {
+            if runnable.contains(&p) {
+                return p;
+            }
+        }
+        self.fallback.next(runnable)
+    }
+}
+
+/// The *crash/starvation adversary*: schedules round-robin until a global
+/// step count, then never schedules the victim again (unless it is the
+/// only runnable process — the machine requires a choice, which models the
+/// victim's steps after everyone else finished and is irrelevant to the
+/// wait-freedom experiments that use this).
+///
+/// Wait-freedom (paper Lemma 3.3) says every *other* process still
+/// completes its operations in finitely many of its own steps; this
+/// scheduler is how the test suite demonstrates it.
+#[derive(Debug)]
+pub struct StarveAfter {
+    victim: usize,
+    after: u64,
+    steps: u64,
+    inner: RoundRobin,
+}
+
+impl StarveAfter {
+    /// Starves `victim` once `after` total steps have been scheduled.
+    pub fn new(victim: usize, after: u64) -> Self {
+        StarveAfter { victim, after, steps: 0, inner: RoundRobin::new() }
+    }
+}
+
+impl Scheduler for StarveAfter {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        assert!(!runnable.is_empty(), "no runnable process");
+        self.steps += 1;
+        if self.steps > self.after && runnable.len() > 1 {
+            let others: Vec<usize> =
+                runnable.iter().copied().filter(|&p| p != self.victim).collect();
+            return self.inner.next(&others);
+        }
+        self.inner.next(runnable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        let runnable = vec![0, 1, 2];
+        let picks: Vec<usize> = (0..6).map(|_| rr.next(&runnable)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_finished() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.next(&[0, 2]), 0);
+        assert_eq!(rr.next(&[0, 2]), 2);
+        assert_eq!(rr.next(&[0, 2]), 0);
+        // Process 0 finishes; only 2 remains.
+        assert_eq!(rr.next(&[2]), 2);
+        assert_eq!(rr.next(&[2]), 2);
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible_and_valid() {
+        let runnable = vec![3, 5, 9];
+        let seq1: Vec<usize> = {
+            let mut s = SeededRandom::new(7);
+            (0..50).map(|_| s.next(&runnable)).collect()
+        };
+        let seq2: Vec<usize> = {
+            let mut s = SeededRandom::new(7);
+            (0..50).map(|_| s.next(&runnable)).collect()
+        };
+        assert_eq!(seq1, seq2);
+        assert!(seq1.iter().all(|p| runnable.contains(p)));
+        // All three get picked eventually.
+        for p in &runnable {
+            assert!(seq1.contains(p));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_skew() {
+        let mut s = Weighted::new(vec![1000, 1], 3);
+        let runnable = vec![0, 1];
+        let picks_of_0 = (0..1000).filter(|_| s.next(&runnable) == 0).count();
+        assert!(picks_of_0 > 950, "expected heavy skew, got {picks_of_0}");
+    }
+
+    #[test]
+    fn weighted_zero_weight_runnable_fallback() {
+        let mut s = Weighted::new(vec![0, 1], 3);
+        // Only the zero-weight process is runnable: uniform fallback.
+        assert_eq!(s.next(&[0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn weighted_rejects_all_zero() {
+        Weighted::new(vec![0, 0], 0);
+    }
+
+    #[test]
+    fn scripted_follows_then_falls_back() {
+        let mut s = Scripted::new(vec![1, 1, 0]);
+        let runnable = vec![0, 1];
+        assert_eq!(s.next(&runnable), 1);
+        assert_eq!(s.next(&runnable), 1);
+        assert_eq!(s.next(&runnable), 0);
+        assert_eq!(s.remaining(), 0);
+        // Fallback round-robin.
+        assert_eq!(s.next(&runnable), 0);
+        assert_eq!(s.next(&runnable), 1);
+    }
+
+    #[test]
+    fn scripted_skips_finished_entries() {
+        let mut s = Scripted::new(vec![5, 1]);
+        assert_eq!(s.next(&[0, 1]), 1, "5 is not runnable, skip to 1");
+    }
+
+    #[test]
+    fn starve_after_never_picks_victim_once_tripped() {
+        let mut s = StarveAfter::new(0, 3);
+        let runnable = vec![0, 1, 2];
+        let mut victim_picks_after = 0;
+        for step in 0..100 {
+            let pick = s.next(&runnable);
+            if step >= 3 && pick == 0 {
+                victim_picks_after += 1;
+            }
+        }
+        assert_eq!(victim_picks_after, 0);
+    }
+
+    #[test]
+    fn starve_after_yields_victim_when_alone() {
+        let mut s = StarveAfter::new(1, 0);
+        assert_eq!(s.next(&[1]), 1, "sole runnable process must be chosen");
+    }
+}

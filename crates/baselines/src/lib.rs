@@ -1,0 +1,36 @@
+//! Concurrent union-find **baselines** for the Jayanti–Tarjan reproduction.
+//!
+//! The paper positions its randomized-linking algorithm against two natural
+//! alternatives, both provided here behind the same
+//! [`ConcurrentUnionFind`](concurrent_dsu::ConcurrentUnionFind) interface:
+//!
+//! * [`AwDsu`] — a wait-free *linking-by-rank* union-find in the spirit of
+//!   Anderson & Woll (STOC '91). Their algorithm needs the parent and rank
+//!   of a node to be compared and updated atomically, which they achieved
+//!   with a level of indirection; we use the modern equivalent — packing
+//!   both fields into one 64-bit word — which preserves exactly the
+//!   properties the paper discusses (rank ties must be resolved inside the
+//!   data structure; updates touch two logical fields). Finds use path
+//!   halving, as in their paper.
+//! * [`LockedDsu`] — the classical sequential structure behind a global
+//!   mutex: the trivially correct baseline every concurrent design must
+//!   beat, and the zero-scalability yardstick for the speedup experiment
+//!   (E4).
+//!
+//! # Example
+//!
+//! ```
+//! use dsu_baselines::AwDsu;
+//! use concurrent_dsu::ConcurrentUnionFind;
+//!
+//! let dsu = AwDsu::new(8);
+//! assert!(dsu.unite(1, 2));
+//! assert!(dsu.same_set(2, 1));
+//! assert_eq!(dsu.len(), 8);
+//! ```
+
+pub mod aw;
+pub mod locked;
+
+pub use aw::AwDsu;
+pub use locked::LockedDsu;

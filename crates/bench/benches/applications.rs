@@ -1,0 +1,68 @@
+//! Application benchmarks (the micro version of experiment E9): connected
+//! components, minimum spanning forest, and percolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsu_graph::components::{parallel_components, sequential_components};
+use dsu_graph::mst::{boruvka_parallel, kruskal};
+use dsu_graph::percolation::percolation_threshold;
+use dsu_graph::gen;
+
+fn bench_components(c: &mut Criterion) {
+    let scale = 15u32;
+    let n = 1usize << scale;
+    let gnm = gen::gnm(n, 4 * n, 0xB1);
+    let rmat = gen::rmat_standard(scale, 4 * n, 0xB2);
+    let mut group = c.benchmark_group("connected_components");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (name, g) in [("gnm", &gnm), ("rmat", &rmat)] {
+        group.bench_function(BenchmarkId::new("sequential", name), |b| {
+            b.iter(|| black_box(sequential_components(g)))
+        });
+        for p in [4usize, 8] {
+            group.bench_function(BenchmarkId::new(format!("parallel-p{p}"), name), |b| {
+                b.iter(|| black_box(parallel_components(g, p)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_msf(c: &mut Criterion) {
+    let n = 1usize << 14;
+    let g = gen::gnm(n, 4 * n, 0xB3);
+    let mut group = c.benchmark_group("minimum_spanning_forest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("kruskal", |b| b.iter(|| black_box(kruskal(&g))));
+    for p in [4usize, 8] {
+        group.bench_function(BenchmarkId::new("boruvka", p), |b| {
+            b.iter(|| black_box(boruvka_parallel(&g, p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_percolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for size in [64usize, 128] {
+        group.bench_function(BenchmarkId::new("trial", size), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(percolation_threshold(size, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_msf, bench_percolation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Multi-threaded throughput per structure (the micro version of
+//! experiment E4): the Jayanti–Tarjan structure vs the Anderson–Woll-style
+//! and lock baselines at 1, 4, and 8 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use concurrent_dsu::{Dsu, GrowableDsu, OneTrySplit, TwoTrySplit};
+use dsu_baselines::{AwDsu, LockedDsu};
+use dsu_bench::{standard_workload, timed_parallel_run};
+use sequential_dsu::{Compaction, Linking};
+
+const N: usize = 1 << 17;
+const M: usize = 1 << 18;
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn bench_structures(c: &mut Criterion) {
+    let w = standard_workload(N, M);
+    let mut group = c.benchmark_group("concurrent_throughput");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for &p in &THREADS {
+        group.bench_function(BenchmarkId::new("jt-two-try", p), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu: Dsu<TwoTrySplit> = Dsu::new(N);
+                    total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("jt-one-try", p), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu: Dsu<OneTrySplit> = Dsu::new(N);
+                    total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("jt-growable", p), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu: GrowableDsu<TwoTrySplit> = GrowableDsu::with_initial(N);
+                    total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("aw-rank-halving", p), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu = AwDsu::new(N);
+                    total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("global-lock", p), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu = LockedDsu::new(N, Linking::ByRank, Compaction::Halving);
+                    total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

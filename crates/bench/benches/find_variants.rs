@@ -1,0 +1,95 @@
+//! Single-thread per-operation cost of each find policy (the unit costs
+//! behind experiment E3), plus the early-termination variants on deep
+//! forests where they shine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use concurrent_dsu::{Compress, Dsu, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+use dsu_bench::standard_workload;
+use dsu_workloads::Op;
+
+const N: usize = 1 << 16;
+const M: usize = 1 << 17;
+
+fn run_policy<F: FindPolicy>(early: bool) {
+    let dsu: Dsu<F> = Dsu::new(N);
+    let w = standard_workload(N, M);
+    for &op in &w.ops {
+        match (op, early) {
+            (Op::Unite(x, y), false) => {
+                black_box(dsu.unite(x, y));
+            }
+            (Op::SameSet(x, y), false) => {
+                black_box(dsu.same_set(x, y));
+            }
+            (Op::Unite(x, y), true) => {
+                black_box(dsu.unite_early(x, y));
+            }
+            (Op::SameSet(x, y), true) => {
+                black_box(dsu.same_set_early(x, y));
+            }
+        }
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_variants_single_thread");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function(BenchmarkId::new("no-compaction", "std"), |b| {
+        b.iter(|| run_policy::<NoCompaction>(false))
+    });
+    group.bench_function(BenchmarkId::new("one-try", "std"), |b| {
+        b.iter(|| run_policy::<OneTrySplit>(false))
+    });
+    group.bench_function(BenchmarkId::new("two-try", "std"), |b| {
+        b.iter(|| run_policy::<TwoTrySplit>(false))
+    });
+    group.bench_function(BenchmarkId::new("halving", "std"), |b| {
+        b.iter(|| run_policy::<Halving>(false))
+    });
+    group.bench_function(BenchmarkId::new("compress", "std"), |b| {
+        b.iter(|| run_policy::<Compress>(false))
+    });
+    group.bench_function(BenchmarkId::new("two-try", "early"), |b| {
+        b.iter(|| run_policy::<TwoTrySplit>(true))
+    });
+    group.finish();
+}
+
+fn bench_find_on_deep_path(c: &mut Criterion) {
+    // A chain build gives the deepest forests randomized linking produces;
+    // repeated finds then measure pure traversal + compaction cost.
+    let mut group = c.benchmark_group("find_deep_forest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (name, runner) in [
+        ("one-try", run_deep::<OneTrySplit> as fn() -> usize),
+        ("two-try", run_deep::<TwoTrySplit> as fn() -> usize),
+        ("halving", run_deep::<Halving> as fn() -> usize),
+        ("compress", run_deep::<Compress> as fn() -> usize),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(runner())));
+    }
+    group.finish();
+}
+
+fn run_deep<F: FindPolicy>() -> usize {
+    let n = 1 << 14;
+    let dsu: Dsu<F> = Dsu::new(n);
+    for i in 0..n - 1 {
+        dsu.unite(i, i + 1);
+    }
+    let mut acc = 0;
+    for i in 0..n {
+        acc ^= dsu.find(i);
+    }
+    acc
+}
+
+criterion_group!(benches, bench_policies, bench_find_on_deep_path);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! The twelve Section 2 sequential baselines (the micro version of
+//! experiment E7): every linking × compaction combination on the standard
+//! mixed workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dsu_bench::standard_workload;
+use dsu_workloads::Op;
+use sequential_dsu::{SeqDsu, ALL_VARIANTS};
+
+const N: usize = 1 << 15;
+const M: usize = 1 << 17;
+
+fn bench_all_variants(c: &mut Criterion) {
+    let w = standard_workload(N, M);
+    let mut group = c.benchmark_group("sequential_variants");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (linking, compaction) in ALL_VARIANTS {
+        let id = BenchmarkId::new(linking.label(), compaction.label());
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut dsu = SeqDsu::new(N, linking, compaction);
+                for &op in &w.ops {
+                    match op {
+                        Op::Unite(x, y) => {
+                            black_box(dsu.unite(x, y));
+                        }
+                        Op::SameSet(x, y) => {
+                            black_box(dsu.same_set(x, y));
+                        }
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_variants);
+criterion_main!(benches);

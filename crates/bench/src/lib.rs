@@ -1,0 +1,78 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The benches complement the `dsu-harness` experiment binaries: the
+//! binaries regenerate the paper-claim tables (E1–E12 in `DESIGN.md`),
+//! while these give statistically disciplined micro-timings for the same
+//! code paths:
+//!
+//! * `find_variants` — single-thread cost per find policy (E3's unit cost);
+//! * `concurrent_throughput` — multi-thread ops/s per structure (E4);
+//! * `sequential_variants` — the twelve Section 2 baselines (E7);
+//! * `applications` — connected components / MST / percolation (E9).
+
+use dsu_workloads::{Workload, WorkloadSpec};
+
+/// The standard benchmark workload: `m` half-unite/half-query ops over
+/// `0..n`, fixed seed.
+pub fn standard_workload(n: usize, m: usize) -> Workload {
+    WorkloadSpec::new(n, m).unite_fraction(0.5).generate(0xBE7C)
+}
+
+/// Applies one op to anything implementing the concurrent interface.
+pub fn apply<D: concurrent_dsu::ConcurrentUnionFind + ?Sized>(
+    dsu: &D,
+    op: dsu_workloads::Op,
+) {
+    match op {
+        dsu_workloads::Op::Unite(x, y) => {
+            dsu.unite(x, y);
+        }
+        dsu_workloads::Op::SameSet(x, y) => {
+            dsu.same_set(x, y);
+        }
+    }
+}
+
+/// Runs a workload sharded over `threads` threads; returns elapsed time.
+/// (Criterion's `iter_custom` needs the duration, not a harness struct, so
+/// this is a lean sibling of `dsu_harness::run_shards`.)
+pub fn timed_parallel_run<D: concurrent_dsu::ConcurrentUnionFind>(
+    dsu: &D,
+    workload: &Workload,
+    threads: usize,
+) -> std::time::Duration {
+    let shards = workload.shard(threads);
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let started = std::thread::scope(|s| {
+        for shard in &shards {
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for &op in shard {
+                    apply(dsu, op);
+                }
+            });
+        }
+        barrier.wait();
+        std::time::Instant::now()
+    });
+    started.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(standard_workload(64, 100), standard_workload(64, 100));
+    }
+
+    #[test]
+    fn timed_run_executes() {
+        let dsu: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(64);
+        let w = standard_workload(64, 500);
+        let d = timed_parallel_run(&dsu, &w, 2);
+        assert!(d.as_nanos() > 0);
+    }
+}

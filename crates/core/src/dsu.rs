@@ -1,0 +1,539 @@
+//! The fixed-universe concurrent union-find ([`Dsu`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::find::{FindPolicy, TwoTrySplit};
+use crate::ops;
+use crate::order::PermutationOrder;
+use crate::stats::StatsSink;
+use crate::store::FlatStore;
+use crate::ConcurrentUnionFind;
+
+/// A wait-free concurrent disjoint-set union over the fixed universe
+/// `0..n`, parameterized by the find compaction policy `F` (default:
+/// [`TwoTrySplit`], the paper's best variant).
+///
+/// All operations take `&self` and may be called from any number of threads
+/// simultaneously; results are linearizable (paper Lemma 3.2) and every
+/// operation finishes in `O(log n)` steps w.h.p. (Theorem 4.3) regardless of
+/// scheduling (wait-freedom, Lemma 3.3).
+///
+/// # Example
+///
+/// ```
+/// use concurrent_dsu::{Dsu, OneTrySplit};
+///
+/// let dsu: Dsu<OneTrySplit> = Dsu::with_seed(10, 42);
+/// assert!(dsu.unite(3, 4));
+/// assert!(dsu.same_set(3, 4));
+/// assert_eq!(dsu.set_count(), 9);
+/// ```
+pub struct Dsu<F: FindPolicy = TwoTrySplit> {
+    store: FlatStore,
+    order: PermutationOrder,
+    /// Parent in the *union forest*: written exactly once per element, when
+    /// its link CAS succeeds. Read for offline analysis (heights, depths) at
+    /// quiescence; never read by the operations themselves.
+    union_parent: Box<[AtomicUsize]>,
+    /// Number of successful links ever; `set_count = n - links`.
+    links: AtomicUsize,
+    _policy: std::marker::PhantomData<F>,
+}
+
+impl<F: FindPolicy> std::fmt::Debug for Dsu<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dsu")
+            .field("len", &self.len())
+            .field("set_count", &self.set_count())
+            .field("policy", &F::NAME)
+            .finish()
+    }
+}
+
+impl<F: FindPolicy> Dsu<F> {
+    /// Default seed for the random node order; fixed so runs are
+    /// reproducible unless a seed is supplied via [`Dsu::with_seed`].
+    pub const DEFAULT_SEED: u64 = 0x7461_726a_616e_2016; // "tarjan 2016"
+
+    /// Creates `n` singleton sets with a deterministic default seed for the
+    /// random node order.
+    pub fn new(n: usize) -> Self {
+        Self::with_seed(n, Self::DEFAULT_SEED)
+    }
+
+    /// Creates `n` singleton sets; `seed` drives the uniformly random node
+    /// order that randomized linking requires.
+    pub fn with_seed(n: usize, seed: u64) -> Self {
+        Dsu {
+            store: FlatStore::new(n),
+            order: PermutationOrder::new(n, seed),
+            union_parent: (0..n).map(AtomicUsize::new).collect(),
+            links: AtomicUsize::new(0),
+            _policy: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of disjoint sets right now (`n` minus successful links).
+    /// Linearizes with the link CASes.
+    pub fn set_count(&self) -> usize {
+        self.len() - self.links.load(Ordering::SeqCst)
+    }
+
+    /// The random id (position in the random total order) of element `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn id_of(&self, x: usize) -> u64 {
+        self.order.id_of(x)
+    }
+
+    /// The name of the find policy (e.g. `"two-try"`), for reports.
+    pub fn policy_name(&self) -> &'static str {
+        F::NAME
+    }
+
+    fn check(&self, x: usize) {
+        assert!(x < self.len(), "element {x} out of range (len {})", self.len());
+    }
+
+    /// Returns the root of the tree containing `x`, compacting the find
+    /// path per the policy. See
+    /// [`ConcurrentUnionFind::find`](crate::ConcurrentUnionFind::find) for
+    /// the staleness caveat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&self, x: usize) -> usize {
+        self.find_with(x, &mut ())
+    }
+
+    /// [`find`](Dsu::find) reporting work into `stats`.
+    pub fn find_with<S: StatsSink>(&self, x: usize, stats: &mut S) -> usize {
+        self.check(x);
+        F::find(&self.store, x, stats)
+    }
+
+    /// Returns `true` iff `x` and `y` are in the same set at the operation's
+    /// linearization point (paper Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn same_set(&self, x: usize, y: usize) -> bool {
+        self.same_set_with(x, y, &mut ())
+    }
+
+    /// [`same_set`](Dsu::same_set) reporting work into `stats`.
+    pub fn same_set_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::same_set::<F, _, _, _>(&self.store, &self.order, x, y, stats)
+    }
+
+    /// Unites the sets containing `x` and `y` (paper Algorithm 3). Returns
+    /// `true` iff this call performed the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn unite(&self, x: usize, y: usize) -> bool {
+        self.unite_with(x, y, &mut ())
+    }
+
+    /// [`unite`](Dsu::unite) reporting work into `stats`.
+    pub fn unite_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::unite::<F, _, _, _>(&self.store, &self.order, x, y, stats, |child, parent| {
+            self.record_link(child, parent)
+        })
+    }
+
+    /// `SameSet` with early termination (paper Algorithm 6): walks only the
+    /// smaller of the two find paths and stops as soon as the answer is
+    /// certain. Same linearizable semantics as [`same_set`](Dsu::same_set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn same_set_early(&self, x: usize, y: usize) -> bool {
+        self.same_set_early_with(x, y, &mut ())
+    }
+
+    /// [`same_set_early`](Dsu::same_set_early) reporting work into `stats`.
+    pub fn same_set_early_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::same_set_early::<F, _, _, _>(&self.store, &self.order, x, y, stats)
+    }
+
+    /// `Unite` with early termination (paper Algorithm 7). Same semantics
+    /// as [`unite`](Dsu::unite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn unite_early(&self, x: usize, y: usize) -> bool {
+        self.unite_early_with(x, y, &mut ())
+    }
+
+    /// [`unite_early`](Dsu::unite_early) reporting work into `stats`.
+    pub fn unite_early_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::unite_early::<F, _, _, _>(&self.store, &self.order, x, y, stats, |child, parent| {
+            self.record_link(child, parent)
+        })
+    }
+
+    fn record_link(&self, child: usize, parent: usize) {
+        // Relaxed is enough: union_parent is only read offline at
+        // quiescence, and `links` is a statistic whose own atomicity
+        // suffices for set_count.
+        self.union_parent[child].store(parent, Ordering::Relaxed);
+        self.links.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ----- Offline analysis (call only at quiescence) -----
+
+    /// Snapshot of the current parent pointers. Meaningful only when no
+    /// other thread is operating.
+    pub fn parents_snapshot(&self) -> Vec<usize> {
+        self.store.snapshot()
+    }
+
+    /// Snapshot of the *union forest* (links only, compaction ignored;
+    /// paper Section 3). Meaningful only at quiescence.
+    pub fn union_forest_snapshot(&self) -> Vec<usize> {
+        self.union_parent.iter().map(|p| p.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Height of the union forest — the quantity Corollary 4.2.1 bounds by
+    /// `O(log n)` w.h.p. Call only at quiescence; `O(n)` time.
+    pub fn union_forest_height(&self) -> usize {
+        forest_height(&self.union_forest_snapshot())
+    }
+
+    /// Canonical labels (root of each element, fully compacted): suitable
+    /// for building a `Partition`. Call only at quiescence; compacts as a
+    /// side effect.
+    pub fn labels_snapshot(&self) -> Vec<usize> {
+        let mut labels: Vec<usize> = (0..self.len()).map(|i| self.find(i)).collect();
+        // One more pass: find() already returns roots, but a concurrent-free
+        // second resolution makes labels idempotent even if compaction
+        // changed roots mid-scan (it cannot at quiescence; belt and braces).
+        for i in 0..labels.len() {
+            labels[i] = labels[labels[i]];
+        }
+        labels
+    }
+}
+
+/// Height (max arc count root-to-leaf) of a self-loop-rooted parent forest.
+pub(crate) fn forest_height(parent: &[usize]) -> usize {
+    let mut depth = vec![usize::MAX; parent.len()];
+    let mut tallest = 0;
+    for start in 0..parent.len() {
+        let mut path = Vec::new();
+        let mut u = start;
+        while depth[u] == usize::MAX && parent[u] != u {
+            path.push(u);
+            u = parent[u];
+        }
+        let mut d = if parent[u] == u && depth[u] == usize::MAX {
+            depth[u] = 0;
+            0
+        } else {
+            depth[u]
+        };
+        for &node in path.iter().rev() {
+            d += 1;
+            depth[node] = d;
+        }
+        tallest = tallest.max(depth[start]);
+    }
+    tallest
+}
+
+impl<F: FindPolicy> ConcurrentUnionFind for Dsu<F> {
+    fn len(&self) -> usize {
+        Dsu::len(self)
+    }
+
+    fn same_set(&self, x: usize, y: usize) -> bool {
+        Dsu::same_set(self, x, y)
+    }
+
+    fn unite(&self, x: usize, y: usize) -> bool {
+        Dsu::unite(self, x, y)
+    }
+
+    fn find(&self, x: usize) -> usize {
+        Dsu::find(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find::{Halving, NoCompaction, OneTrySplit};
+    use crate::OpStats;
+    use sequential_dsu::{NaiveDsu, Partition};
+
+    fn exercise_basic<F: FindPolicy>() {
+        let dsu: Dsu<F> = Dsu::new(10);
+        assert_eq!(dsu.len(), 10);
+        assert_eq!(dsu.set_count(), 10);
+        assert!(!dsu.same_set(0, 9));
+        assert!(dsu.unite(0, 9));
+        assert!(dsu.same_set(0, 9));
+        assert!(!dsu.unite(9, 0));
+        assert_eq!(dsu.set_count(), 9);
+        assert!(dsu.same_set_early(0, 9));
+        assert!(dsu.unite_early(1, 2));
+        assert!(!dsu.unite_early(2, 1));
+        assert_eq!(dsu.set_count(), 8);
+    }
+
+    #[test]
+    fn basics_all_policies() {
+        exercise_basic::<NoCompaction>();
+        exercise_basic::<OneTrySplit>();
+        exercise_basic::<TwoTrySplit>();
+        exercise_basic::<Halving>();
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let dsu: Dsu = Dsu::new(3);
+        let s = format!("{dsu:?}");
+        assert!(s.contains("two-try"), "{s}");
+        assert!(s.contains("len"), "{s}");
+    }
+
+    #[test]
+    fn single_threaded_matches_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(77);
+        let n = 64;
+        let dsu: Dsu = Dsu::with_seed(n, 5);
+        let mut oracle = NaiveDsu::new(n);
+        for _ in 0..500 {
+            let x = rng.gen_range(0..n);
+            let y = rng.gen_range(0..n);
+            match rng.gen_range(0..4) {
+                0 => assert_eq!(dsu.unite(x, y), oracle.unite(x, y)),
+                1 => assert_eq!(dsu.same_set(x, y), oracle.same_set(x, y)),
+                2 => assert_eq!(dsu.unite_early(x, y), oracle.unite(x, y)),
+                _ => assert_eq!(dsu.same_set_early(x, y), oracle.same_set(x, y)),
+            }
+        }
+        assert_eq!(dsu.set_count(), oracle.set_count());
+        assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
+    }
+
+    #[test]
+    fn concurrent_final_state_is_order_independent() {
+        // Set union is confluent: the final partition equals the connected
+        // components of all unite pairs, however the threads interleaved.
+        let n = 512;
+        let pairs: Vec<(usize, usize)> = (0..n - 1)
+            .map(|i| (i, (i * 7919 + 13) % n))
+            .collect();
+        let dsu: Dsu = Dsu::new(n);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let dsu = &dsu;
+                let pairs = &pairs;
+                s.spawn(move || {
+                    for (i, &(x, y)) in pairs.iter().enumerate() {
+                        if i % 8 == t {
+                            dsu.unite(x, y);
+                        } else {
+                            dsu.same_set(x, y);
+                        }
+                    }
+                });
+            }
+        });
+        let mut oracle = NaiveDsu::new(n);
+        for &(x, y) in &pairs {
+            oracle.unite(x, y);
+        }
+        assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
+        assert_eq!(dsu.set_count(), oracle.set_count());
+    }
+
+    #[test]
+    fn true_unite_returns_equal_links() {
+        // Across all threads, the number of `unite` calls returning true
+        // must equal n - (final number of sets): each successful link
+        // reduces the set count by exactly one.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 1024;
+        let dsu: Dsu<OneTrySplit> = Dsu::new(n);
+        let trues = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let dsu = &dsu;
+                let trues = &trues;
+                s.spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(t as u64);
+                    let mut local = 0;
+                    for _ in 0..2000 {
+                        let x = rng.gen_range(0..n);
+                        let y = rng.gen_range(0..n);
+                        if dsu.unite(x, y) {
+                            local += 1;
+                        }
+                    }
+                    trues.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(trues.load(Ordering::Relaxed), n - dsu.set_count());
+    }
+
+    #[test]
+    fn parent_ids_strictly_increase_along_paths() {
+        // Lemma 3.1 under real concurrency.
+        let n = 2048;
+        let dsu: Dsu = Dsu::new(n);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let dsu = &dsu;
+                s.spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(100 + t as u64);
+                    for _ in 0..4000 {
+                        dsu.unite(rng.gen_range(0..n), rng.gen_range(0..n));
+                    }
+                });
+            }
+        });
+        let parents = dsu.parents_snapshot();
+        for x in 0..n {
+            if parents[x] != x {
+                assert!(dsu.id_of(x) < dsu.id_of(parents[x]));
+            }
+        }
+        // The union forest is a sub-relation with the same property, and is
+        // acyclic (walking up terminates within n steps).
+        let forest = dsu.union_forest_snapshot();
+        for x in 0..n {
+            let mut u = x;
+            let mut steps = 0;
+            while forest[u] != u {
+                assert!(dsu.id_of(u) < dsu.id_of(forest[u]));
+                u = forest[u];
+                steps += 1;
+                assert!(steps <= n, "cycle in union forest");
+            }
+        }
+    }
+
+    #[test]
+    fn union_forest_height_is_logarithmic() {
+        // Corollary 4.2.1 (statistical): height = O(log n) w.h.p. Use a
+        // generous constant so the test never flakes: c = 6 over 3 seeds.
+        for seed in [1, 2, 3] {
+            let n = 1 << 14;
+            let dsu: Dsu = Dsu::with_seed(n, seed);
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0xABCD);
+            for _ in 0..2 * n {
+                dsu.unite(rng.gen_range(0..n), rng.gen_range(0..n));
+            }
+            let h = dsu.union_forest_height();
+            let bound = 6 * (n as f64).log2() as usize;
+            assert!(h <= bound, "height {h} > {bound} for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stats_capture_work() {
+        let dsu: Dsu = Dsu::new(128);
+        let mut stats = OpStats::default();
+        for i in 0..127 {
+            dsu.unite_with(i, i + 1, &mut stats);
+        }
+        assert_eq!(stats.links_ok, 127);
+        assert_eq!(stats.ops, 127);
+        assert!(stats.reads >= 2 * 127); // at least two reads per unite
+        let mut qstats = OpStats::default();
+        dsu.same_set_with(0, 127, &mut qstats);
+        assert_eq!(qstats.ops, 1);
+        assert!(qstats.loop_iters >= 1);
+    }
+
+    #[test]
+    fn wait_freedom_smoke_bounded_steps() {
+        // Not a proof, a tripwire: no operation should ever take more than
+        // a few hundred loop iterations at this scale (union forest height
+        // is O(log n) w.h.p.; find sequences are bounded by it).
+        let n = 1 << 12;
+        let dsu: Dsu = Dsu::new(n);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let dsu = &dsu;
+                s.spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7 + t as u64);
+                    for _ in 0..5000 {
+                        let mut stats = OpStats::default();
+                        let x = rng.gen_range(0..n);
+                        let y = rng.gen_range(0..n);
+                        if rng.gen_bool(0.5) {
+                            dsu.unite_with(x, y, &mut stats);
+                        } else {
+                            dsu.same_set_with(x, y, &mut stats);
+                        }
+                        assert!(
+                            stats.loop_iters < 600,
+                            "operation took {} iterations",
+                            stats.loop_iters
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn forest_height_helper() {
+        assert_eq!(forest_height(&[0, 0, 1, 2]), 3);
+        assert_eq!(forest_height(&[0, 1, 2]), 0);
+        assert_eq!(forest_height(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let dsu: Dsu = Dsu::new(4);
+        dsu.unite(0, 4);
+    }
+
+    #[test]
+    fn zero_and_one_element_universes() {
+        let empty: Dsu = Dsu::new(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.set_count(), 0);
+        let one: Dsu = Dsu::new(1);
+        assert!(one.same_set(0, 0));
+        assert!(!one.unite(0, 0));
+        assert_eq!(one.set_count(), 1);
+    }
+}

@@ -1,0 +1,439 @@
+//! A growing universe: `MakeSet` support (paper Section 3 remark, Section 7).
+//!
+//! The fixed-universe [`Dsu`](crate::Dsu) assumes all `n` elements and their
+//! random order exist up front. [`GrowableDsu`] removes that assumption:
+//! [`make_set`](GrowableDsu::make_set) creates fresh elements concurrently
+//! with ongoing operations, and ids are generated *on the fly* by hashing
+//! the element index (the paper's Section 7 suggestion: draw from a universe
+//! large enough that ties are negligible, plus a tie-breaking rule — here
+//! the index itself).
+//!
+//! As the paper notes, in an unbounded universe the algorithms are
+//! *lock-free* rather than wait-free: an operation could in principle chase
+//! a set that keeps growing. Storage is a directory of at most
+//! `usize::BITS` doubling segments; operations on existing elements never
+//! move memory, and allocating a new segment (which happens at most 64
+//! times ever) is the only place a thread can briefly wait for another.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::find::{FindPolicy, TwoTrySplit};
+use crate::ops;
+use crate::order::HashOrder;
+use crate::stats::StatsSink;
+use crate::store::ParentStore;
+use crate::ConcurrentUnionFind;
+// (ParentStore is used both as the trait bound and for SegmentedStore's impl.)
+
+const SEGMENTS: usize = usize::BITS as usize;
+
+/// Maps element `e` to `(segment, offset)`: segment `s` holds the `2^s`
+/// elements `2^s - 1 ..= 2^(s+1) - 2`.
+fn locate(e: usize) -> (usize, usize) {
+    let s = (usize::BITS - 1 - (e + 1).leading_zeros()) as usize;
+    (s, e + 1 - (1 << s))
+}
+
+/// The segment directory. Lives in its own type so the shared algorithm
+/// code (generic over [`ParentStore`]) can use it directly.
+struct SegmentedStore {
+    segments: [OnceLock<Box<[AtomicUsize]>>; SEGMENTS],
+}
+
+impl SegmentedStore {
+    fn new() -> Self {
+        SegmentedStore { segments: std::array::from_fn(|_| OnceLock::new()) }
+    }
+
+    /// Ensures the segment containing `e` exists (allocating and
+    /// self-initializing it if needed) and returns its cell.
+    fn ensure_cell(&self, e: usize) -> &AtomicUsize {
+        let (s, off) = locate(e);
+        let seg = self.segments[s].get_or_init(|| {
+            let base = (1usize << s) - 1;
+            (0..1usize << s).map(|j| AtomicUsize::new(base + j)).collect()
+        });
+        &seg[off]
+    }
+}
+
+impl ParentStore for SegmentedStore {
+    fn parent_cell(&self, i: usize) -> &AtomicUsize {
+        let (s, off) = locate(i);
+        let seg = self.segments[s]
+            .get()
+            .expect("element's segment not allocated: use indices returned by make_set");
+        &seg[off]
+    }
+}
+
+/// A concurrent union-find whose universe grows via
+/// [`make_set`](GrowableDsu::make_set) (paper Section 3 remark), with
+/// on-the-fly random ids (paper Section 7).
+///
+/// # Element lifetime contract
+///
+/// An element index may be passed to operations once the `make_set` that
+/// returned it has returned (happens-before via the index handoff). Reading
+/// [`len`](GrowableDsu::len) and then touching every index below it is only
+/// guaranteed at quiescence, because another thread's `make_set` may have
+/// reserved an index it is still initializing.
+///
+/// # Example
+///
+/// ```
+/// use concurrent_dsu::GrowableDsu;
+///
+/// let dsu: GrowableDsu = GrowableDsu::new();
+/// let a = dsu.make_set();
+/// let b = dsu.make_set();
+/// assert!(!dsu.same_set(a, b));
+/// assert!(dsu.unite(a, b));
+/// assert!(dsu.same_set(a, b));
+/// let c = dsu.make_set();
+/// assert!(!dsu.same_set(a, c));
+/// ```
+pub struct GrowableDsu<F: FindPolicy = TwoTrySplit> {
+    store: SegmentedStore,
+    order: HashOrder,
+    count: AtomicUsize,
+    links: AtomicUsize,
+    _policy: std::marker::PhantomData<F>,
+}
+
+impl<F: FindPolicy> std::fmt::Debug for GrowableDsu<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrowableDsu")
+            .field("len", &self.len())
+            .field("set_count", &self.set_count())
+            .field("policy", &F::NAME)
+            .finish()
+    }
+}
+
+impl<F: FindPolicy> Default for GrowableDsu<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: FindPolicy> GrowableDsu<F> {
+    /// Default seed for the on-the-fly id hash.
+    pub const DEFAULT_SEED: u64 = 0x6d61_6b65_5f73_6574; // "make_set"
+
+    /// An empty universe with the default id seed.
+    pub fn new() -> Self {
+        Self::with_seed(Self::DEFAULT_SEED)
+    }
+
+    /// An empty universe whose random order is salted by `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        GrowableDsu {
+            store: SegmentedStore::new(),
+            order: HashOrder::new(seed),
+            count: AtomicUsize::new(0),
+            links: AtomicUsize::new(0),
+            _policy: std::marker::PhantomData,
+        }
+    }
+
+    /// An universe pre-populated with `n` singleton elements `0..n`.
+    pub fn with_initial(n: usize) -> Self {
+        let dsu = Self::new();
+        for _ in 0..n {
+            dsu.make_set();
+        }
+        dsu
+    }
+
+    /// Creates a fresh singleton set and returns its element index.
+    /// Indices are dense: the `k`-th `make_set` overall returns `k - 1`.
+    pub fn make_set(&self) -> usize {
+        let e = self.count.fetch_add(1, Ordering::SeqCst);
+        self.store.ensure_cell(e);
+        e
+    }
+
+    /// Number of elements created so far.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// `true` before the first `make_set`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of disjoint sets right now.
+    pub fn set_count(&self) -> usize {
+        self.len() - self.links.load(Ordering::SeqCst)
+    }
+
+    /// The name of the find policy, for reports.
+    pub fn policy_name(&self) -> &'static str {
+        F::NAME
+    }
+
+    fn check(&self, x: usize) {
+        assert!(x < self.len(), "element {x} out of range (len {})", self.len());
+    }
+
+    /// Root of the tree containing `x` (see the staleness caveat on
+    /// [`ConcurrentUnionFind::find`]).
+    ///
+    /// [`ConcurrentUnionFind::find`]: crate::ConcurrentUnionFind::find
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` was not returned by a completed `make_set`.
+    pub fn find(&self, x: usize) -> usize {
+        self.find_with(x, &mut ())
+    }
+
+    /// [`find`](GrowableDsu::find) reporting work into `stats`.
+    pub fn find_with<S: StatsSink>(&self, x: usize, stats: &mut S) -> usize {
+        self.check(x);
+        F::find(&self.store, x, stats)
+    }
+
+    /// `true` iff `x` and `y` are in the same set at the linearization
+    /// point (paper Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` was not returned by a completed `make_set`.
+    pub fn same_set(&self, x: usize, y: usize) -> bool {
+        self.same_set_with(x, y, &mut ())
+    }
+
+    /// [`same_set`](GrowableDsu::same_set) reporting work into `stats`.
+    pub fn same_set_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::same_set::<F, _, _, _>(&self.store, &self.order, x, y, stats)
+    }
+
+    /// Unites the sets containing `x` and `y`; `true` iff this call linked
+    /// (paper Algorithm 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` was not returned by a completed `make_set`.
+    pub fn unite(&self, x: usize, y: usize) -> bool {
+        self.unite_with(x, y, &mut ())
+    }
+
+    /// [`unite`](GrowableDsu::unite) reporting work into `stats`.
+    pub fn unite_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::unite::<F, _, _, _>(&self.store, &self.order, x, y, stats, |_, _| {
+            self.links.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    /// `SameSet` with early termination (paper Algorithm 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` was not returned by a completed `make_set`.
+    pub fn same_set_early(&self, x: usize, y: usize) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::same_set_early::<F, _, _, _>(&self.store, &self.order, x, y, &mut ())
+    }
+
+    /// `Unite` with early termination (paper Algorithm 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` was not returned by a completed `make_set`.
+    pub fn unite_early(&self, x: usize, y: usize) -> bool {
+        self.check(x);
+        self.check(y);
+        ops::unite_early::<F, _, _, _>(&self.store, &self.order, x, y, &mut (), |_, _| {
+            self.links.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    /// Canonical labels for all current elements; call only at quiescence.
+    pub fn labels_snapshot(&self) -> Vec<usize> {
+        let mut labels: Vec<usize> = (0..self.len()).map(|i| self.find(i)).collect();
+        for i in 0..labels.len() {
+            labels[i] = labels[labels[i]];
+        }
+        labels
+    }
+}
+
+impl<F: FindPolicy> ConcurrentUnionFind for GrowableDsu<F> {
+    fn len(&self) -> usize {
+        GrowableDsu::len(self)
+    }
+
+    fn same_set(&self, x: usize, y: usize) -> bool {
+        GrowableDsu::same_set(self, x, y)
+    }
+
+    fn unite(&self, x: usize, y: usize) -> bool {
+        GrowableDsu::unite(self, x, y)
+    }
+
+    fn find(&self, x: usize) -> usize {
+        GrowableDsu::find(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequential_dsu::{NaiveDsu, Partition};
+
+    #[test]
+    fn locate_covers_segments_densely() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(1), (1, 0));
+        assert_eq!(locate(2), (1, 1));
+        assert_eq!(locate(3), (2, 0));
+        assert_eq!(locate(6), (2, 3));
+        assert_eq!(locate(7), (3, 0));
+        // Dense and in-bounds for a big range.
+        for e in 0..10_000 {
+            let (s, off) = locate(e);
+            assert!(off < (1 << s));
+            // Inverse mapping.
+            assert_eq!((1 << s) - 1 + off, e);
+        }
+    }
+
+    #[test]
+    fn make_set_returns_dense_indices() {
+        let dsu: GrowableDsu = GrowableDsu::new();
+        for expect in 0..100 {
+            assert_eq!(dsu.make_set(), expect);
+        }
+        assert_eq!(dsu.len(), 100);
+        assert_eq!(dsu.set_count(), 100);
+    }
+
+    #[test]
+    fn basic_semantics() {
+        let dsu: GrowableDsu = GrowableDsu::with_initial(4);
+        assert!(dsu.unite(0, 1));
+        assert!(!dsu.unite(1, 0));
+        assert!(dsu.same_set(0, 1));
+        assert!(!dsu.same_set(0, 2));
+        assert!(dsu.unite_early(2, 3));
+        assert!(dsu.same_set_early(3, 2));
+        assert_eq!(dsu.set_count(), 2);
+    }
+
+    #[test]
+    fn interleaved_make_set_and_unite_single_thread() {
+        let dsu: GrowableDsu = GrowableDsu::new();
+        let mut oracle = NaiveDsu::new(0);
+        let mut ids = Vec::new();
+        for round in 0..50 {
+            let e = dsu.make_set();
+            ids.push(e);
+            // Mirror in oracle by rebuilding with one more element.
+            let mut bigger = NaiveDsu::new(ids.len());
+            for x in 0..ids.len() - 1 {
+                for y in 0..ids.len() - 1 {
+                    if x < y && oracle.same_set(x, y) {
+                        bigger.unite(x, y);
+                    }
+                }
+            }
+            oracle = bigger;
+            if round > 0 {
+                let a = e % round.max(1);
+                assert_eq!(dsu.unite(a, e), oracle.unite(a, e));
+                assert_eq!(dsu.same_set(a, e), oracle.same_set(a, e));
+            }
+        }
+        assert_eq!(dsu.set_count(), oracle.set_count());
+        assert_eq!(
+            Partition::from_labels(&dsu.labels_snapshot()),
+            oracle.partition()
+        );
+    }
+
+    #[test]
+    fn concurrent_growth_and_churn() {
+        let dsu: GrowableDsu = GrowableDsu::new();
+        let handles_per_thread = 2000;
+        let threads = 8;
+        let all: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let mut js = Vec::new();
+            for t in 0..threads {
+                let dsu = &dsu;
+                js.push(s.spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(t as u64);
+                    let mut mine = Vec::new();
+                    for _ in 0..handles_per_thread {
+                        let e = dsu.make_set();
+                        mine.push(e);
+                        if mine.len() >= 2 && rng.gen_bool(0.7) {
+                            let a = mine[rng.gen_range(0..mine.len())];
+                            let b = mine[rng.gen_range(0..mine.len())];
+                            dsu.unite(a, b);
+                            dsu.same_set(a, b);
+                        }
+                    }
+                    mine
+                }));
+            }
+            js.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        // All indices are distinct and dense.
+        let mut seen: Vec<usize> = all.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), threads * handles_per_thread);
+        for (i, &e) in seen.iter().enumerate() {
+            assert_eq!(i, e);
+        }
+        assert_eq!(dsu.len(), threads * handles_per_thread);
+        // Labels are a consistent partition.
+        let labels = dsu.labels_snapshot();
+        let _ = Partition::from_labels(&labels);
+    }
+
+    #[test]
+    fn segment_boundaries_are_seamless() {
+        // Unions that straddle segment boundaries (3->4, 7->8, ...).
+        let dsu: GrowableDsu = GrowableDsu::with_initial(1 << 10);
+        for s in 1..10 {
+            let boundary = (1usize << s) - 1;
+            dsu.unite(boundary - 1, boundary);
+        }
+        for s in 1..10 {
+            let boundary = (1usize << s) - 1;
+            assert!(dsu.same_set(boundary - 1, boundary));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unmade_elements_are_rejected() {
+        let dsu: GrowableDsu = GrowableDsu::new();
+        dsu.make_set();
+        dsu.same_set(0, 1);
+    }
+
+    #[test]
+    fn debug_format() {
+        let dsu: GrowableDsu = GrowableDsu::with_initial(2);
+        let s = format!("{dsu:?}");
+        assert!(s.contains("GrowableDsu"));
+        assert!(s.contains("two-try"));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let dsu: GrowableDsu = GrowableDsu::default();
+        assert!(dsu.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Wait-free concurrent disjoint set union with randomized linking.
+//!
+//! This crate is a faithful, production-oriented implementation of the
+//! algorithms of **Jayanti & Tarjan, "A Randomized Concurrent Algorithm for
+//! Disjoint Set Union" (PODC 2016)**. It maintains a collection of disjoint
+//! sets over elements `0..n` under concurrent [`unite`](Dsu::unite) and
+//! [`same_set`](Dsu::same_set) operations, each executed by any thread with
+//! no locks and no waiting: every update is a single-word compare-and-swap
+//! on a parent pointer, and every operation completes in `O(log n)` steps
+//! with high probability regardless of what other threads do.
+//!
+//! # The algorithm in one paragraph
+//!
+//! Each element has an immutable, uniformly random *id* and a mutable
+//! *parent* pointer; sets are trees, roots point to themselves. `Unite`
+//! finds the two roots and links the root with the smaller id under the
+//! other with a CAS — because ids never change, no rank or size field has to
+//! be updated atomically together with the parent, which is the paper's key
+//! simplification over Anderson & Woll (STOC '91). Finds optionally compact
+//! paths by *splitting* (each visited node's parent is swung to its
+//! grandparent), trying each CAS once ([`OneTrySplit`]) or twice
+//! ([`TwoTrySplit`], paper Algorithms 4 and 5). Under the paper's
+//! independence assumption, two-try splitting does
+//! `Θ(m (α(n, m/np) + log(np/m + 1)))` expected total work for `m`
+//! operations on `p` threads (Theorem 5.1).
+//!
+//! # Quick start
+//!
+//! ```
+//! use concurrent_dsu::Dsu;
+//! use std::thread;
+//!
+//! let dsu: Dsu = Dsu::new(1000);
+//! thread::scope(|s| {
+//!     for t in 0..4 {
+//!         let dsu = &dsu;
+//!         s.spawn(move || {
+//!             for i in (t..999).step_by(4) {
+//!                 dsu.unite(i, i + 1);
+//!             }
+//!         });
+//!     }
+//! });
+//! assert!(dsu.same_set(0, 999));
+//! assert_eq!(dsu.set_count(), 1);
+//! ```
+//!
+//! # Choosing a find policy
+//!
+//! [`Dsu`] is generic over a [`FindPolicy`]; the default, [`TwoTrySplit`],
+//! has the paper's best work bound. [`OneTrySplit`] does one fewer CAS per
+//! visited node (Theorem 5.2 gives it a slightly weaker bound);
+//! [`NoCompaction`] never restructures and is the right choice when finds
+//! are rare; [`Halving`] is the compaction Anderson & Woll used, included
+//! for ablations (paper Section 3 argues it cannot beat splitting
+//! concurrently); [`Compress`] is a concurrent two-pass path compression —
+//! the variant paper Section 6 conjectures about, implemented here as the
+//! future-work item.
+//!
+//! # Early termination
+//!
+//! [`Dsu::same_set_early`] and [`Dsu::unite_early`] implement the Section 6
+//! variants (Algorithms 6 and 7) that interleave the two finds and walk only
+//! the smaller current node, terminating as soon as the answer is known.
+//!
+//! # Growing universes
+//!
+//! [`GrowableDsu`] adds `make_set` (paper Section 3 remark): elements can be
+//! created concurrently with other operations, ids are generated on the fly
+//! (Section 7 remark), and operations stay lock-free.
+//!
+//! # Instrumentation
+//!
+//! Every operation has a `*_with` twin taking an [`OpStats`] sink that
+//! counts loop iterations, reads, and CAS successes/failures into
+//! caller-owned (typically thread-local) storage, so experiments can measure
+//! *work* exactly as the paper defines it without slowing the default path.
+
+pub mod find;
+pub mod growable;
+pub mod order;
+pub mod ops;
+pub mod stats;
+pub mod store;
+pub mod viz;
+
+mod dsu;
+
+pub use dsu::Dsu;
+pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+pub use growable::GrowableDsu;
+pub use order::{HashOrder, IdOrder, PermutationOrder};
+pub use stats::{OpStats, StatsSink};
+
+/// Convenient alias: the paper's headline configuration (two-try splitting).
+pub type DsuTwoTry = Dsu<TwoTrySplit>;
+/// Alias for the one-try splitting configuration (paper Algorithm 4).
+pub type DsuOneTry = Dsu<OneTrySplit>;
+/// Alias for the compaction-free configuration (paper Algorithm 1).
+pub type DsuNoCompaction = Dsu<NoCompaction>;
+/// Alias for the halving configuration (ablation; cf. paper Section 3).
+pub type DsuHalving = Dsu<Halving>;
+/// Alias for the two-pass compression configuration (the Section 6
+/// conjecture, implemented as future work).
+pub type DsuCompress = Dsu<Compress>;
+
+/// Common interface for every concurrent union-find in this workspace
+/// (this crate's [`Dsu`] and [`GrowableDsu`], and the baselines crate's
+/// structures), so harnesses and applications can be generic over them.
+///
+/// All methods take `&self`: implementations must be safe to call from many
+/// threads at once, and results must be linearizable.
+pub trait ConcurrentUnionFind: Send + Sync {
+    /// Number of elements currently in the universe.
+    fn len(&self) -> usize;
+
+    /// `true` if the universe is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` iff `x` and `y` are in the same set at the operation's
+    /// linearization point.
+    fn same_set(&self, x: usize, y: usize) -> bool;
+
+    /// Unites the sets containing `x` and `y`. Returns `true` iff **this
+    /// call** performed the link (at its linearization point the two sets
+    /// were distinct and became one).
+    fn unite(&self, x: usize, y: usize) -> bool;
+
+    /// Returns the root of the tree currently containing `x`. The result
+    /// may be stale by the time the caller inspects it; `find(x) == find(y)`
+    /// is *not* a linearizable same-set test — use
+    /// [`same_set`](ConcurrentUnionFind::same_set).
+    fn find(&self, x: usize) -> usize;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        assert_send_sync::<Dsu<TwoTrySplit>>();
+        assert_send_sync::<Dsu<OneTrySplit>>();
+        assert_send_sync::<Dsu<NoCompaction>>();
+        assert_send_sync::<Dsu<Halving>>();
+        assert_send_sync::<Dsu<Compress>>();
+        assert_send_sync::<GrowableDsu>();
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let dsu: Box<dyn ConcurrentUnionFind> = Box::new(Dsu::<TwoTrySplit>::new(4));
+        assert!(dsu.unite(0, 1));
+        assert!(dsu.same_set(0, 1));
+        assert!(!dsu.is_empty());
+        assert_eq!(dsu.len(), 4);
+        let r = dsu.find(2);
+        assert_eq!(r, 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! The concurrent set operations (paper Algorithms 2, 3, 6, 7), written
+//! once, generically over the parent store, id order, and find policy, so
+//! [`Dsu`](crate::Dsu) and [`GrowableDsu`](crate::GrowableDsu) share the
+//! exact same verified code.
+//!
+//! ### Why the loops retry
+//!
+//! Both `SameSet` and `Unite` rest on two observations (due to Anderson &
+//! Woll, restated in paper Section 3): once the two walks meet (`u == v`),
+//! the inputs are in the same set now and forever; and if `u < v` and `u`
+//! is a root, the inputs are — at that instant — in different sets. The
+//! complication relative to the sequential code is that a node that was a
+//! root when read can stop being one a moment later, so the operations
+//! re-find and re-check until one of the two certainties holds.
+
+use crate::find::FindPolicy;
+use crate::order::IdOrder;
+use crate::stats::StatsSink;
+use crate::store::ParentStore;
+
+/// Paper Algorithm 2: `SameSet(x, y)`.
+///
+/// Returns `true` iff `x` and `y` are in the same set at the linearization
+/// point (the last root read performed by the final `find(v)` or the
+/// `u.parent` re-read).
+pub fn same_set<F, P, O, S>(store: &P, _order: &O, x: usize, y: usize, stats: &mut S) -> bool
+where
+    F: FindPolicy,
+    P: ParentStore + ?Sized,
+    O: IdOrder + ?Sized,
+    S: StatsSink,
+{
+    stats.op_start();
+    let mut u = x;
+    let mut v = y;
+    loop {
+        u = F::find(store, u, stats);
+        v = F::find(store, v, stats);
+        if u == v {
+            return true;
+        }
+        // u was a root during its find; if it still is, u and v were
+        // simultaneously roots of different trees.
+        let up = store.load_parent(u);
+        stats.read();
+        if up == u {
+            return false;
+        }
+    }
+}
+
+/// Paper Algorithm 3: `Unite(x, y)`.
+///
+/// Returns `true` iff this call performed the link (the sets were distinct
+/// at the linearization point and this CAS merged them), `false` if the
+/// inputs were already together.
+///
+/// `record_link(child, parent)` is invoked after each successful link CAS;
+/// the wrappers use it to maintain the union-forest snapshot and the live
+/// set count.
+pub fn unite<F, P, O, S>(
+    store: &P,
+    order: &O,
+    x: usize,
+    y: usize,
+    stats: &mut S,
+    record_link: impl Fn(usize, usize),
+) -> bool
+where
+    F: FindPolicy,
+    P: ParentStore + ?Sized,
+    O: IdOrder + ?Sized,
+    S: StatsSink,
+{
+    stats.op_start();
+    let mut u = x;
+    let mut v = y;
+    loop {
+        u = F::find(store, u, stats);
+        v = F::find(store, v, stats);
+        if u == v {
+            return false;
+        }
+        // Link the smaller root (in the random order) under the larger;
+        // the CAS fails iff the candidate stopped being a root, in which
+        // case we re-find and retry.
+        if order.less(u, v) {
+            if store.cas_parent(u, u, v) {
+                stats.link_ok();
+                record_link(u, v);
+                return true;
+            }
+            stats.link_fail();
+        } else {
+            if store.cas_parent(v, v, u) {
+                stats.link_ok();
+                record_link(v, u);
+                return true;
+            }
+            stats.link_fail();
+        }
+    }
+}
+
+/// Paper Algorithm 6: `SameSet` with early termination (Section 6).
+///
+/// The two find paths are walked concurrently, always stepping from the
+/// *smaller* current node, so the operation touches only one path's worth
+/// of nodes. The compaction step per iteration is the policy's
+/// [`advance`](FindPolicy::advance) (two-try splitting in the paper's
+/// listing; one-try executes the body once; no-compaction just walks).
+pub fn same_set_early<F, P, O, S>(store: &P, order: &O, x: usize, y: usize, stats: &mut S) -> bool
+where
+    F: FindPolicy,
+    P: ParentStore + ?Sized,
+    O: IdOrder + ?Sized,
+    S: StatsSink,
+{
+    stats.op_start();
+    let mut u = x;
+    let mut v = y;
+    loop {
+        if u == v {
+            return true;
+        }
+        if order.less(v, u) {
+            std::mem::swap(&mut u, &mut v);
+        }
+        // u < v here. If u is a root it cannot be in v's tree (roots have
+        // the largest id of their tree), so the sets are distinct.
+        let up = store.load_parent(u);
+        stats.read();
+        if up == u {
+            return false;
+        }
+        u = F::advance(store, u, stats);
+    }
+}
+
+/// Paper Algorithm 7: `Unite` with early termination (Section 6).
+///
+/// Like [`same_set_early`], but when the smaller current node turns out to
+/// be a root it is immediately linked under the other current node (which
+/// need not be a root — linking under any larger-id node preserves every
+/// invariant).
+pub fn unite_early<F, P, O, S>(
+    store: &P,
+    order: &O,
+    x: usize,
+    y: usize,
+    stats: &mut S,
+    record_link: impl Fn(usize, usize),
+) -> bool
+where
+    F: FindPolicy,
+    P: ParentStore + ?Sized,
+    O: IdOrder + ?Sized,
+    S: StatsSink,
+{
+    stats.op_start();
+    let mut u = x;
+    let mut v = y;
+    loop {
+        if u == v {
+            return false;
+        }
+        if order.less(v, u) {
+            std::mem::swap(&mut u, &mut v);
+        }
+        if store.cas_parent(u, u, v) {
+            stats.link_ok();
+            record_link(u, v);
+            return true;
+        }
+        // u was not a root (or just stopped being one): compact and climb.
+        u = F::advance(store, u, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find::{Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+    use crate::order::PermutationOrder;
+    use crate::store::FlatStore;
+
+    fn fixture(n: usize, seed: u64) -> (FlatStore, PermutationOrder) {
+        (FlatStore::new(n), PermutationOrder::new(n, seed))
+    }
+
+    fn run_all_policies(test: impl Fn(&dyn Fn(&FlatStore, &PermutationOrder, usize, usize) -> bool, &dyn Fn(&FlatStore, &PermutationOrder, usize, usize) -> bool)) {
+        macro_rules! with_policy {
+            ($f:ty) => {
+                test(
+                    &|s, o, x, y| unite::<$f, _, _, _>(s, o, x, y, &mut (), |_, _| {}),
+                    &|s, o, x, y| same_set::<$f, _, _, _>(s, o, x, y, &mut ()),
+                );
+                test(
+                    &|s, o, x, y| unite_early::<$f, _, _, _>(s, o, x, y, &mut (), |_, _| {}),
+                    &|s, o, x, y| same_set_early::<$f, _, _, _>(s, o, x, y, &mut ()),
+                );
+            };
+        }
+        with_policy!(NoCompaction);
+        with_policy!(OneTrySplit);
+        with_policy!(TwoTrySplit);
+        with_policy!(Halving);
+    }
+
+    #[test]
+    fn unite_then_same_set_all_policies() {
+        run_all_policies(|unite_fn, same_fn| {
+            let (store, order) = fixture(8, 11);
+            assert!(!same_fn(&store, &order, 0, 5));
+            assert!(unite_fn(&store, &order, 0, 5));
+            assert!(same_fn(&store, &order, 0, 5));
+            assert!(!unite_fn(&store, &order, 5, 0), "re-unite returns false");
+            assert!(unite_fn(&store, &order, 5, 6));
+            assert!(same_fn(&store, &order, 0, 6));
+            assert!(!same_fn(&store, &order, 0, 7));
+        });
+    }
+
+    #[test]
+    fn self_operations() {
+        run_all_policies(|unite_fn, same_fn| {
+            let (store, order) = fixture(4, 3);
+            assert!(same_fn(&store, &order, 2, 2));
+            assert!(!unite_fn(&store, &order, 2, 2));
+        });
+    }
+
+    #[test]
+    fn links_always_point_id_upward() {
+        // Lemma 3.1: if x is not a root then x < x.parent in the random
+        // order. Exercise all policies on a merge-everything workload.
+        run_all_policies(|unite_fn, _| {
+            let (store, order) = fixture(64, 99);
+            for i in 0..63 {
+                unite_fn(&store, &order, i, i + 1);
+            }
+            for x in 0..64 {
+                let p = store.load_parent(x);
+                if p != x {
+                    assert!(order.less(x, p), "child id must be below parent id");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn record_link_sees_every_link_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (store, order) = fixture(32, 5);
+        let links = AtomicUsize::new(0);
+        for i in 0..31 {
+            unite::<TwoTrySplit, _, _, _>(&store, &order, i, i + 1, &mut (), |child, parent| {
+                assert!(order.less(child, parent));
+                links.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(links.load(Ordering::Relaxed), 31);
+    }
+
+    #[test]
+    fn early_termination_agrees_with_standard() {
+        // Interleave unites built by the standard algorithm with queries by
+        // the early-termination one (and vice versa) — they share the store.
+        let (store, order) = fixture(16, 21);
+        let mut s = ();
+        assert!(unite::<TwoTrySplit, _, _, _>(&store, &order, 0, 1, &mut s, |_, _| {}));
+        assert!(same_set_early::<TwoTrySplit, _, _, _>(&store, &order, 0, 1, &mut s));
+        assert!(unite_early::<TwoTrySplit, _, _, _>(&store, &order, 1, 2, &mut s, |_, _| {}));
+        assert!(same_set::<TwoTrySplit, _, _, _>(&store, &order, 0, 2, &mut s));
+        assert!(!same_set_early::<TwoTrySplit, _, _, _>(&store, &order, 0, 15, &mut s));
+    }
+
+    #[test]
+    fn stats_account_finds_and_links() {
+        let (store, order) = fixture(8, 2);
+        let mut stats = crate::OpStats::default();
+        unite::<OneTrySplit, _, _, _>(&store, &order, 0, 1, &mut stats, |_, _| {});
+        assert_eq!(stats.ops, 1);
+        assert_eq!(stats.finds, 2);
+        assert_eq!(stats.links_ok, 1);
+        assert_eq!(stats.links_fail, 0);
+        same_set::<OneTrySplit, _, _, _>(&store, &order, 0, 1, &mut stats);
+        assert_eq!(stats.ops, 2);
+        assert_eq!(stats.finds, 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! The random total order on elements ("ids").
+//!
+//! Randomized linking (paper Section 2, after Goel et al. SODA '14) fixes a
+//! uniformly random total order over the elements before any operation runs;
+//! `Unite` always links the root that is *smaller in this order* under the
+//! larger. The order is immutable, which is exactly why a single-word CAS
+//! suffices for linking (paper Section 3).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// A fixed total order on element indices.
+///
+/// Implementations must be immutable after construction, total, and
+/// antisymmetric: for `u != v` exactly one of `less(u, v)` / `less(v, u)`
+/// holds, and `less(u, u)` is always `false`.
+pub trait IdOrder: Send + Sync {
+    /// `true` iff `u` precedes `v` in the order.
+    fn less(&self, u: usize, v: usize) -> bool;
+}
+
+/// The order used by the fixed-universe [`Dsu`](crate::Dsu): an explicit
+/// uniformly random permutation of `0..n`, drawn once from a seeded ChaCha
+/// generator so experiments are reproducible.
+#[derive(Debug, Clone)]
+pub struct PermutationOrder {
+    ids: Box<[u64]>,
+}
+
+impl PermutationOrder {
+    /// Draws a uniform permutation of `0..n` with Fisher–Yates.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut ids: Vec<u64> = (0..n as u64).collect();
+        ids.shuffle(&mut ChaCha12Rng::seed_from_u64(seed));
+        PermutationOrder { ids: ids.into_boxed_slice() }
+    }
+
+    /// The id (position in the random order, `0..n`) of element `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    pub fn id_of(&self, u: usize) -> u64 {
+        self.ids[u]
+    }
+
+    /// Number of elements in the order.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the order covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl IdOrder for PermutationOrder {
+    fn less(&self, u: usize, v: usize) -> bool {
+        self.ids[u] < self.ids[v]
+    }
+}
+
+/// The order used by [`GrowableDsu`](crate::GrowableDsu), where elements are
+/// created on the fly (paper Section 7): each element's id is a pseudorandom
+/// 64-bit hash of its index, with the index itself breaking the (rare) ties
+/// so the order stays total. This realizes the paper's suggestion of
+/// "assigning to each new element a random number selected uniformly from a
+/// universe large enough that the chance of a tie is sufficiently small, and
+/// adding a tie-breaking rule".
+#[derive(Debug, Clone, Copy)]
+pub struct HashOrder {
+    salt: u64,
+}
+
+impl HashOrder {
+    /// A hash order salted by `seed` (different seeds give independent
+    /// orders).
+    pub fn new(seed: u64) -> Self {
+        HashOrder { salt: seed }
+    }
+
+    /// The 128-bit comparison key of element `u`.
+    pub fn key_of(&self, u: usize) -> (u64, usize) {
+        (splitmix64((u as u64).wrapping_add(self.salt)), u)
+    }
+}
+
+impl IdOrder for HashOrder {
+    fn less(&self, u: usize, v: usize) -> bool {
+        self.key_of(u) < self.key_of(v)
+    }
+}
+
+/// SplitMix64: a fast, well-distributed 64-bit mixing function (Steele,
+/// Lea & Flood 2014). Used to give growable elements i.i.d.-looking ids
+/// without storing them.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_total_order<O: IdOrder>(order: &O, n: usize) {
+        for u in 0..n {
+            assert!(!order.less(u, u), "irreflexive");
+            for v in 0..n {
+                if u != v {
+                    assert_ne!(order.less(u, v), order.less(v, u), "antisymmetric & total");
+                }
+            }
+        }
+        // Transitivity on all triples (n is small in tests).
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if order.less(a, b) && order.less(b, c) {
+                        assert!(order.less(a, c), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_order_is_a_total_order() {
+        let order = PermutationOrder::new(12, 42);
+        assert_eq!(order.len(), 12);
+        check_total_order(&order, 12);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let order = PermutationOrder::new(100, 7);
+        let mut seen = vec![false; 100];
+        for u in 0..100 {
+            let id = order.id_of(u) as usize;
+            assert!(!seen[id], "id {id} assigned twice");
+            seen[id] = true;
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a = PermutationOrder::new(64, 1);
+        let b = PermutationOrder::new(64, 2);
+        assert_ne!(
+            (0..64).map(|u| a.id_of(u)).collect::<Vec<_>>(),
+            (0..64).map(|u| b.id_of(u)).collect::<Vec<_>>()
+        );
+        // Same seed reproduces exactly.
+        let c = PermutationOrder::new(64, 1);
+        assert_eq!(
+            (0..64).map(|u| a.id_of(u)).collect::<Vec<_>>(),
+            (0..64).map(|u| c.id_of(u)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hash_order_is_a_total_order() {
+        check_total_order(&HashOrder::new(0xDEAD_BEEF), 12);
+    }
+
+    #[test]
+    fn hash_order_looks_uniform() {
+        // Crude uniformity check: among consecutive pairs (i, i+1), about
+        // half should have less(i, i+1). SplitMix64 is far better than this
+        // test requires.
+        let order = HashOrder::new(3);
+        let ups = (0..10_000).filter(|&i| order.less(i, i + 1)).count();
+        assert!((4_000..=6_000).contains(&ups), "ups = {ups}");
+    }
+
+    #[test]
+    fn splitmix_avalanche_smoke() {
+        // Flipping one input bit flips ~half the output bits on average.
+        let mut total = 0;
+        for i in 0..1_000u64 {
+            total += (splitmix64(i) ^ splitmix64(i ^ 1)).count_ones();
+        }
+        let avg = total as f64 / 1_000.0;
+        assert!((24.0..40.0).contains(&avg), "avg flipped bits = {avg}");
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let order = PermutationOrder::new(0, 9);
+        assert!(order.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Parent-pointer storage abstraction.
+//!
+//! The paper's algorithms touch shared state only through single-word reads
+//! and CASes of parent pointers. Abstracting *where* those words live lets
+//! the fixed-universe [`Dsu`](crate::Dsu) (one flat slab) and the growable
+//! [`GrowableDsu`](crate::GrowableDsu) (a segment directory) share a single
+//! implementation of every algorithm.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The memory ordering used for every shared-memory access.
+///
+/// The APRAM model assumes sequentially consistent single-word registers;
+/// `SeqCst` is the direct translation. On x86-64 the only instruction-level
+/// cost over `Acquire`/`Release` is on plain stores, which these algorithms
+/// never perform (all writes are CASes), so fidelity is effectively free.
+pub const ORDERING: Ordering = Ordering::SeqCst;
+
+/// A table of atomic parent pointers indexed by element.
+///
+/// Implementations must return the *same* atomic cell for the same index for
+/// the lifetime of the store, and must only be asked about elements that
+/// exist (callers bounds-check first).
+pub trait ParentStore: Send + Sync {
+    /// The atomic parent cell of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `i` is not an existing element.
+    fn parent_cell(&self, i: usize) -> &AtomicUsize;
+
+    /// Convenience: load the parent of `i` with the model ordering.
+    fn load_parent(&self, i: usize) -> usize {
+        self.parent_cell(i).load(ORDERING)
+    }
+
+    /// Convenience: CAS the parent of `i` from `old` to `new`; `true` on
+    /// success.
+    fn cas_parent(&self, i: usize, old: usize, new: usize) -> bool {
+        self.parent_cell(i)
+            .compare_exchange(old, new, ORDERING, ORDERING)
+            .is_ok()
+    }
+}
+
+/// A flat slab of parent pointers for a fixed universe `0..n`.
+#[derive(Debug)]
+pub struct FlatStore {
+    parents: Box<[AtomicUsize]>,
+}
+
+impl FlatStore {
+    /// `n` singleton cells (`parent[i] == i`).
+    pub fn new(n: usize) -> Self {
+        FlatStore { parents: (0..n).map(AtomicUsize::new).collect() }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// `true` when the store has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// A non-atomic snapshot of all parents. Only meaningful when no other
+    /// thread is mutating (quiescence); used by tests and offline analysis.
+    pub fn snapshot(&self) -> Vec<usize> {
+        self.parents.iter().map(|p| p.load(Ordering::Relaxed)).collect()
+    }
+}
+
+impl ParentStore for FlatStore {
+    fn parent_cell(&self, i: usize) -> &AtomicUsize {
+        &self.parents[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_store_starts_as_singletons() {
+        let s = FlatStore::new(5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        for i in 0..5 {
+            assert_eq!(s.load_parent(i), i);
+        }
+        assert_eq!(s.snapshot(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cas_succeeds_once() {
+        let s = FlatStore::new(3);
+        assert!(s.cas_parent(0, 0, 2));
+        assert!(!s.cas_parent(0, 0, 1), "stale expected value must fail");
+        assert_eq!(s.load_parent(0), 2);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = FlatStore::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.snapshot(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,177 @@
+//! Forest visualization: render parent-pointer snapshots as Graphviz DOT
+//! or indented ASCII trees.
+//!
+//! Union-find bugs are tree-shape bugs; being able to *look* at the forest
+//! — compare the compressed forest against the union forest, watch
+//! splitting shorten paths — is worth more than another counter. Both
+//! renderers take plain `&[usize]` snapshots
+//! ([`Dsu::parents_snapshot`](crate::Dsu::parents_snapshot) /
+//! [`Dsu::union_forest_snapshot`](crate::Dsu::union_forest_snapshot)), so
+//! they work for any structure in the workspace and for the APRAM
+//! simulator's memories alike.
+
+/// Renders a parent forest in Graphviz DOT, children pointing at parents.
+///
+/// Roots are drawn as double circles. `labels` supplies an optional
+/// annotation per node (e.g. the random id); pass `|_| None` for plain
+/// node numbers.
+///
+/// # Panics
+///
+/// Panics if a parent pointer is out of range.
+///
+/// # Example
+///
+/// ```
+/// use concurrent_dsu::{viz, Dsu};
+///
+/// let dsu: Dsu = Dsu::new(4);
+/// dsu.unite(0, 1);
+/// let dot = viz::to_dot(&dsu.parents_snapshot(), |v| Some(format!("id {}", dsu.id_of(v))));
+/// assert!(dot.starts_with("digraph forest {"));
+/// assert!(dot.contains("->"));
+/// ```
+pub fn to_dot(parent: &[usize], labels: impl Fn(usize) -> Option<String>) -> String {
+    let mut out = String::from("digraph forest {\n  rankdir=BT;\n");
+    for (v, &p) in parent.iter().enumerate() {
+        assert!(p < parent.len(), "parent {p} of {v} out of range");
+        let label = match labels(v) {
+            Some(extra) => format!("{v}\\n{extra}"),
+            None => v.to_string(),
+        };
+        let shape = if p == v { "doublecircle" } else { "circle" };
+        out.push_str(&format!("  n{v} [label=\"{label}\", shape={shape}];\n"));
+        if p != v {
+            out.push_str(&format!("  n{v} -> n{p};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a parent forest as indented ASCII, one tree per root, children
+/// sorted ascending:
+///
+/// ```text
+/// 3
+/// ├── 0
+/// │   └── 2
+/// └── 1
+/// ```
+///
+/// # Panics
+///
+/// Panics if a parent pointer is out of range or the "forest" contains a
+/// cycle.
+pub fn to_ascii(parent: &[usize]) -> String {
+    let n = parent.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for (v, &p) in parent.iter().enumerate() {
+        assert!(p < n, "parent {p} of {v} out of range");
+        if p == v {
+            roots.push(v);
+        } else {
+            children[p].push(v);
+        }
+    }
+    let mut out = String::new();
+    let mut emitted = 0usize;
+    for &root in &roots {
+        out.push_str(&root.to_string());
+        out.push('\n');
+        emitted += 1;
+        emit_children(&children, root, "", &mut out, &mut emitted);
+    }
+    assert_eq!(emitted, n, "cycle detected: not all nodes reachable from roots");
+    out
+}
+
+fn emit_children(
+    children: &[Vec<usize>],
+    node: usize,
+    prefix: &str,
+    out: &mut String,
+    emitted: &mut usize,
+) {
+    let kids = &children[node];
+    for (i, &kid) in kids.iter().enumerate() {
+        let last = i + 1 == kids.len();
+        out.push_str(prefix);
+        out.push_str(if last { "└── " } else { "├── " });
+        out.push_str(&kid.to_string());
+        out.push('\n');
+        *emitted += 1;
+        let next_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+        emit_children(children, kid, &next_prefix, out, emitted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_marks_roots_and_edges() {
+        // 0 -> 2, 1 -> 2, 2 root, 3 root.
+        let dot = to_dot(&[2, 2, 2, 3], |_| None);
+        assert!(dot.contains("n0 -> n2;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(!dot.contains("n2 -> "));
+        assert!(dot.contains("n2 [label=\"2\", shape=doublecircle];"));
+        assert!(dot.contains("n3 [label=\"3\", shape=doublecircle];"));
+    }
+
+    #[test]
+    fn dot_includes_labels() {
+        let dot = to_dot(&[1, 1], |v| Some(format!("x{v}")));
+        assert!(dot.contains("0\\nx0"));
+    }
+
+    #[test]
+    fn ascii_draws_nested_trees() {
+        // 3 is root of {0, 1, 2}: 0 -> 3, 1 -> 3, 2 -> 0.
+        let art = to_ascii(&[3, 3, 0, 3]);
+        let expected = "3\n├── 0\n│   └── 2\n└── 1\n";
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn ascii_multiple_roots() {
+        let art = to_ascii(&[0, 1, 2]);
+        assert_eq!(art, "0\n1\n2\n");
+    }
+
+    #[test]
+    fn ascii_empty() {
+        assert_eq!(to_ascii(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn ascii_detects_cycles() {
+        // 0 -> 1 -> 0 is not a forest.
+        to_ascii(&[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dot_bounds_check() {
+        to_dot(&[5], |_| None);
+    }
+
+    #[test]
+    fn renders_real_structure() {
+        let dsu: crate::Dsu = crate::Dsu::new(6);
+        dsu.unite(0, 1);
+        dsu.unite(2, 3);
+        dsu.unite(0, 2);
+        let snapshot = dsu.parents_snapshot();
+        let art = to_ascii(&snapshot);
+        // 6 nodes, one line each.
+        assert_eq!(art.lines().count(), 6);
+        let dot = to_dot(&snapshot, |v| Some(dsu.id_of(v).to_string()));
+        // Three links happened, so exactly three nodes are non-roots.
+        assert_eq!(dot.matches(" -> ").count(), 3);
+    }
+}

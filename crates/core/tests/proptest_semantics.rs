@@ -1,0 +1,137 @@
+//! Property tests: the concurrent algorithms, run single-threaded, must be
+//! *exactly* a sequential union-find — every return value and the final
+//! partition agree with the naive oracle, for every find policy and both the
+//! standard and early-termination operations. Randomized linking changes
+//! tree shapes, never semantics.
+
+use concurrent_dsu::{Compress, Dsu, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+use proptest::prelude::*;
+use sequential_dsu::{NaiveDsu, Partition};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Unite(usize, usize),
+    SameSet(usize, usize),
+}
+
+fn ops_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..n, 0..n, prop::bool::ANY).prop_map(|(x, y, u)| {
+            if u {
+                Op::Unite(x, y)
+            } else {
+                Op::SameSet(x, y)
+            }
+        }),
+        0..max_len,
+    )
+}
+
+fn check_policy<F: FindPolicy>(n: usize, seed: u64, ops: &[Op], early: bool) {
+    let dsu: Dsu<F> = Dsu::with_seed(n, seed);
+    let mut oracle = NaiveDsu::new(n);
+    for &op in ops {
+        match op {
+            Op::Unite(x, y) => {
+                let got = if early { dsu.unite_early(x, y) } else { dsu.unite(x, y) };
+                assert_eq!(got, oracle.unite(x, y), "unite({x},{y}) diverged");
+            }
+            Op::SameSet(x, y) => {
+                let got = if early { dsu.same_set_early(x, y) } else { dsu.same_set(x, y) };
+                assert_eq!(got, oracle.same_set(x, y), "same_set({x},{y}) diverged");
+            }
+        }
+    }
+    assert_eq!(dsu.set_count(), oracle.set_count());
+    assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_equivalence_all_policies(
+        ops in ops_strategy(20, 100),
+        seed in any::<u64>(),
+        early in any::<bool>(),
+    ) {
+        check_policy::<NoCompaction>(20, seed, &ops, early);
+        check_policy::<OneTrySplit>(20, seed, &ops, early);
+        check_policy::<TwoTrySplit>(20, seed, &ops, early);
+        check_policy::<Halving>(20, seed, &ops, early);
+        check_policy::<Compress>(20, seed, &ops, early);
+    }
+
+    /// Lemma 3.1 invariants hold after any single-threaded history: ids
+    /// strictly increase along parent paths, and compaction only replaces
+    /// parents by union-forest ancestors.
+    #[test]
+    fn lemma_3_1_invariants(ops in ops_strategy(24, 120), seed in any::<u64>()) {
+        let dsu: Dsu<TwoTrySplit> = Dsu::with_seed(24, seed);
+        for &op in &ops {
+            match op {
+                Op::Unite(x, y) => { dsu.unite(x, y); }
+                Op::SameSet(x, y) => { dsu.same_set(x, y); }
+            }
+        }
+        let parents = dsu.parents_snapshot();
+        let forest = dsu.union_forest_snapshot();
+        for x in 0..24 {
+            if parents[x] != x {
+                prop_assert!(dsu.id_of(x) < dsu.id_of(parents[x]));
+            }
+            // The current parent must be an ancestor of x in the union
+            // forest (Lemma 3.1's compaction clause).
+            if parents[x] != x {
+                let mut u = x;
+                let mut found = false;
+                for _ in 0..24 {
+                    u = forest[u];
+                    if u == parents[x] { found = true; break; }
+                    if forest[u] == u { break; }
+                }
+                prop_assert!(found, "parent {} of {} is not a union-forest ancestor", parents[x], x);
+            }
+        }
+    }
+
+    /// The growable structure with interleaved make_set matches an oracle
+    /// grown in lockstep.
+    #[test]
+    fn growable_matches_growing_oracle(
+        script in prop::collection::vec((0u8..3, any::<u64>()), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let dsu: concurrent_dsu::GrowableDsu = concurrent_dsu::GrowableDsu::with_seed(seed);
+        let mut labels: Vec<usize> = Vec::new(); // naive growing oracle
+        for (kind, r) in script {
+            match kind {
+                0 => {
+                    let e = dsu.make_set();
+                    prop_assert_eq!(e, labels.len());
+                    labels.push(e);
+                }
+                1 if !labels.is_empty() => {
+                    let n = labels.len();
+                    let x = (r as usize) % n;
+                    let y = (r as usize / n.max(1)) % n;
+                    let expected = labels[x] != labels[y];
+                    if expected {
+                        let (from, to) = (labels[x], labels[y]);
+                        for l in labels.iter_mut() {
+                            if *l == from { *l = to; }
+                        }
+                    }
+                    prop_assert_eq!(dsu.unite(x, y), expected);
+                }
+                _ if !labels.is_empty() => {
+                    let n = labels.len();
+                    let x = (r as usize) % n;
+                    let y = (r as usize / n.max(1)) % n;
+                    prop_assert_eq!(dsu.same_set(x, y), labels[x] == labels[y]);
+                }
+                _ => {}
+            }
+        }
+    }
+}

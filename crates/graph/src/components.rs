@@ -1,0 +1,135 @@
+//! Connected components — the paper's flagship application ("maintaining
+//! connected components in a graph under edge insertions").
+//!
+//! The parallel algorithm is embarrassingly simple *because* the union-find
+//! is concurrent: shard the edges across threads, every thread unites its
+//! edges' endpoints, done. Correctness needs no coordination at all — set
+//! union is confluent, so the final partition is the same for every
+//! interleaving.
+
+use concurrent_dsu::{ConcurrentUnionFind, Dsu, TwoTrySplit};
+use sequential_dsu::{Compaction, Linking, SeqDsu};
+
+use crate::graph::EdgeList;
+
+/// Component labels via a sequential union-find (rank + halving), the
+/// strongest sequential baseline. `labels[v]` is an arbitrary but
+/// idempotent representative.
+pub fn sequential_components(graph: &EdgeList) -> Vec<usize> {
+    let mut dsu = SeqDsu::new(graph.n(), Linking::ByRank, Compaction::Halving);
+    for e in graph.edges() {
+        dsu.unite(e.u, e.v);
+    }
+    let mut labels: Vec<usize> = (0..graph.n()).map(|v| dsu.find(v)).collect();
+    for v in 0..labels.len() {
+        labels[v] = labels[labels[v]];
+    }
+    labels
+}
+
+/// Component labels via the Jayanti–Tarjan structure with `threads`
+/// worker threads (two-try splitting).
+pub fn parallel_components(graph: &EdgeList, threads: usize) -> Vec<usize> {
+    let dsu: Dsu<TwoTrySplit> = Dsu::new(graph.n());
+    unite_edges_parallel(&dsu, graph, threads);
+    dsu.labels_snapshot()
+}
+
+/// Shards `graph`'s edges across `threads` threads, each uniting its
+/// share's endpoints in `dsu`. Works with any concurrent union-find — the
+/// speedup experiment runs it against the baselines too.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if `dsu.len() < graph.n()`.
+pub fn unite_edges_parallel<D: ConcurrentUnionFind>(
+    dsu: &D,
+    graph: &EdgeList,
+    threads: usize,
+) {
+    assert!(threads > 0, "need at least one thread");
+    assert!(dsu.len() >= graph.n(), "universe smaller than vertex set");
+    let edges = graph.edges();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut i = t;
+                while i < edges.len() {
+                    let e = edges[i];
+                    dsu.unite(e.u, e.v);
+                    i += threads;
+                }
+            });
+        }
+    });
+}
+
+/// Number of distinct components given idempotent labels (`labels[l] == l`
+/// for every label `l` in use).
+pub fn count_components(labels: &[usize]) -> usize {
+    labels.iter().enumerate().filter(|&(v, &l)| v == l).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use sequential_dsu::Partition;
+
+    #[test]
+    fn sequential_matches_bfs_oracle() {
+        for seed in 0..4 {
+            let g = gen::gnm(300, 280, seed);
+            let ours = Partition::from_labels(&sequential_components(&g));
+            let oracle = Partition::from_labels(&g.to_csr().bfs_components());
+            assert_eq!(ours, oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_bfs_oracle() {
+        for seed in 0..4 {
+            let g = gen::gnm(500, 700, 100 + seed);
+            for threads in [1, 2, 4, 8] {
+                let ours = Partition::from_labels(&parallel_components(&g, threads));
+                let oracle = Partition::from_labels(&g.to_csr().bfs_components());
+                assert_eq!(ours, oracle, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_works_on_skewed_graphs() {
+        let g = gen::rmat_standard(9, 4000, 5);
+        let ours = Partition::from_labels(&parallel_components(&g, 8));
+        let oracle = Partition::from_labels(&g.to_csr().bfs_components());
+        assert_eq!(ours, oracle);
+    }
+
+    #[test]
+    fn count_components_counts() {
+        let g = gen::tree_plus(64, 10, 3); // connected
+        let labels = sequential_components(&g);
+        assert_eq!(count_components(&labels), 1);
+        let empty = EdgeList::new(5);
+        assert_eq!(count_components(&sequential_components(&empty)), 5);
+    }
+
+    #[test]
+    fn generic_over_baseline_structures() {
+        let g = gen::gnm(200, 300, 9);
+        let dsu = concurrent_dsu::GrowableDsu::<concurrent_dsu::OneTrySplit>::with_initial(200);
+        unite_edges_parallel(&dsu, &g, 4);
+        let ours = Partition::from_labels(&dsu.labels_snapshot());
+        let oracle = Partition::from_labels(&g.to_csr().bfs_components());
+        assert_eq!(ours, oracle);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let g = EdgeList::new(2);
+        let dsu: Dsu = Dsu::new(2);
+        unite_edges_parallel(&dsu, &g, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Graph representations: a weighted edge list (the input format every
+//! union-find application consumes) and a CSR adjacency view (used by the
+//! BFS oracle and anything needing neighborhoods).
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: usize,
+    /// Other endpoint.
+    pub v: usize,
+    /// Weight (MST experiments generate *distinct* weights so the minimum
+    /// spanning tree is unique).
+    pub w: u64,
+}
+
+/// An undirected graph as a list of weighted edges over vertices `0..n`.
+/// Parallel edges and self-loops are allowed (generators avoid them where
+/// it matters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        EdgeList { n, edges: Vec::new() }
+    }
+
+    /// Builds from unweighted pairs; edge `i` gets weight `i` (distinct).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> Self {
+        let mut g = EdgeList::new(n);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            g.push(u, v, i as u64);
+        }
+        g
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn push(&mut self, u: usize, v: usize, w: u64) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range 0..{}", self.n);
+        self.edges.push(Edge { u, v, w });
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Total weight of all edges (u64 saturating).
+    pub fn total_weight(&self) -> u64 {
+        self.edges.iter().fold(0u64, |acc, e| acc.saturating_add(e.w))
+    }
+
+    /// Builds the CSR adjacency view (both directions per edge).
+    pub fn to_csr(&self) -> Csr {
+        let mut degree = vec![0usize; self.n];
+        for e in &self.edges {
+            degree[e.u] += 1;
+            degree[e.v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0usize; acc];
+        for e in &self.edges {
+            targets[cursor[e.u]] = e.v;
+            cursor[e.u] += 1;
+            targets[cursor[e.v]] = e.u;
+            cursor[e.v] += 1;
+        }
+        Csr { offsets, targets }
+    }
+}
+
+/// Compressed sparse row adjacency (undirected: each edge appears in both
+/// endpoint rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbors of `u` (with multiplicity for parallel edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.n()`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Connected-component labels by plain BFS — the union-find-free oracle
+    /// all component tests compare against. `labels[v]` is the smallest
+    /// vertex in `v`'s component.
+    pub fn bfs_components(&self) -> Vec<usize> {
+        let n = self.n();
+        let mut labels = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if labels[start] != usize::MAX {
+                continue;
+            }
+            labels[start] = start;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in self.neighbors(u) {
+                    if labels[v] == usize::MAX {
+                        labels[v] = start;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = EdgeList::new(4);
+        g.push(0, 1, 10);
+        g.push(1, 2, 20);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        assert_eq!(g.total_weight(), 30);
+        assert_eq!(g.edges()[1], Edge { u: 1, v: 2, w: 20 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_edge_rejected() {
+        EdgeList::new(2).push(0, 2, 1);
+    }
+
+    #[test]
+    fn from_pairs_assigns_distinct_weights() {
+        let g = EdgeList::from_pairs(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.edges()[0].w, 0);
+        assert_eq!(g.edges()[1].w, 1);
+    }
+
+    #[test]
+    fn csr_has_both_directions() {
+        let g = EdgeList::from_pairs(4, &[(0, 1), (1, 2), (1, 3)]);
+        let csr = g.to_csr();
+        assert_eq!(csr.n(), 4);
+        assert_eq!(csr.degree(1), 3);
+        assert_eq!(csr.neighbors(0), &[1]);
+        let mut n1 = csr.neighbors(1).to_vec();
+        n1.sort_unstable();
+        assert_eq!(n1, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_components_on_two_islands() {
+        let g = EdgeList::from_pairs(6, &[(0, 1), (1, 2), (3, 4)]);
+        let labels = g.to_csr().bfs_components();
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn bfs_handles_self_loops_and_multi_edges() {
+        let g = EdgeList::from_pairs(3, &[(0, 0), (0, 1), (0, 1)]);
+        let labels = g.to_csr().bfs_components();
+        assert_eq!(labels, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeList::new(0);
+        let csr = g.to_csr();
+        assert_eq!(csr.n(), 0);
+        assert!(csr.bfs_components().is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Site percolation on a square grid — the classroom union-find
+//! application (Sedgewick & Wayne) cited by the paper's introduction.
+//!
+//! Sites of an `size × size` grid open one by one in random order; the
+//! system *percolates* when an open path connects the top row to the bottom
+//! row. Two virtual elements (TOP, BOTTOM) turn the question into one
+//! `same_set` query. The percolation threshold for site percolation on the
+//! square lattice is ≈ 0.592746; the Monte-Carlo estimate converging there
+//! is a nice end-to-end sanity check of any union-find.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use sequential_dsu::{Compaction, Linking, SeqDsu};
+
+/// One percolation trial: opens sites of an `size × size` grid in a
+/// seed-determined uniform order and returns the fraction of open sites at
+/// the moment the grid first percolates.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn percolation_threshold(size: usize, seed: u64) -> f64 {
+    assert!(size > 0, "grid must be non-empty");
+    let n = size * size;
+    let top = n;
+    let bottom = n + 1;
+    let mut dsu = SeqDsu::new(n + 2, Linking::ByRank, Compaction::Halving);
+    let mut open = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut ChaCha12Rng::seed_from_u64(seed));
+    for (steps, &site) in order.iter().enumerate() {
+        open[site] = true;
+        let (r, c) = (site / size, site % size);
+        if r == 0 {
+            dsu.unite(site, top);
+        }
+        if r == size - 1 {
+            dsu.unite(site, bottom);
+        }
+        let mut link = |other: usize| {
+            if open[other] {
+                dsu.unite(site, other);
+            }
+        };
+        if r > 0 {
+            link(site - size);
+        }
+        if r + 1 < size {
+            link(site + size);
+        }
+        if c > 0 {
+            link(site - 1);
+        }
+        if c + 1 < size {
+            link(site + 1);
+        }
+        if dsu.same_set(top, bottom) {
+            return (steps + 1) as f64 / n as f64;
+        }
+    }
+    1.0
+}
+
+/// Monte-Carlo estimate of the percolation threshold: the mean of
+/// [`percolation_threshold`] over `trials` trials with consecutive seeds.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `size == 0`.
+pub fn percolation_mc(size: usize, trials: usize, base_seed: u64) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let sum: f64 = (0..trials)
+        .map(|t| percolation_threshold(size, base_seed + t as u64))
+        .sum();
+    sum / trials as f64
+}
+
+/// [`percolation_mc`] with trials fanned out over `threads` OS threads —
+/// percolation is embarrassingly parallel across trials, which is itself a
+/// realistic "many independent union-finds" load pattern.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `size == 0`, or `threads == 0`.
+pub fn percolation_mc_parallel(size: usize, trials: usize, base_seed: u64, threads: usize) -> f64 {
+    assert!(threads > 0, "need at least one thread");
+    assert!(trials > 0, "need at least one trial");
+    let sum: f64 = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(s.spawn(move || {
+                let mut acc = 0.0;
+                let mut trial = t;
+                while trial < trials {
+                    acc += percolation_threshold(size, base_seed + trial as u64);
+                    trial += threads;
+                }
+                acc
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    sum / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_by_one_grid_percolates_immediately() {
+        assert_eq!(percolation_threshold(1, 0), 1.0);
+    }
+
+    #[test]
+    fn threshold_is_a_fraction() {
+        for seed in 0..5 {
+            let f = percolation_threshold(16, seed);
+            assert!((0.0..=1.0).contains(&f));
+            // Percolation needs at least `size` open sites (a full column).
+            assert!(f >= 16.0 / 256.0);
+        }
+    }
+
+    #[test]
+    fn estimate_near_literature_value() {
+        // p_c ≈ 0.5927 for site percolation; a 32x32 grid over 40 seeded
+        // trials lands within ±0.06 comfortably (finite-size effects skew
+        // slightly high on small grids).
+        let est = percolation_mc(32, 40, 1000);
+        assert!(
+            (0.52..=0.68).contains(&est),
+            "estimate {est} suspiciously far from 0.5927"
+        );
+    }
+
+    #[test]
+    fn parallel_mc_equals_sequential_mc() {
+        let seq = percolation_mc(16, 24, 77);
+        let par = percolation_mc_parallel(16, 24, 77, 4);
+        assert!((seq - par).abs() < 1e-12, "same trials, same mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        percolation_mc(4, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        percolation_threshold(0, 0);
+    }
+}

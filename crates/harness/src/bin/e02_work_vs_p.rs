@@ -1,0 +1,69 @@
+//! **E2 — Theorem 5.1: two-try splitting does
+//! Θ(m(α(n, m/np) + log(np/m + 1))) expected total work.**
+//!
+//! Fix `n` and `m`, sweep the thread count `p`, and measure the total
+//! find-loop iterations per operation (the unit the theorem's potential
+//! argument charges). The prediction grows like `α + log(np/m + 1)`:
+//! nearly flat in the operation-rich regime (`m ≫ np`) and logarithmic in
+//! `p` once `np` passes `m`. The table prints measured work next to the
+//! predicted curve; absolute constants are implementation-specific, the
+//! *shape* (ratio column stable) is the reproduced claim.
+//!
+//! Usage: `--n 262144 --m 524288 --reps 3 --quick true --csv out.csv`
+
+use concurrent_dsu::{Dsu, TwoTrySplit};
+use dsu_harness::{mean, run_shards_instrumented, table::f2, Args, Table};
+use sequential_dsu::two_try_work_bound;
+use dsu_workloads::WorkloadSpec;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let n = args.usize("n", if quick { 1 << 14 } else { 1 << 18 });
+    let m = args.usize("m", 2 * n);
+    let reps = args.usize("reps", if quick { 2 } else { 3 });
+    let ladder = args.thread_ladder();
+
+    println!("E2: two-try splitting work vs p  (n = {n}, m = {m}, {reps} seeds)");
+    println!("paper: E[total work] = Θ(m(α(n, m/np) + log(np/m + 1)))  [Thm 5.1]\n");
+
+    let mut table = Table::new(&[
+        "p",
+        "iters/op",
+        "reads/op",
+        "predicted α+log",
+        "measured/predicted",
+        "max single-op iters",
+    ]);
+    for &p in &ladder {
+        let mut iters = Vec::new();
+        let mut reads = Vec::new();
+        let mut max_single = 0u64;
+        for rep in 0..reps {
+            let seed = 0xE2_000 + rep as u64;
+            let dsu: Dsu<TwoTrySplit> = Dsu::with_seed(n, seed);
+            let w = WorkloadSpec::new(n, m).unite_fraction(0.5).generate(seed ^ 0x51);
+            let metrics = run_shards_instrumented(&dsu, &w, p, false);
+            let stats = metrics.stats.expect("instrumented");
+            iters.push(stats.loop_iters as f64 / m as f64);
+            reads.push(stats.reads as f64 / m as f64);
+            max_single = max_single.max(metrics.max_op_iters);
+        }
+        let predicted = two_try_work_bound(n as u64, m as u64, p as u64);
+        let measured = mean(&iters);
+        table.row(&[
+            p.to_string(),
+            f2(measured),
+            f2(mean(&reads)),
+            f2(predicted),
+            f2(measured / predicted),
+            max_single.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nexpected shape: measured/predicted stays a stable constant across p;");
+    println!("iters/op grows only once np exceeds m (the log(np/m + 1) term).");
+    if let Some(path) = args.get("csv") {
+        table.write_csv(path).expect("write csv");
+    }
+}

@@ -1,0 +1,77 @@
+//! **E3 — Theorem 5.1 vs Theorem 5.2 vs Section 4: the find-variant
+//! comparison.**
+//!
+//! Same sweep as E2, but for all four find policies and both operation
+//! styles (standard and Section 6 early termination). The paper's ordering
+//! to reproduce, in per-operation work at higher `p`:
+//!
+//! * `no-compaction` pays the full O(log n) path every time (Thm 4.3);
+//! * `one-try` compacts but its bound carries `p²` (Thm 5.2);
+//! * `two-try` has the tight bound (Thm 5.1) — expected to be the best or
+//!   tied;
+//! * `halving` cannot beat splitting (§3's simulation argument);
+//! * early termination walks one path instead of two, shaving a constant
+//!   factor.
+//!
+//! Usage: `--n 65536 --m 131072 --reps 2 --quick true --csv out.csv`
+
+use concurrent_dsu::{Compress, Dsu, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+use dsu_harness::{mean, run_shards_instrumented, table::f2, Args, Table};
+use dsu_workloads::{Workload, WorkloadSpec};
+
+fn measure<F: FindPolicy>(
+    n: usize,
+    w: &Workload,
+    p: usize,
+    early: bool,
+    reps: usize,
+) -> (f64, f64, f64) {
+    let mut iters = Vec::new();
+    let mut casf = Vec::new();
+    let mut accesses = Vec::new();
+    for rep in 0..reps {
+        let dsu: Dsu<F> = Dsu::with_seed(n, 0xE3_000 + rep as u64);
+        let metrics = run_shards_instrumented(&dsu, w, p, early);
+        let stats = metrics.stats.expect("instrumented");
+        let m = w.len() as f64;
+        iters.push(stats.loop_iters as f64 / m);
+        casf.push(stats.compact_cas_fail as f64 / m);
+        accesses.push(stats.memory_accesses() as f64 / m);
+    }
+    (mean(&iters), mean(&casf), mean(&accesses))
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let n = args.usize("n", if quick { 1 << 13 } else { 1 << 16 });
+    let m = args.usize("m", 2 * n);
+    let reps = args.usize("reps", 2);
+    let ladder = args.thread_ladder();
+
+    println!("E3: per-op work by find variant  (n = {n}, m = {m}, {reps} seeds)");
+    println!("paper: two-try ≤ one-try ≤ no-compaction in work; halving ≈ splitting [§3, Thm 5.1/5.2]\n");
+
+    let mut table = Table::new(&["p", "variant", "iters/op", "cas-fail/op", "accesses/op"]);
+    for &p in &ladder {
+        let w = WorkloadSpec::new(n, m).unite_fraction(0.5).generate(0xE3 ^ p as u64);
+        let rows: Vec<(&str, (f64, f64, f64))> = vec![
+            ("no-compaction", measure::<NoCompaction>(n, &w, p, false, reps)),
+            ("one-try", measure::<OneTrySplit>(n, &w, p, false, reps)),
+            ("two-try", measure::<TwoTrySplit>(n, &w, p, false, reps)),
+            ("halving", measure::<Halving>(n, &w, p, false, reps)),
+            ("compress", measure::<Compress>(n, &w, p, false, reps)),
+            ("two-try+early", measure::<TwoTrySplit>(n, &w, p, true, reps)),
+            ("one-try+early", measure::<OneTrySplit>(n, &w, p, true, reps)),
+        ];
+        for (name, (it, cf, acc)) in rows {
+            table.row(&[p.to_string(), name.to_string(), f2(it), f2(cf), f2(acc)]);
+        }
+    }
+    table.print();
+    println!("\nexpected shape: no-compaction worst; splitting variants close, two-try never");
+    println!("worse than one-try by more than a small factor; early termination cheapest.");
+    if let Some(path) = args.get("csv") {
+        table.write_csv(path).expect("write csv");
+    }
+}

@@ -1,0 +1,99 @@
+//! **E5 — Lemma 5.3 + Theorem 5.4: the Ω(m log(np/m)) lower bound,
+//! realized.**
+//!
+//! The paper's construction: build `n/δ` binomial-style trees of size `δ`
+//! whose average node depth is ≥ (lg δ)/4 *despite* splitting finds
+//! (Lemma 5.3), then have all `p` processes run `SameSet(x, x)` storms
+//! against random members in lockstep — every query walks its tree's full
+//! depth, forcing Ω(log δ) work per operation (Theorem 5.4, part 2).
+//!
+//! Runs on the APRAM simulator, where "lockstep" is exact: one process
+//! executes the build; `p` processes execute the query storm under a
+//! round-robin schedule. The table reports measured accesses per query
+//! against `lg δ`; the ratio column should stay a constant ≥ some bound as
+//! `δ` grows — that is the lower-bound shape.
+//!
+//! Usage: `--n 4096 --p 8 --max-delta 1024 --quick true --csv out.csv`
+
+use apram::{Machine, Memory, Program, RoundRobin};
+use apram_dsu::{random_ids, DsuProcess, Policy};
+use dsu_harness::{table::f2, Args, Table};
+use dsu_workloads::{lower_bound_workload, Op};
+use linearize::DsuOp;
+
+fn to_sim_ops(ops: &[Op]) -> Vec<DsuOp> {
+    ops.iter()
+        .map(|op| match *op {
+            Op::Unite(x, y) => DsuOp::Unite(x, y),
+            Op::SameSet(x, y) => DsuOp::SameSet(x, y),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let n = args.usize("n", if quick { 1 << 10 } else { 1 << 12 });
+    let p = args.usize("p", 8);
+    let max_delta = args.usize("max-delta", n.min(if quick { 256 } else { 1024 }));
+    let seed = args.u64("seed", 0xE5);
+
+    println!("E5: lockstep SameSet storm vs δ  (n = {n}, p = {p} simulated processes)");
+    println!("paper: expected work Ω(m log(np/m)) — each query pays Ω(log δ) [Lemma 5.3, Thm 5.4]\n");
+
+    let mut table = Table::new(&[
+        "delta",
+        "lg δ",
+        "trees",
+        "accesses/query",
+        "accesses / lg δ",
+        "build accesses/op",
+    ]);
+    let mut delta = 4usize;
+    while delta <= max_delta {
+        let wl = lower_bound_workload(n, delta, seed);
+        let ids = random_ids(n, seed ^ delta as u64);
+
+        // Phase 1: one process builds the binomial trees (two-try finds).
+        let mut machine = Machine::new(Memory::identity(n));
+        let mut builder =
+            DsuProcess::new(to_sim_ops(&wl.build.ops), Policy::TwoTry, false, ids.clone());
+        let build_report = {
+            let mut refs: Vec<&mut dyn Program> = vec![&mut builder];
+            machine.run(&mut refs, &mut RoundRobin::new(), u64::MAX / 2)
+        };
+        assert!(build_report.completed, "build phase must finish");
+        let build_accesses = build_report.memory_accesses;
+
+        // Phase 2: p processes run the same SameSet(x, x) storm in lockstep.
+        let storm_ops = to_sim_ops(&wl.queries.ops);
+        let mut procs: Vec<DsuProcess> = (0..p)
+            .map(|_| DsuProcess::new(storm_ops.clone(), Policy::TwoTry, false, ids.clone()))
+            .collect();
+        let storm_report = {
+            let mut refs: Vec<&mut dyn Program> =
+                procs.iter_mut().map(|q| q as &mut dyn Program).collect();
+            machine.run(&mut refs, &mut RoundRobin::new(), u64::MAX / 2)
+        };
+        assert!(storm_report.completed, "storm phase must finish");
+
+        let queries = (p * wl.queries.len()) as f64;
+        let per_query = storm_report.memory_accesses as f64 / queries;
+        let lg_delta = (delta as f64).log2();
+        table.row(&[
+            delta.to_string(),
+            f2(lg_delta),
+            (n / delta).to_string(),
+            f2(per_query),
+            f2(per_query / lg_delta),
+            f2(build_accesses as f64 / wl.build.len().max(1) as f64),
+        ]);
+        delta *= 4;
+    }
+    table.print();
+    println!("\nexpected shape: accesses/query grows with lg δ (the ratio column stays");
+    println!("bounded below by a constant) — the Ω(log(np/m)) term is real work.");
+    if let Some(path) = args.get("csv") {
+        table.write_csv(path).expect("write csv");
+    }
+}

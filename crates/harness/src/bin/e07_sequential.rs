@@ -1,0 +1,75 @@
+//! **E7 — Section 2: the twelve sequential algorithms.**
+//!
+//! Every combination of {size, rank, randomized} linking with {none,
+//! halving, splitting, compression} compaction, on random workloads. The
+//! paper (citing Tarjan–van Leeuwen and Goel et al.) gives all nine
+//! compaction-bearing variants the bound `O(m α(n, m/n))`; the
+//! no-compaction rows pay `O(log n)` per find and serve as the contrast.
+//! The table reports parent-pointer reads per operation (the work proxy),
+//! pointer updates, wall-clock time, and the predicted `α(n, m/n)`.
+//!
+//! Usage: `--n 65536 --ratios 1,4,16 --quick true --csv out.csv`
+
+use dsu_harness::{table::f2, Args, Table};
+use dsu_workloads::{Op, WorkloadSpec};
+use sequential_dsu::{alpha, SeqDsu, ALL_VARIANTS};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let n = args.usize("n", if quick { 1 << 14 } else { 1 << 16 });
+    let ratios: Vec<usize> = args
+        .get("ratios")
+        .map(|s| s.split(',').map(|r| r.trim().parse().expect("ratio")).collect())
+        .unwrap_or_else(|| vec![1, 4, 16]);
+
+    println!("E7: sequential variants  (n = {n}; m/n swept)");
+    println!("paper §2: all nine linking×compaction combos run in O(m α(n, m/n))\n");
+
+    let mut table = Table::new(&[
+        "m/n",
+        "linking",
+        "compaction",
+        "reads/op",
+        "updates/op",
+        "ms",
+        "α(n,m/n)",
+    ]);
+    for &ratio in &ratios {
+        let m = n * ratio;
+        let w = WorkloadSpec::new(n, m).unite_fraction(0.5).generate(0xE7 ^ ratio as u64);
+        let predicted = alpha(n as u64, ratio as f64);
+        for (linking, compaction) in ALL_VARIANTS {
+            let mut dsu = SeqDsu::with_seed(n, linking, compaction, 0xE7);
+            let start = Instant::now();
+            for &op in &w.ops {
+                match op {
+                    Op::Unite(x, y) => {
+                        dsu.unite(x, y);
+                    }
+                    Op::SameSet(x, y) => {
+                        dsu.same_set(x, y);
+                    }
+                }
+            }
+            let elapsed = start.elapsed();
+            let stats = dsu.stats();
+            table.row(&[
+                ratio.to_string(),
+                linking.to_string(),
+                compaction.to_string(),
+                f2(stats.parent_reads as f64 / m as f64),
+                f2(stats.pointer_updates as f64 / m as f64),
+                f2(elapsed.as_secs_f64() * 1e3),
+                predicted.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nexpected shape: compaction rows flat in m/n and near α; no-compaction rows");
+    println!("visibly higher reads/op; the three linking rules within a compaction are close.");
+    if let Some(path) = args.get("csv") {
+        table.write_csv(path).expect("write csv");
+    }
+}

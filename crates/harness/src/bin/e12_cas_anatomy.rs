@@ -1,0 +1,91 @@
+//! **E12 — the anatomy of CAS retries: the cost Anderson & Woll ignored.**
+//!
+//! Section 5 stresses that a concurrent analysis must count the steps that
+//! *fail* to change parent pointers — AW's claimed bound "completely
+//! ignores interactions among processes doing halving on intersecting
+//! paths". This experiment makes those interactions visible: a Zipf
+//! contention sweep (hotter skew ⇒ more intersecting find paths) with the
+//! full per-operation breakdown of compaction CAS successes/failures and
+//! link CAS successes/failures for each find variant.
+//!
+//! Usage: `--n 65536 --m 262144 --p 8 --quick true --csv out.csv`
+
+use concurrent_dsu::{Compress, Dsu, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+use dsu_harness::{run_shards_instrumented, table::f2, Args, Table};
+use dsu_workloads::{ElementDist, Workload, WorkloadSpec};
+
+fn measure<F: FindPolicy>(n: usize, w: &Workload, p: usize) -> [f64; 5] {
+    let dsu: Dsu<F> = Dsu::with_seed(n, 0xE12);
+    let metrics = run_shards_instrumented(&dsu, w, p, false);
+    let s = metrics.stats.expect("instrumented");
+    let m = w.len() as f64;
+    let fail_rate = if s.cas_attempts() == 0 {
+        0.0
+    } else {
+        (s.compact_cas_fail + s.links_fail) as f64 / s.cas_attempts() as f64
+    };
+    [
+        s.compact_cas_ok as f64 / m,
+        s.compact_cas_fail as f64 / m,
+        s.links_ok as f64 / m,
+        s.links_fail as f64 / m,
+        fail_rate,
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let n = args.usize("n", if quick { 1 << 12 } else { 1 << 14 });
+    let m = args.usize("m", 2 * n);
+    let p = args.usize("p", 16);
+
+    println!("E12: CAS anatomy under contention  (n = {n}, m = {m}, p = {p}, unite-only churn)");
+    println!("paper §5: failed CASes are real work — the cost AW's analysis missed\n");
+
+    let mut table = Table::new(&[
+        "zipf θ",
+        "variant",
+        "compact-ok/op",
+        "compact-fail/op",
+        "link-ok/op",
+        "link-fail/op",
+        "fail rate",
+    ]);
+    for theta in [0.0, 0.8, 1.2, 1.6] {
+        let dist = if theta == 0.0 {
+            ElementDist::Uniform
+        } else {
+            ElementDist::Zipf(theta)
+        };
+        let w = WorkloadSpec::new(n, m)
+            .unite_fraction(1.0)
+            .element_dist(dist)
+            .generate(0xE12 ^ (theta * 10.0) as u64);
+        let rows: Vec<(&str, [f64; 5])> = vec![
+            ("no-compaction", measure::<NoCompaction>(n, &w, p)),
+            ("one-try", measure::<OneTrySplit>(n, &w, p)),
+            ("two-try", measure::<TwoTrySplit>(n, &w, p)),
+            ("halving", measure::<Halving>(n, &w, p)),
+            ("compress", measure::<Compress>(n, &w, p)),
+        ];
+        for (name, [cok, cfail, lok, lfail, rate]) in rows {
+            table.row(&[
+                format!("{theta:.1}"),
+                name.to_string(),
+                f2(cok),
+                f2(cfail),
+                f2(lok),
+                f2(lfail),
+                f2(rate),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nexpected shape: failures concentrate in the link-heavy build regime and on");
+    println!("skewed hot paths; their *rarity* is itself a finding — the theory must charge");
+    println!("them (the cost AW ignored), but two-try keeps them a small fraction of work.");
+    if let Some(path) = args.get("csv") {
+        table.write_csv(path).expect("write csv");
+    }
+}

@@ -1,0 +1,71 @@
+//! Runs the whole experiment suite (E1–E12) in order, forwarding flags.
+//!
+//! `cargo run --release -p dsu-harness --bin run_all -- [--quick true] [--csv-dir DIR]`
+//!
+//! Each experiment is executed as a child process (so one failure doesn't
+//! take the suite down) and its output streams through; with `--csv-dir`
+//! every experiment also drops `eNN.csv` into the directory.
+
+use dsu_harness::Args;
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "e01_height",
+    "e02_work_vs_p",
+    "e03_variants",
+    "e04_speedup",
+    "e05_lower_bound",
+    "e06_lockstep",
+    "e07_sequential",
+    "e08_linearizability",
+    "e09_applications",
+    "e10_growable",
+    "e11_independence",
+    "e12_cas_anatomy",
+];
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let csv_dir = args.get("csv-dir").map(str::to_string);
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        println!("\n================================================================");
+        println!("running {name} ({}/{})", i + 1, EXPERIMENTS.len());
+        println!("================================================================");
+        let mut cmd = Command::new(exe_dir.join(name));
+        if quick {
+            cmd.args(["--quick", "true"]);
+        }
+        if let Some(dir) = &csv_dir {
+            cmd.args(["--csv", &format!("{dir}/{}.csv", &name[..3])]);
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{name} exited with {status}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

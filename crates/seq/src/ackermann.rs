@@ -1,0 +1,296 @@
+//! Ackermann's function and the paper's functional inverse `α(n, d)`.
+//!
+//! Section 2 of the paper defines (a variant of) Ackermann's function by
+//!
+//! ```text
+//! A_0(j) = j + 1
+//! A_k(0) = A_{k-1}(1)                for k > 0
+//! A_k(j) = A_{k-1}(A_k(j - 1))       for k > 0, j > 0
+//! ```
+//!
+//! and, for a non-negative integer `n` and non-negative real `d`,
+//!
+//! ```text
+//! α(n, d) = min { i > 0 | A_i(⌊d⌋) > n }.
+//! ```
+//!
+//! The first few rows have closed forms, which we use both for speed and as
+//! test oracles:
+//!
+//! ```text
+//! A_1(j) = j + 2
+//! A_2(j) = 2j + 3
+//! A_3(j) = 2^(j+3) - 3
+//! ```
+//!
+//! `A_4` already leaves `u64` at `j = 2` (`A_4(2) = 2^65536 - 3`), so
+//! [`ackermann`] returns `None` to mean "larger than every `u64`", which is
+//! all the inverse computation needs.
+
+/// Evaluates Ackermann's function `A_k(j)` as defined in the paper.
+///
+/// Returns `None` when the value exceeds `u64::MAX`; since `α` only ever asks
+/// whether `A_i(⌊d⌋) > n` for `n: u64`, an overflow answers the comparison.
+///
+/// # Examples
+///
+/// ```
+/// use sequential_dsu::ackermann;
+/// assert_eq!(ackermann(0, 10), Some(11));
+/// assert_eq!(ackermann(1, 10), Some(12));
+/// assert_eq!(ackermann(2, 10), Some(23));
+/// assert_eq!(ackermann(3, 2), Some(29)); // 2^5 - 3
+/// assert_eq!(ackermann(4, 1), Some(65533));
+/// assert_eq!(ackermann(4, 2), None); // 2^65536 - 3
+/// ```
+pub fn ackermann(k: u32, j: u64) -> Option<u64> {
+    match k {
+        0 => j.checked_add(1),
+        1 => j.checked_add(2),
+        2 => j.checked_mul(2).and_then(|v| v.checked_add(3)),
+        3 => {
+            // 2^(j+3) - 3; the j + 3 = 64 case still fits in u64.
+            let shift = j.checked_add(3)?;
+            match shift.cmp(&64) {
+                std::cmp::Ordering::Less => Some((1u64 << shift) - 3),
+                std::cmp::Ordering::Equal => Some(u64::MAX - 2),
+                std::cmp::Ordering::Greater => None,
+            }
+        }
+        _ => {
+            // A_k(j) = A_{k-1}(A_k(j-1)), A_k(0) = A_{k-1}(1).
+            let mut value = ackermann(k - 1, 1)?;
+            for _ in 0..j {
+                value = ackermann(k - 1, value)?;
+            }
+            Some(value)
+        }
+    }
+}
+
+/// The paper's two-parameter inverse Ackermann function `α(n, d)`.
+///
+/// `α(n, d) = min { i > 0 | A_i(⌊d⌋) > n }`. For every feasible input the
+/// answer is at most 6 (`A_5(0) = 65533` and `A_6(0)` dwarfs `u64::MAX`), so
+/// the scan below always terminates quickly.
+///
+/// # Panics
+///
+/// Panics if `d` is negative or NaN (the paper requires `d ≥ 0`).
+///
+/// # Examples
+///
+/// ```
+/// use sequential_dsu::alpha;
+/// assert_eq!(alpha(10, 0.0), 4);           // A_4(0) = 13 > 10
+/// assert_eq!(alpha(3, 0.0), 3);            // A_3(0) = 5 > 3
+/// assert_eq!(alpha(1 << 20, 1.0), 5);      // A_4(1) = 65533 <= 2^20
+/// assert_eq!(alpha(u64::MAX, 64.0), 3);    // A_3(64) = 2^67 - 3 > u64::MAX
+/// ```
+pub fn alpha(n: u64, d: f64) -> u32 {
+    assert!(d >= 0.0, "α(n, d) requires d >= 0, got {d}");
+    let floor_d = if d >= u64::MAX as f64 { u64::MAX } else { d as u64 };
+    let mut i = 1;
+    loop {
+        match ackermann(i, floor_d) {
+            None => return i,                     // beyond u64, certainly > n
+            Some(v) if v > n => return i,
+            _ => i += 1,
+        }
+    }
+}
+
+/// The rank assigned to an element by the Goel–Khanna–Larkin–Tarjan analysis.
+///
+/// Section 4: number the `n` elements `1..=n` consistent with the random
+/// total order; the rank of element `x` is `⌊lg n⌋ − ⌊lg(n − x + 1)⌋`. The
+/// largest element `n` gets rank `⌊lg n⌋`, elements `n−1, n−2` get one less,
+/// and so on; about half of all elements have rank 0.
+///
+/// # Panics
+///
+/// Panics if `x` is not in `1..=n` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sequential_dsu::gklt_rank;
+/// assert_eq!(gklt_rank(8, 8), 3);
+/// assert_eq!(gklt_rank(8, 7), 2);
+/// assert_eq!(gklt_rank(8, 1), 0);
+/// ```
+pub fn gklt_rank(n: u64, x: u64) -> u32 {
+    assert!(n > 0, "rank requires n > 0");
+    assert!((1..=n).contains(&x), "rank requires 1 <= x <= n, got x={x}, n={n}");
+    lg_floor(n) - lg_floor(n - x + 1)
+}
+
+/// `⌊lg v⌋` for `v > 0`.
+fn lg_floor(v: u64) -> u32 {
+    63 - v.leading_zeros()
+}
+
+/// Predicted per-operation work for **two-try splitting** (Theorem 5.1),
+/// up to the constant factor the theorem hides:
+/// `α(n, m/(np)) + log2(np/m + 1)`.
+///
+/// Used by the harness to print the predicted column next to measured work.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn two_try_work_bound(n: u64, m: u64, p: u64) -> f64 {
+    assert!(n > 0 && m > 0 && p > 0, "work bound requires n, m, p > 0");
+    let d = m as f64 / (n as f64 * p as f64);
+    let log_term = ((n as f64 * p as f64) / m as f64 + 1.0).log2();
+    alpha(n, d) as f64 + log_term
+}
+
+/// Predicted per-operation work for **one-try splitting** (Theorem 5.2):
+/// `α(n, m/(np²)) + log2(np²/m + 1)`.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn one_try_work_bound(n: u64, m: u64, p: u64) -> f64 {
+    assert!(n > 0 && m > 0 && p > 0, "work bound requires n, m, p > 0");
+    let p2 = (p as f64) * (p as f64);
+    let d = m as f64 / (n as f64 * p2);
+    let log_term = ((n as f64 * p2) / m as f64 + 1.0).log2();
+    alpha(n, d) as f64 + log_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_row_is_successor() {
+        for j in 0..100 {
+            assert_eq!(ackermann(0, j), Some(j + 1));
+        }
+    }
+
+    #[test]
+    fn closed_forms_match_recursion() {
+        // Re-derive rows 1..=3 from the recursion directly to validate the
+        // closed forms used in `ackermann`.
+        fn slow(k: u32, j: u64) -> Option<u64> {
+            match (k, j) {
+                (0, j) => j.checked_add(1),
+                (k, 0) => slow(k - 1, 1),
+                (k, j) => slow(k - 1, slow(k, j - 1)?),
+            }
+        }
+        for k in 1..=3 {
+            for j in 0..8 {
+                assert_eq!(ackermann(k, j), slow(k, j), "A_{k}({j})");
+            }
+        }
+        // A_4(0) = A_3(1) = 13 is the last value the naive recursion can
+        // reach without blowing the stack (A_4(1) = A_3(13) recurses ~2^16
+        // deep through rows 2 and 1).
+        assert_eq!(ackermann(4, 0), slow(4, 0));
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(ackermann(1, 0), Some(2));
+        assert_eq!(ackermann(2, 0), Some(3));
+        assert_eq!(ackermann(3, 0), Some(5));
+        assert_eq!(ackermann(4, 0), Some(13));
+        assert_eq!(ackermann(5, 0), Some(65533));
+        assert_eq!(ackermann(3, 61), Some(u64::MAX - 2)); // 2^64 - 3
+        assert_eq!(ackermann(3, 62), None);
+        assert_eq!(ackermann(6, 0), None);
+    }
+
+    #[test]
+    fn alpha_is_monotone_in_n_and_antitone_in_d() {
+        let ds = [0.0, 0.5, 1.0, 2.0, 10.0, 100.0];
+        let ns = [2u64, 10, 1 << 10, 1 << 20, 1 << 40, u64::MAX];
+        for window in ns.windows(2) {
+            for &d in &ds {
+                assert!(alpha(window[0], d) <= alpha(window[1], d));
+            }
+        }
+        for &n in &ns {
+            for window in ds.windows(2) {
+                assert!(alpha(n, window[0]) >= alpha(n, window[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_never_exceeds_six() {
+        for &n in &[2u64, 1 << 16, 1 << 32, u64::MAX] {
+            assert!(alpha(n, 0.0) <= 6, "alpha({n}, 0) = {}", alpha(n, 0.0));
+        }
+    }
+
+    #[test]
+    fn alpha_practical_inputs_are_tiny() {
+        // For every practical problem size with d >= 1 the answer is <= 4.
+        assert!(alpha(1 << 40, 1.0) <= 5);
+        assert!(alpha(1 << 30, 16.0) <= 4);
+    }
+
+    #[test]
+    fn alpha_definition_spot_checks() {
+        // alpha(100, 64): A_1(64) = 66 <= 100, A_2(64) = 131 > 100 => 2.
+        assert_eq!(alpha(100, 64.0), 2);
+        // alpha(65, 64): A_1(64) = 66 > 65 => 1.
+        assert_eq!(alpha(65, 64.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 0")]
+    fn alpha_rejects_negative_d() {
+        alpha(10, -1.0);
+    }
+
+    #[test]
+    fn ranks_partition_the_universe_geometrically() {
+        // For n = 2^k - 1, rank r has 2^(k-1-r) elements: about half the
+        // universe sits at rank 0, a quarter at rank 1, and so on. Check
+        // n = 63 (k = 6).
+        let n = 63u64;
+        let mut counts = vec![0u64; 6];
+        for x in 1..=n {
+            counts[gklt_rank(n, x) as usize] += 1;
+        }
+        assert_eq!(&counts[..], &[32, 16, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn rank_is_monotone_in_id() {
+        let n = 1000;
+        let mut prev = 0;
+        for x in 1..=n {
+            let r = gklt_rank(n, x);
+            assert!(r >= prev, "rank must be non-decreasing in id");
+            prev = r;
+        }
+        assert_eq!(gklt_rank(n, n), lg_floor(n));
+    }
+
+    #[test]
+    fn work_bounds_grow_with_p_when_ops_are_scarce() {
+        // With np >> m the log term dominates and grows with p.
+        let (n, m) = (1 << 20, 1 << 20);
+        let w1 = two_try_work_bound(n, m, 1);
+        let w16 = two_try_work_bound(n, m, 16);
+        assert!(w16 > w1);
+        // One-try bound is never smaller than two-try for the same inputs.
+        for p in [1, 2, 4, 8, 16, 32] {
+            assert!(one_try_work_bound(n, m, p) >= two_try_work_bound(n, m, p) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lg_floor_matches_ilog2() {
+        for v in 1u64..=1025 {
+            assert_eq!(lg_floor(v), v.ilog2());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Sequential disjoint-set-union baselines.
+//!
+//! Section 2 of Jayanti & Tarjan (PODC 2016) reviews the classical sequential
+//! solutions to the union-find problem: a compressed forest combined with one
+//! of three *linking* rules (by size, by rank, or randomized) and one of
+//! three *compaction* rules (compression, splitting, or halving), every
+//! combination running in `O(m α(n, m/n))` time. This crate implements all of
+//! them — plus the trivial no-compaction walk, giving twelve variants — with
+//! operation counting, so the concurrent algorithms in `concurrent-dsu`
+//! can be compared against the exact baselines the paper refers to.
+//!
+//! It also provides:
+//!
+//! * [`ackermann`](mod@crate::ackermann) — Ackermann's function `A_k(j)` and the
+//!   paper's two-parameter functional inverse `α(n, d)`, used to print the
+//!   "predicted" columns in the experiment harness;
+//! * [`Partition`] — a canonical set-partition value used as the correctness
+//!   oracle across the whole workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use sequential_dsu::{SeqDsu, Linking, Compaction};
+//!
+//! let mut dsu = SeqDsu::new(8, Linking::ByRank, Compaction::Splitting);
+//! assert!(dsu.unite(0, 1));
+//! assert!(dsu.unite(1, 2));
+//! assert!(dsu.same_set(0, 2));
+//! assert!(!dsu.same_set(0, 7));
+//! assert_eq!(dsu.set_count(), 6);
+//! ```
+
+pub mod ackermann;
+pub mod dsu;
+pub mod oracle;
+pub mod partition;
+pub mod potential;
+
+pub use ackermann::{ackermann, alpha, gklt_rank, one_try_work_bound, two_try_work_bound};
+pub use dsu::{Compaction, Linking, SeqDsu, SeqStats};
+pub use oracle::NaiveDsu;
+pub use partition::Partition;
+pub use potential::Levels;
+
+/// All twelve `(Linking, Compaction)` combinations, in a fixed report order.
+///
+/// Handy for exhaustive tests and for the sequential comparison experiment
+/// (E7): `Linking` varies slowest so the table groups by linking rule.
+pub const ALL_VARIANTS: [(Linking, Compaction); 12] = [
+    (Linking::BySize, Compaction::None),
+    (Linking::BySize, Compaction::Halving),
+    (Linking::BySize, Compaction::Splitting),
+    (Linking::BySize, Compaction::Compression),
+    (Linking::ByRank, Compaction::None),
+    (Linking::ByRank, Compaction::Halving),
+    (Linking::ByRank, Compaction::Splitting),
+    (Linking::ByRank, Compaction::Compression),
+    (Linking::Randomized, Compaction::None),
+    (Linking::Randomized, Compaction::Halving),
+    (Linking::Randomized, Compaction::Splitting),
+    (Linking::Randomized, Compaction::Compression),
+];

@@ -1,0 +1,191 @@
+//! A brutally simple union-find used as a test oracle.
+//!
+//! [`NaiveDsu`] stores an explicit label per element and relabels an entire
+//! set on every union — `O(n)` per operation, obviously correct, and immune
+//! to the tree-manipulation bugs the real implementations could share. All
+//! property tests in the workspace compare against it.
+
+use crate::Partition;
+
+/// Union-find by exhaustive relabeling. `O(n)` per `unite`, `O(1)` per
+/// `same_set`; use only in tests and small experiments.
+///
+/// # Example
+///
+/// ```
+/// use sequential_dsu::NaiveDsu;
+///
+/// let mut dsu = NaiveDsu::new(3);
+/// assert!(dsu.unite(0, 2));
+/// assert!(dsu.same_set(0, 2));
+/// assert!(!dsu.same_set(0, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveDsu {
+    labels: Vec<usize>,
+    sets: usize,
+}
+
+impl NaiveDsu {
+    /// Creates `n` singletons.
+    pub fn new(n: usize) -> Self {
+        NaiveDsu { labels: (0..n).collect(), sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// `true` iff `x` and `y` share a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn same_set(&self, x: usize, y: usize) -> bool {
+        self.labels[x] == self.labels[y]
+    }
+
+    /// Unites the sets of `x` and `y`; `true` iff they were distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn unite(&mut self, x: usize, y: usize) -> bool {
+        let (from, to) = (self.labels[x], self.labels[y]);
+        if from == to {
+            return false;
+        }
+        // Relabel the smaller-labeled set into the other to keep labels
+        // stable-ish; the choice does not matter for correctness.
+        for l in &mut self.labels {
+            if *l == from {
+                *l = to;
+            }
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// The canonical partition this oracle represents.
+    pub fn partition(&self) -> Partition {
+        // NaiveDsu labels are always idempotent representatives: an
+        // element's label is itself relabeled together with the set.
+        Partition::from_labels(&self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compaction, Linking, SeqDsu, ALL_VARIANTS};
+    use proptest::prelude::*;
+
+    #[test]
+    fn oracle_basics() {
+        let mut dsu = NaiveDsu::new(4);
+        assert_eq!(dsu.set_count(), 4);
+        assert!(dsu.unite(0, 1));
+        assert!(dsu.unite(2, 3));
+        assert!(!dsu.unite(1, 0));
+        assert_eq!(dsu.set_count(), 2);
+        assert!(dsu.same_set(0, 1));
+        assert!(!dsu.same_set(1, 2));
+        assert!(dsu.unite(0, 3));
+        assert_eq!(dsu.set_count(), 1);
+    }
+
+    #[test]
+    fn oracle_partition_is_canonical() {
+        let mut dsu = NaiveDsu::new(5);
+        dsu.unite(4, 0);
+        dsu.unite(1, 3);
+        let p = dsu.partition();
+        assert_eq!(p.label_of(4), 0);
+        assert_eq!(p.label_of(3), 1);
+        assert_eq!(p.set_count(), 3);
+    }
+
+    /// An arbitrary operation for property tests over DSU semantics.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Unite(usize, usize),
+        SameSet(usize, usize),
+    }
+
+    fn ops_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            (0..n, 0..n, prop::bool::ANY).prop_map(|(x, y, is_unite)| {
+                if is_unite {
+                    Op::Unite(x, y)
+                } else {
+                    Op::SameSet(x, y)
+                }
+            }),
+            0..max_len,
+        )
+    }
+
+    proptest! {
+        /// Every one of the twelve sequential variants agrees with the naive
+        /// oracle on every operation's return value and on the final
+        /// partition.
+        #[test]
+        fn all_variants_match_oracle(ops in ops_strategy(24, 120), seed in any::<u64>()) {
+            for (linking, compaction) in ALL_VARIANTS {
+                let mut oracle = NaiveDsu::new(24);
+                let mut dsu = SeqDsu::with_seed(24, linking, compaction, seed);
+                for &op in &ops {
+                    match op {
+                        Op::Unite(x, y) => {
+                            prop_assert_eq!(dsu.unite(x, y), oracle.unite(x, y));
+                        }
+                        Op::SameSet(x, y) => {
+                            prop_assert_eq!(dsu.same_set(x, y), oracle.same_set(x, y));
+                        }
+                    }
+                }
+                prop_assert_eq!(dsu.set_count(), oracle.set_count());
+                prop_assert_eq!(dsu.partition(), oracle.partition());
+            }
+        }
+
+        /// Unions only coarsen: the partition after a prefix of operations
+        /// refines the partition after the whole sequence.
+        #[test]
+        fn partitions_only_coarsen(ops in ops_strategy(16, 60)) {
+            let mut dsu = SeqDsu::new(16, Linking::ByRank, Compaction::Splitting);
+            let mut previous = dsu.partition();
+            for &op in &ops {
+                if let Op::Unite(x, y) = op {
+                    dsu.unite(x, y);
+                }
+                let current = dsu.partition();
+                prop_assert!(previous.refines(&current));
+                previous = current;
+            }
+        }
+
+        /// set_count always equals n minus the number of successful links.
+        #[test]
+        fn set_count_tracks_links(ops in ops_strategy(16, 60)) {
+            let mut dsu = SeqDsu::new(16, Linking::BySize, Compaction::Halving);
+            for &op in &ops {
+                if let Op::Unite(x, y) = op {
+                    dsu.unite(x, y);
+                }
+            }
+            prop_assert_eq!(dsu.set_count() as u64, 16 - dsu.stats().links);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Canonical set partitions — the correctness oracle for every union-find
+//! implementation in the workspace.
+//!
+//! Two union-find structures represent the same abstract state exactly when
+//! their [`Partition`]s are equal, regardless of tree shape, linking rule, or
+//! compaction history.
+
+/// A partition of `0..n` into disjoint sets, stored canonically: each
+/// element is labeled by the *smallest element of its set*, so equality of
+/// partitions is plain `Vec` equality.
+///
+/// # Example
+///
+/// ```
+/// use sequential_dsu::Partition;
+///
+/// // Labels may be arbitrary representatives; construction canonicalizes.
+/// let p = Partition::from_labels(&[4, 4, 2, 2, 4]);
+/// let q = Partition::from_labels(&[0, 0, 2, 2, 0]);
+/// assert_eq!(p, q);
+/// assert!(p.same_set(0, 4));
+/// assert!(!p.same_set(1, 3));
+/// assert_eq!(p.set_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    labels: Vec<usize>,
+}
+
+impl Partition {
+    /// Builds a partition from arbitrary representative labels: `labels[i]`
+    /// is any element identifying `i`'s set (e.g. the root returned by a
+    /// `find`). Labels are normalized to the minimum element per set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some label is out of range, or if labels are inconsistent
+    /// (an element's label must itself be labeled with the same set:
+    /// `labels[labels[i]] == labels[i]`).
+    pub fn from_labels(labels: &[usize]) -> Self {
+        let n = labels.len();
+        let mut min_of = vec![usize::MAX; n];
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(l < n, "label {l} of element {i} out of range");
+            assert_eq!(
+                labels[l], l,
+                "labels must be idempotent: labels[{l}] = {} != {l}",
+                labels[l]
+            );
+            min_of[l] = min_of[l].min(i);
+        }
+        let canonical: Vec<usize> = labels.iter().map(|&l| min_of[l]).collect();
+        Partition { labels: canonical }
+    }
+
+    /// The partition of `0..n` into singletons.
+    pub fn singletons(n: usize) -> Self {
+        Partition { labels: (0..n).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the partition is over the empty universe.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// `true` iff `x` and `y` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn same_set(&self, x: usize, y: usize) -> bool {
+        self.labels[x] == self.labels[y]
+    }
+
+    /// The canonical label (smallest member) of `x`'s set.
+    pub fn label_of(&self, x: usize) -> usize {
+        self.labels[x]
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| i == l)
+            .count()
+    }
+
+    /// The sets themselves, each sorted ascending, ordered by smallest
+    /// member.
+    pub fn sets(&self) -> Vec<Vec<usize>> {
+        let mut by_label: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_label.entry(l).or_default().push(i);
+        }
+        by_label.into_values().collect()
+    }
+
+    /// Sizes of all sets, descending. Useful for component-size summaries.
+    pub fn set_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.sets().iter().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// `true` iff `self` refines `other`: every set of `self` is contained
+    /// in a set of `other`. A union-find state always refines any state
+    /// reachable from it by more unites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two partitions have different lengths.
+    pub fn refines(&self, other: &Partition) -> bool {
+        assert_eq!(self.len(), other.len(), "partition sizes differ");
+        // self refines other iff elements sharing a self-label share an
+        // other-label; checking label representatives suffices.
+        self.labels
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| other.labels[i] == other.labels[l])
+    }
+
+    /// The canonical labels slice (`labels[i]` = smallest member of `i`'s
+    /// set).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
+impl std::fmt::Display for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sets = self.sets();
+        write!(f, "{{")?;
+        for (k, set) in sets.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, e) in set.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{e}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_picks_minimum() {
+        let p = Partition::from_labels(&[3, 3, 3, 3]);
+        assert_eq!(p.labels(), &[0, 0, 0, 0]);
+        assert_eq!(p.label_of(2), 0);
+    }
+
+    #[test]
+    fn singletons_partition() {
+        let p = Partition::singletons(4);
+        assert_eq!(p.set_count(), 4);
+        assert_eq!(p.sets(), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert!(!p.same_set(0, 1));
+    }
+
+    #[test]
+    fn sets_are_sorted_and_complete() {
+        let p = Partition::from_labels(&[0, 1, 0, 1, 4]);
+        assert_eq!(p.sets(), vec![vec![0, 2], vec![1, 3], vec![4]]);
+        assert_eq!(p.set_sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn refinement_is_reflexive_and_respects_merging() {
+        let fine = Partition::from_labels(&[0, 0, 2, 3]);
+        let coarse = Partition::from_labels(&[0, 0, 2, 2]);
+        assert!(fine.refines(&fine));
+        assert!(fine.refines(&coarse));
+        assert!(!coarse.refines(&fine));
+        assert!(Partition::singletons(4).refines(&coarse));
+    }
+
+    #[test]
+    #[should_panic(expected = "idempotent")]
+    fn inconsistent_labels_are_rejected() {
+        // 1 claims label 2, but 2's own label is 0 — not a representative map.
+        Partition::from_labels(&[0, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_labels_are_rejected() {
+        Partition::from_labels(&[0, 5, 0]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::singletons(0);
+        assert!(p.is_empty());
+        assert_eq!(p.set_count(), 0);
+        assert_eq!(p.to_string(), "{}");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Partition::from_labels(&[0, 0, 2]);
+        assert_eq!(p.to_string(), "{{0 1}, {2}}");
+    }
+
+    #[test]
+    fn equality_ignores_history() {
+        let a = Partition::from_labels(&[1, 1, 2]);
+        let b = Partition::from_labels(&[0, 0, 2]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |p: &Partition| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+}

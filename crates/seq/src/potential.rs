@@ -1,0 +1,311 @@
+//! The Section 5 accounting machinery: Goel–Khanna–Larkin–Tarjan levels,
+//! indices, and counts.
+//!
+//! Theorem 5.1's potential argument assigns every node `x` (with GKLT rank
+//! `x.r` and parent rank `x.parent.r`) a *level*, *index*, and *count*:
+//!
+//! ```text
+//! b(i, k)  = min { j ≥ 0 | A_i(j) > k }                       (index fn)
+//! a(k, j)  = min({ α(k, d) + 1 } ∪ { i ≤ α(k, d) | A_i(b(i, k)) > j })
+//! x.a      = a(x.r, x.parent.r)                               (level)
+//! x.b      = b(x.a − 1, x.parent.r)   if x.a > 0, else 0      (index)
+//! x.c      = x.a · (x.r + 2) + x.b                            (count)
+//! ```
+//!
+//! The proof rests on six properties of these quantities under splitting
+//! ((i)–(vi) in the paper, inherited from GKLT '14). They are *proved*
+//! there; here they are implemented so the test suite can **check them
+//! empirically** on actual executions — a mechanical audit of the
+//! reproduction's analysis layer, and the ingredient a reader needs to
+//! follow the Theorem 5.1 proof quantitatively.
+
+use crate::ackermann::{ackermann, alpha};
+
+/// The level/index/count functions for a fixed density parameter
+/// `d = m/(np)` (Theorem 5.1 chooses it this way).
+#[derive(Debug, Clone, Copy)]
+pub struct Levels {
+    d: f64,
+}
+
+impl Levels {
+    /// Accounting functions with density parameter `d ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or NaN.
+    pub fn new(d: f64) -> Self {
+        assert!(d >= 0.0, "density parameter must be non-negative");
+        Levels { d }
+    }
+
+    /// The density parameter.
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// `b(i, k) = min { j ≥ 0 | A_i(j) > k }`.
+    pub fn index_b(i: u32, k: u64) -> u64 {
+        match i {
+            // A_0(j) = j + 1 > k  ⇔  j ≥ k.
+            0 => k,
+            // A_1(j) = j + 2 > k  ⇔  j ≥ k − 1.
+            1 => k.saturating_sub(1),
+            _ => {
+                let mut j = 0;
+                loop {
+                    match ackermann(i, j) {
+                        None => return j,          // beyond u64 ⇒ > k
+                        Some(v) if v > k => return j,
+                        _ => j += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The level `a(k, j)` of a node of rank `k` whose parent has rank `j`.
+    pub fn level(&self, k: u64, j: u64) -> u32 {
+        let cap = alpha(k, self.d);
+        for i in 0..=cap {
+            let exceeds = match ackermann(i, Self::index_b(i, k)) {
+                None => true,
+                Some(v) => v > j,
+            };
+            if exceeds {
+                return i;
+            }
+        }
+        cap + 1
+    }
+
+    /// The index `x.b` of a node of rank `k` with parent rank `j`.
+    pub fn index(&self, k: u64, j: u64) -> u64 {
+        let a = self.level(k, j);
+        if a == 0 {
+            0
+        } else {
+            Self::index_b(a - 1, j_cap(j))
+        }
+    }
+
+    /// The count `x.c = x.a (x.r + 2) + x.b`.
+    pub fn count(&self, k: u64, j: u64) -> u64 {
+        self.level(k, j) as u64 * (k + 2) + self.index(k, j)
+    }
+}
+
+/// The paper's `x.b = b(x.a − 1, x.parent.r)` uses the parent rank
+/// directly; ranks are at most `⌊lg n⌋` so no capping is mathematically
+/// needed — this hook exists only to make the intent explicit at the call
+/// site.
+fn j_cap(j: u64) -> u64 {
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ackermann::gklt_rank;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn index_b_is_minimal() {
+        for i in 0..=4u32 {
+            for k in 0..50u64 {
+                let j = Levels::index_b(i, k);
+                // A_i(j) > k …
+                match ackermann(i, j) {
+                    None => {}
+                    Some(v) => assert!(v > k, "A_{i}({j}) = {v} must exceed {k}"),
+                }
+                // … and j is minimal.
+                if j > 0 {
+                    let below = ackermann(i, j - 1).expect("small value");
+                    assert!(below <= k, "A_{i}({}) = {below} must be <= {k}", j - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_zero_iff_equal_ranks() {
+        // Property (iv): a node's level is 0 iff it has the same rank as
+        // its parent.
+        let levels = Levels::new(1.0);
+        for k in 0..20u64 {
+            for j in k..25u64 {
+                // Ranks are non-decreasing along paths, so j >= k.
+                let a = levels.level(k, j);
+                if j == k {
+                    assert_eq!(a, 0, "a({k},{k}) must be 0");
+                } else {
+                    assert!(a >= 1, "a({k},{j}) must be positive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_is_bounded_and_monotone_in_parent_rank() {
+        // Property (i): 0 <= level <= α(n, d) + 1 and, for a fixed node,
+        // the level never decreases as the parent's rank grows.
+        for &d in &[0.0, 0.5, 1.0, 4.0] {
+            let levels = Levels::new(d);
+            for k in 0..16u64 {
+                let cap = alpha(1 << 20, d) + 1;
+                let mut prev = 0;
+                for j in k..40u64 {
+                    let a = levels.level(k, j);
+                    assert!(a <= cap, "a({k},{j}) = {a} above cap {cap} (d = {d})");
+                    assert!(a >= prev, "level decreased as parent rank grew");
+                    prev = a;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_is_monotone_in_parent_rank() {
+        // Property (ii) specialized: along a node's lifetime its parent's
+        // rank only grows (parents are replaced by ancestors of
+        // no-smaller rank), so count must be non-decreasing in j.
+        for &d in &[0.5, 2.0] {
+            let levels = Levels::new(d);
+            for k in 0..12u64 {
+                let mut prev = 0;
+                for j in k..40u64 {
+                    let c = levels.count(k, j);
+                    assert!(
+                        c >= prev,
+                        "count decreased: c({k},{}) = {prev} -> c({k},{j}) = {c}",
+                        j - 1
+                    );
+                    prev = c;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_increase_implies_count_increase() {
+        // Property (iii): if the level increases, the count increases at
+        // least as much.
+        let levels = Levels::new(1.0);
+        for k in 0..12u64 {
+            for j1 in k..30u64 {
+                for j2 in j1..30u64 {
+                    let (a1, a2) = (levels.level(k, j1), levels.level(k, j2));
+                    let (c1, c2) = (levels.count(k, j1), levels.count(k, j2));
+                    if a2 > a1 {
+                        assert!(
+                            c2 >= c1 + (a2 - a1) as u64,
+                            "k={k}: a {a1}->{a2} but c {c1}->{c2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property (vi), validated on real splitting executions — in its
+    /// **cap-aware** form. The paper states (vi) for the regime its proof
+    /// uses it in: while a node still carries potential, i.e. while its
+    /// level is below the per-rank cap `α(x.r, d) + 1`. A level-saturated
+    /// node (e.g. rank 0 under a much larger-ranked parent) cannot raise
+    /// its level past its own cap even if its parent's level is higher —
+    /// but such a node's potential term `max{0, (α(x.r,d)+1)(x.r+2)+d+1−x.c}`
+    /// is already 0, so the accounting never charges it. We therefore
+    /// check: level clause with the target clamped at the cap, and the
+    /// count clause only below the cap.
+    #[test]
+    fn property_vi_on_real_splitting_runs() {
+        let n = 256usize;
+        let mut rng = ChaCha12Rng::seed_from_u64(0x6157);
+        // Random node order: ids are a permutation; ranks per GKLT.
+        let mut ids: Vec<u64> = (1..=n as u64).collect();
+        ids.shuffle(&mut rng);
+        let rank = |x: usize| gklt_rank(n as u64, ids[x]) as u64;
+        let levels = Levels::new(1.0);
+
+        let mut parent: Vec<usize> = (0..n).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+
+        // Build with unions interleaved with splitting finds, checking the
+        // property at every pointer update.
+        let check_update = |parent: &[usize], u: usize, w: usize| {
+            let v = parent[u];
+            if u == v || v == w {
+                return;
+            }
+            let (ru, rv, rw) = (rank(u), rank(v), rank(w));
+            let cap_u = alpha(ru, levels.d()) + 1;
+            let ua = levels.level(ru, rv);
+            let va = levels.level(rv, rank(parent[v]).max(rv));
+            let new_ua = levels.level(ru, rw);
+            let (uc, new_uc) = (levels.count(ru, rv), levels.count(ru, rw));
+            if ua >= 1 && ua <= va && ua < cap_u {
+                assert!(
+                    new_uc >= uc + 1,
+                    "property (vi) count clause failed: rank {ru}->{rv}->{rw}, \
+                     a {ua} (cap {cap_u}), c {uc}->{new_uc}"
+                );
+            }
+            if ua < va {
+                assert!(
+                    new_ua >= va.min(cap_u),
+                    "property (vi) level clause failed: rank {ru}->{rv}->{rw}, \
+                     a {ua}->{new_ua}, parent a {va}, cap {cap_u}"
+                );
+            }
+        };
+
+        let find_splitting = |parent: &mut Vec<usize>, x: usize| -> usize {
+            let mut u = x;
+            loop {
+                let v = parent[u];
+                let w = parent[v];
+                if v == w {
+                    return v;
+                }
+                check_update(parent, u, w);
+                parent[u] = w;
+                u = v;
+            }
+        };
+
+        for i in 1..n {
+            let a = order[i];
+            let b = order[i - 1];
+            let ra = find_splitting(&mut parent, a);
+            let rb = find_splitting(&mut parent, b);
+            if ra != rb {
+                // Randomized linking: smaller id under larger.
+                if ids[ra] < ids[rb] {
+                    parent[ra] = rb;
+                } else {
+                    parent[rb] = ra;
+                }
+            }
+        }
+        // Post-run queries keep splitting; property still must hold.
+        for x in 0..n {
+            find_splitting(&mut parent, x);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let levels = Levels::new(2.5);
+        assert_eq!(levels.d(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_density_rejected() {
+        Levels::new(-1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Exhaustive schedule exploration: *every* interleaving of a tiny
+//! concurrent execution, checked.
+//!
+//! Random and adversarial schedules (experiment E8) sample the schedule
+//! space; for very small configurations we can do better and enumerate it
+//! completely — the model-checking flavor of assurance the paper's own
+//! motivating application (SCC decomposition for model checking) calls
+//! for. The explorer performs a DFS over scheduler choices, cloning the
+//! machine state at each branch point, and hands every completed
+//! execution's history to a verdict function (the tests pass the
+//! Wing–Gong checker).
+//!
+//! State count grows as `(procs)^(total steps)`, so keep configurations
+//! tiny: 2 processes × 1–2 operations each explores in milliseconds; the
+//! [`ExploreReport`] says how many schedules were visited and whether the
+//! cap was hit.
+
+use apram::{Ctx, Memory, Program, StepOutcome};
+
+use crate::process::{DsuProcess, OpRecord};
+
+/// Outcome of an exhaustive exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Completed executions visited.
+    pub executions: u64,
+    /// Executions whose verdict function returned `false`.
+    pub failures: u64,
+    /// `true` if the exploration stopped early at the execution cap.
+    pub truncated: bool,
+}
+
+/// Exhaustively explores every schedule of `processes` over a fresh
+/// singleton forest of `n` elements, calling `verdict` with each completed
+/// execution's per-process records and final memory. Exploration stops
+/// after `max_executions` complete executions (reported as `truncated`).
+///
+/// # Panics
+///
+/// Panics if any single execution exceeds 100 000 steps (no DSU program
+/// this size can).
+pub fn explore_all_schedules(
+    n: usize,
+    processes: &[DsuProcess],
+    max_executions: u64,
+    mut verdict: impl FnMut(&[Vec<OpRecord>], &Memory) -> bool,
+) -> ExploreReport {
+    let mut report = ExploreReport { executions: 0, failures: 0, truncated: false };
+    let state = State {
+        memory: Memory::identity(n),
+        procs: processes.to_vec(),
+        done: vec![false; processes.len()],
+        step: 0,
+    };
+    dfs(state, &mut report, max_executions, &mut verdict);
+    report
+}
+
+#[derive(Clone)]
+struct State {
+    memory: Memory,
+    procs: Vec<DsuProcess>,
+    done: Vec<bool>,
+    step: u64,
+}
+
+fn dfs(
+    state: State,
+    report: &mut ExploreReport,
+    max_executions: u64,
+    verdict: &mut impl FnMut(&[Vec<OpRecord>], &Memory) -> bool,
+) {
+    if report.executions >= max_executions {
+        report.truncated = true;
+        return;
+    }
+    let runnable: Vec<usize> =
+        (0..state.procs.len()).filter(|&i| !state.done[i]).collect();
+    if runnable.is_empty() {
+        report.executions += 1;
+        let records: Vec<Vec<OpRecord>> =
+            state.procs.iter().map(|p| p.records.clone()).collect();
+        if !verdict(&records, &state.memory) {
+            report.failures += 1;
+        }
+        return;
+    }
+    assert!(state.step < 100_000, "execution ran away");
+    for &pick in &runnable {
+        let mut next = state.clone();
+        let outcome = {
+            let mut ctx = Ctx { mem: &mut next.memory, proc_id: pick, step: next.step };
+            next.procs[pick].step(&mut ctx)
+        };
+        next.step += 1;
+        if let StepOutcome::Done(_) = outcome {
+            next.done[pick] = true;
+        }
+        dfs(next, report, max_executions, verdict);
+        if report.truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_sm::Policy;
+    use crate::process::random_ids;
+    use linearize::{check_linearizable, CompletedOp, DsuOp, DsuSpec};
+
+    fn history_of(records: &[Vec<OpRecord>]) -> Vec<CompletedOp<DsuOp>> {
+        records
+            .iter()
+            .flatten()
+            .map(|r| CompletedOp {
+                op: r.op,
+                result: r.result,
+                invoked_at: r.invoked_at,
+                returned_at: r.returned_at,
+            })
+            .collect()
+    }
+
+    /// The fundamental race: two processes unite overlapping pairs. Every
+    /// interleaving must linearize, and exactly the right number of links
+    /// must happen in every schedule.
+    #[test]
+    fn all_interleavings_of_racing_unites_linearize() {
+        let n = 3;
+        for policy in [Policy::NoCompaction, Policy::OneTry, Policy::TwoTry] {
+            let ids = random_ids(n, 7);
+            let procs = vec![
+                DsuProcess::new(vec![DsuOp::Unite(0, 1)], policy, false, ids.clone()),
+                DsuProcess::new(vec![DsuOp::Unite(1, 2)], policy, false, ids.clone()),
+            ];
+            let spec = DsuSpec::new(n);
+            let report = explore_all_schedules(n, &procs, 3_000_000, |records, memory| {
+                // (a) linearizable; (b) both links succeeded (disjoint
+                // pairs can both link in every schedule); (c) final memory
+                // is one tree containing 0, 1, 2.
+                let ok_lin = check_linearizable(&spec, &history_of(records)).is_ok();
+                let both_linked =
+                    records[0][0].result && records[1][0].result;
+                let snapshot = memory.snapshot();
+                let root_of = |mut x: usize| {
+                    while snapshot[x] != x {
+                        x = snapshot[x];
+                    }
+                    x
+                };
+                let one_set = root_of(0) == root_of(1) && root_of(1) == root_of(2);
+                ok_lin && both_linked && one_set
+            });
+            assert!(!report.truncated, "{policy:?} exploration truncated");
+            assert!(report.executions > 10, "{policy:?} explored too little");
+            assert_eq!(report.failures, 0, "{policy:?} had failing schedules");
+        }
+    }
+
+    /// Two processes unite the *same* pair: in every schedule exactly one
+    /// may win the link (or one sees them already united and returns
+    /// false).
+    #[test]
+    fn same_pair_unite_race_has_exactly_one_winner() {
+        let n = 2;
+        let ids = random_ids(n, 3);
+        let procs = vec![
+            DsuProcess::new(vec![DsuOp::Unite(0, 1)], Policy::TwoTry, false, ids.clone()),
+            DsuProcess::new(vec![DsuOp::Unite(0, 1)], Policy::TwoTry, false, ids.clone()),
+        ];
+        let report = explore_all_schedules(n, &procs, 3_000_000, |records, _| {
+            let wins =
+                records[0][0].result as u32 + records[1][0].result as u32;
+            wins == 1
+        });
+        assert!(!report.truncated);
+        assert_eq!(report.failures, 0, "some schedule produced 0 or 2 winners");
+    }
+
+    /// A query racing a unite must answer either way, but never violate
+    /// linearizability — across every interleaving.
+    #[test]
+    fn query_racing_unite_is_linearizable_in_every_schedule() {
+        let n = 2;
+        let ids = random_ids(n, 11);
+        let spec = DsuSpec::new(n);
+        for early in [false, true] {
+            let procs = vec![
+                DsuProcess::new(vec![DsuOp::Unite(0, 1)], Policy::TwoTry, early, ids.clone()),
+                DsuProcess::new(vec![DsuOp::SameSet(0, 1)], Policy::TwoTry, early, ids.clone()),
+            ];
+            let mut saw_true = false;
+            let mut saw_false = false;
+            let report = explore_all_schedules(n, &procs, 3_000_000, |records, _| {
+                if records[1][0].result {
+                    saw_true = true;
+                } else {
+                    saw_false = true;
+                }
+                check_linearizable(&spec, &history_of(records)).is_ok()
+            });
+            assert!(!report.truncated);
+            assert_eq!(report.failures, 0, "early={early}");
+            assert!(saw_true && saw_false, "both outcomes must be reachable (early={early})");
+        }
+    }
+
+    /// Compression's two-pass fix-ups racing each other stay linearizable
+    /// and converge to a sane forest in every schedule.
+    #[test]
+    fn compression_races_explore_cleanly() {
+        let n = 3;
+        let ids = random_ids(n, 5);
+        let spec = DsuSpec::new(n);
+        let procs = vec![
+            DsuProcess::new(
+                vec![DsuOp::Unite(0, 1), DsuOp::SameSet(0, 2)],
+                Policy::Compression,
+                false,
+                ids.clone(),
+            ),
+            DsuProcess::new(vec![DsuOp::Unite(1, 2)], Policy::Compression, false, ids.clone()),
+        ];
+        let report = explore_all_schedules(n, &procs, 5_000_000, |records, memory| {
+            let ok = check_linearizable(&spec, &history_of(records)).is_ok();
+            // Forest sanity: parent chains terminate.
+            let snapshot = memory.snapshot();
+            let mut sane = true;
+            for mut x in 0..n {
+                let mut hops = 0;
+                while snapshot[x] != x {
+                    x = snapshot[x];
+                    hops += 1;
+                    if hops > n {
+                        sane = false;
+                        break;
+                    }
+                }
+            }
+            ok && sane
+        });
+        assert!(report.executions > 100);
+        assert_eq!(report.failures, 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! `Find` as a step machine, one shared access per step.
+
+use apram::Memory;
+
+/// Which find variant a machine executes (the runtime mirror of the native
+//  crate's type-level policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Paper Algorithm 1: plain walk.
+    NoCompaction,
+    /// Paper Algorithm 4: one-try splitting.
+    OneTry,
+    /// Paper Algorithm 5: two-try splitting.
+    TwoTry,
+    /// Concurrent halving (Anderson–Woll's compaction), for Section 3's
+    /// lockstep construction.
+    Halving,
+    /// Two-pass compression (the Section 6 conjecture): first pass records
+    /// the path to a root, second pass CASes each recorded parent at the
+    /// root, one try per node.
+    Compression,
+}
+
+impl Policy {
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::NoCompaction => "no-compaction",
+            Policy::OneTry => "one-try",
+            Policy::TwoTry => "two-try",
+            Policy::Halving => "halving",
+            Policy::Compression => "compress",
+        }
+    }
+}
+
+/// Where a [`FindSm`] is within its loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// About to read `u.parent`. `tries_left` only matters for two-try.
+    ReadParent { tries_left: u8 },
+    /// Read `v`; about to read `v.parent`.
+    ReadGrand { v: usize, tries_left: u8 },
+    /// Read `v`, `w` with `v != w`; about to CAS `u.parent: v -> w`.
+    Cas { v: usize, w: usize, tries_left: u8 },
+    /// Compression pass 1: walking to the root, recording the path.
+    CompressWalk,
+    /// Compression pass 2: CASing recorded nodes at `root`, one per step.
+    CompressFix { root: usize, idx: usize },
+}
+
+/// The `Find(x)` state machine. Each [`step`](FindSm::step) performs
+/// at most one shared-memory access and returns `Some(root)` once the root
+/// is known and (for compression) the fix-up pass is finished.
+#[derive(Debug, Clone)]
+pub struct FindSm {
+    policy: Policy,
+    u: usize,
+    phase: Phase,
+    /// Pass-1 `(node, read parent)` records; compression only.
+    path: Vec<(usize, usize)>,
+}
+
+impl FindSm {
+    /// A find starting at `x`.
+    pub fn new(policy: Policy, x: usize) -> Self {
+        let phase = match policy {
+            Policy::Compression => Phase::CompressWalk,
+            Policy::TwoTry => Phase::ReadParent { tries_left: 2 },
+            _ => Phase::ReadParent { tries_left: 1 },
+        };
+        FindSm { policy, u: x, phase, path: Vec::new() }
+    }
+
+    /// The current node of the walk (the paper's variable `u`).
+    pub fn current(&self) -> usize {
+        self.u
+    }
+
+    /// One step (one shared access). `Some(root)` when done.
+    pub fn step(&mut self, mem: &mut Memory) -> Option<usize> {
+        match self.phase {
+            Phase::ReadParent { tries_left } => {
+                let v = mem.read(self.u);
+                if self.policy == Policy::NoCompaction {
+                    if v == self.u {
+                        return Some(self.u);
+                    }
+                    self.u = v;
+                    // stay in ReadParent
+                } else {
+                    self.phase = Phase::ReadGrand { v, tries_left };
+                }
+                None
+            }
+            Phase::ReadGrand { v, tries_left } => {
+                let w = mem.read(v);
+                if w == v {
+                    return Some(v);
+                }
+                self.phase = Phase::Cas { v, w, tries_left };
+                None
+            }
+            Phase::CompressWalk => {
+                let p = mem.read(self.u);
+                if p == self.u {
+                    if self.path.is_empty() {
+                        return Some(self.u);
+                    }
+                    self.phase = Phase::CompressFix { root: self.u, idx: 0 };
+                    return None;
+                }
+                self.path.push((self.u, p));
+                self.u = p;
+                None
+            }
+            Phase::CompressFix { root, mut idx } => {
+                // Skip records whose read parent already is the root (no
+                // CAS needed — local work only).
+                while idx < self.path.len() && self.path[idx].1 == root {
+                    idx += 1;
+                }
+                if idx >= self.path.len() {
+                    return Some(root);
+                }
+                let (u, v) = self.path[idx];
+                mem.cas(u, v, root);
+                self.phase = Phase::CompressFix { root, idx: idx + 1 };
+                None
+            }
+            Phase::Cas { v, w, tries_left } => {
+                mem.cas(self.u, v, w);
+                match self.policy {
+                    Policy::NoCompaction | Policy::Compression => {
+                        unreachable!("no split CAS in this policy")
+                    }
+                    Policy::OneTry => {
+                        self.u = v;
+                        self.phase = Phase::ReadParent { tries_left: 1 };
+                    }
+                    Policy::TwoTry => {
+                        if tries_left == 2 {
+                            // Second try re-reads the (possibly changed)
+                            // parent of the same u.
+                            self.phase = Phase::ReadParent { tries_left: 1 };
+                        } else {
+                            self.u = v;
+                            self.phase = Phase::ReadParent { tries_left: 2 };
+                        }
+                    }
+                    Policy::Halving => {
+                        self.u = w;
+                        self.phase = Phase::ReadParent { tries_left: 1 };
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// One **early-termination round** (the compaction body of paper
+/// Algorithms 6/7) as a step machine: performs the policy's splitting
+/// step(s) at `u` and yields the next current node.
+#[derive(Debug, Clone)]
+pub struct AdvanceSm {
+    policy: Policy,
+    u: usize,
+    /// Splitting steps remaining in this round (2 for two-try, 1 else).
+    rounds_left: u8,
+    phase: AdvPhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdvPhase {
+    ReadParent,
+    ReadGrand { z: usize },
+    Cas { z: usize, w: usize },
+}
+
+impl AdvanceSm {
+    /// An advance round at `u`.
+    pub fn new(policy: Policy, u: usize) -> Self {
+        let rounds = if policy == Policy::TwoTry { 2 } else { 1 };
+        AdvanceSm { policy, u, rounds_left: rounds, phase: AdvPhase::ReadParent }
+    }
+
+    /// One step. `Some(next_u)` when the round completes.
+    pub fn step(&mut self, mem: &mut Memory) -> Option<usize> {
+        match self.phase {
+            AdvPhase::ReadParent => {
+                let z = mem.read(self.u);
+                if self.policy == Policy::NoCompaction {
+                    // Plain walk: the round is a single parent read.
+                    return Some(z);
+                }
+                self.phase = AdvPhase::ReadGrand { z };
+                None
+            }
+            AdvPhase::ReadGrand { z } => {
+                let w = mem.read(z);
+                if w == z {
+                    // z is (was) a root: nothing to compact. For halving the
+                    // round yields z as well (w == z).
+                    return self.finish_round(z);
+                }
+                self.phase = AdvPhase::Cas { z, w };
+                None
+            }
+            AdvPhase::Cas { z, w } => {
+                mem.cas(self.u, z, w);
+                let next = if self.policy == Policy::Halving { w } else { z };
+                self.finish_round(next)
+            }
+        }
+    }
+
+    fn finish_round(&mut self, next: usize) -> Option<usize> {
+        self.rounds_left -= 1;
+        if self.rounds_left == 0 {
+            Some(next)
+        } else {
+            // Two-try: second splitting step at the same u.
+            self.phase = AdvPhase::ReadParent;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_memory(k: usize) -> Memory {
+        let mut cells: Vec<usize> = (1..k).collect();
+        cells.push(k - 1);
+        Memory::new(cells)
+    }
+
+    fn run_find(policy: Policy, mem: &mut Memory, x: usize) -> (usize, u64) {
+        let mut sm = FindSm::new(policy, x);
+        let before = mem.accesses();
+        loop {
+            if let Some(root) = sm.step(mem) {
+                return (root, mem.accesses() - before);
+            }
+            assert!(mem.accesses() - before < 10_000, "find ran away");
+        }
+    }
+
+    #[test]
+    fn plain_walk_reads_path_length() {
+        let mut mem = path_memory(8);
+        let (root, accesses) = run_find(Policy::NoCompaction, &mut mem, 0);
+        assert_eq!(root, 7);
+        assert_eq!(accesses, 8);
+        assert_eq!(mem.snapshot(), vec![1, 2, 3, 4, 5, 6, 7, 7], "no writes");
+    }
+
+    #[test]
+    fn one_try_matches_native_semantics() {
+        // Mirror of the native crate's test: path of 8, find(0) leaves
+        // [2,3,4,5,6,7,7,7].
+        let mut mem = path_memory(8);
+        let (root, _) = run_find(Policy::OneTry, &mut mem, 0);
+        assert_eq!(root, 7);
+        assert_eq!(mem.snapshot(), vec![2, 3, 4, 5, 6, 7, 7, 7]);
+    }
+
+    #[test]
+    fn two_try_matches_native_semantics() {
+        // Native two-try on a path of 9 leaves node 0 two grandparents up.
+        let mut mem = path_memory(9);
+        let (root, _) = run_find(Policy::TwoTry, &mut mem, 0);
+        assert_eq!(root, 8);
+        assert_eq!(mem.peek(0), 3);
+    }
+
+    #[test]
+    fn halving_matches_native_semantics() {
+        let mut mem = path_memory(9);
+        let (root, _) = run_find(Policy::Halving, &mut mem, 0);
+        assert_eq!(root, 8);
+        assert_eq!(mem.snapshot(), vec![2, 2, 4, 4, 6, 6, 8, 8, 8]);
+    }
+
+    #[test]
+    fn find_on_root_is_quick() {
+        for policy in [Policy::NoCompaction, Policy::OneTry, Policy::TwoTry, Policy::Halving] {
+            let mut mem = path_memory(4);
+            let (root, accesses) = run_find(policy, &mut mem, 3);
+            assert_eq!(root, 3);
+            assert!(accesses <= 2, "{policy:?} took {accesses} accesses at root");
+        }
+    }
+
+    #[test]
+    fn advance_one_try_splits_once() {
+        let mut mem = path_memory(8);
+        let mut adv = AdvanceSm::new(Policy::OneTry, 0);
+        let next = loop {
+            if let Some(n) = adv.step(&mut mem) {
+                break n;
+            }
+        };
+        assert_eq!(next, 1);
+        assert_eq!(mem.peek(0), 2);
+    }
+
+    #[test]
+    fn advance_two_try_splits_twice() {
+        let mut mem = path_memory(8);
+        let mut adv = AdvanceSm::new(Policy::TwoTry, 0);
+        let next = loop {
+            if let Some(n) = adv.step(&mut mem) {
+                break n;
+            }
+        };
+        assert_eq!(next, 2);
+        assert_eq!(mem.peek(0), 3);
+    }
+
+    #[test]
+    fn advance_no_compaction_is_one_read() {
+        let mut mem = path_memory(4);
+        let mut adv = AdvanceSm::new(Policy::NoCompaction, 1);
+        assert_eq!(adv.step(&mut mem), Some(2));
+        assert_eq!(mem.accesses(), 1);
+    }
+
+    #[test]
+    fn advance_halving_jumps_two() {
+        let mut mem = path_memory(8);
+        let mut adv = AdvanceSm::new(Policy::Halving, 0);
+        let next = loop {
+            if let Some(n) = adv.step(&mut mem) {
+                break n;
+            }
+        };
+        assert_eq!(next, 2);
+        assert_eq!(mem.peek(0), 2);
+    }
+
+    #[test]
+    fn advance_at_root_returns_root() {
+        for policy in [Policy::OneTry, Policy::TwoTry, Policy::Halving] {
+            let mut mem = path_memory(4);
+            let mut adv = AdvanceSm::new(policy, 3);
+            let next = loop {
+                if let Some(n) = adv.step(&mut mem) {
+                    break n;
+                }
+            };
+            assert_eq!(next, 3, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::TwoTry.label(), "two-try");
+        assert_eq!(Policy::NoCompaction.label(), "no-compaction");
+        assert_eq!(Policy::Compression.label(), "compress");
+    }
+
+    #[test]
+    fn compression_matches_native_semantics() {
+        // Mirror of the native crate's test: a path of 8 fully flattens.
+        let mut mem = path_memory(8);
+        let (root, accesses) = run_find(Policy::Compression, &mut mem, 0);
+        assert_eq!(root, 7);
+        assert_eq!(mem.snapshot(), vec![7, 7, 7, 7, 7, 7, 7, 7]);
+        // 8 walk reads + 6 fix CASes (node 6 already pointed at the root).
+        assert_eq!(accesses, 8 + 6);
+        // Second find: pure walk, no CASes.
+        let (root2, accesses2) = run_find(Policy::Compression, &mut mem, 0);
+        assert_eq!(root2, 7);
+        assert_eq!(accesses2, 2);
+    }
+
+    #[test]
+    fn compression_on_root_is_one_read() {
+        let mut mem = path_memory(4);
+        let (root, accesses) = run_find(Policy::Compression, &mut mem, 3);
+        assert_eq!(root, 3);
+        assert_eq!(accesses, 1);
+    }
+
+    #[test]
+    fn compression_advance_is_a_split_step() {
+        let mut mem = path_memory(8);
+        let mut adv = AdvanceSm::new(Policy::Compression, 0);
+        let next = loop {
+            if let Some(n) = adv.step(&mut mem) {
+                break n;
+            }
+        };
+        assert_eq!(next, 1);
+        assert_eq!(mem.peek(0), 2);
+    }
+}

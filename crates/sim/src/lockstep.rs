@@ -1,0 +1,146 @@
+//! Section 3's construction, executed literally: **two processes doing
+//! halving in lockstep simulate one process doing splitting.**
+//!
+//! On a path `0 → 1 → ⋯ → k−1`, two halving finds started at nodes 0 and 1
+//! and scheduled in strict alternation leave exactly the memory that one
+//! splitting find from node 0 leaves: every node's parent two levels up.
+//! This is the paper's argument that halving cannot beat splitting in the
+//! concurrent setting (any splitting execution is matched, update for
+//! update, by a halving execution with twice the operations and processes).
+
+use apram::{Machine, Memory, Program, RoundRobin, Scripted};
+
+use crate::find_sm::Policy;
+use crate::process::FindProgram;
+
+/// The outcome of the lockstep comparison for one path length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockstepComparison {
+    /// Path length `k`.
+    pub k: usize,
+    /// Final parent array after the halving pair.
+    pub halving_pair: Vec<usize>,
+    /// Final parent array after the single splitting find.
+    pub splitting_single: Vec<usize>,
+    /// Pointer updates (successful CASes) by the halving pair.
+    pub halving_updates: u64,
+    /// Pointer updates by the splitting find.
+    pub splitting_updates: u64,
+    /// Total steps of the halving pair.
+    pub halving_steps: u64,
+    /// Total steps of the splitting find.
+    pub splitting_steps: u64,
+}
+
+impl LockstepComparison {
+    /// `true` when the two executions left identical memories — the
+    /// Section 3 claim.
+    pub fn memories_match(&self) -> bool {
+        self.halving_pair == self.splitting_single
+    }
+}
+
+/// A path memory `0 → 1 → ⋯ → k−1` (cell `i` holds `i+1`; the last holds
+/// itself).
+pub fn path_memory(k: usize) -> Memory {
+    assert!(k >= 1, "path needs at least one node");
+    let mut cells: Vec<usize> = (1..k).collect();
+    cells.push(k - 1);
+    Memory::new(cells)
+}
+
+/// Runs the two executions of the Section 3 construction on a `k`-node
+/// path and reports both final memories.
+///
+/// # Panics
+///
+/// Panics if `k < 3` (the construction needs room for a grandparent).
+pub fn lockstep_halving_vs_splitting(k: usize) -> LockstepComparison {
+    assert!(k >= 3, "need k >= 3");
+    // (a) Two halving finds from nodes 0 and 1, strictly alternating.
+    // RoundRobin alternates while both run and lets the survivor finish.
+    let mut machine_a = Machine::new(path_memory(k));
+    let (halving_updates, halving_steps) = {
+        let mut p0 = FindProgram::new(Policy::Halving, 0);
+        let mut p1 = FindProgram::new(Policy::Halving, 1);
+        let mut refs: Vec<&mut dyn Program> = vec![&mut p0, &mut p1];
+        let report = machine_a.run(&mut refs, &mut RoundRobin::new(), 100_000);
+        assert!(report.completed);
+        let (_, _, cas_ok, _) = machine_a.memory().access_breakdown();
+        (cas_ok, report.total_steps)
+    };
+    // (b) One splitting find from node 0.
+    let mut machine_b = Machine::new(path_memory(k));
+    let (splitting_updates, splitting_steps) = {
+        let mut p = FindProgram::new(Policy::OneTry, 0);
+        let mut refs: Vec<&mut dyn Program> = vec![&mut p];
+        // A scripted all-zeros schedule, to be explicit that one process runs.
+        let report = machine_b.run(&mut refs, &mut Scripted::new(vec![]), 100_000);
+        assert!(report.completed);
+        let (_, _, cas_ok, _) = machine_b.memory().access_breakdown();
+        (cas_ok, report.total_steps)
+    };
+    LockstepComparison {
+        k,
+        halving_pair: machine_a.memory().snapshot(),
+        splitting_single: machine_b.memory().snapshot(),
+        halving_updates,
+        splitting_updates,
+        halving_steps,
+        splitting_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_section_3_claim_holds_for_many_k() {
+        for k in [3usize, 4, 5, 8, 9, 16, 33, 64, 127, 256, 1000] {
+            let cmp = lockstep_halving_vs_splitting(k);
+            assert!(
+                cmp.memories_match(),
+                "k = {k}: halving pair {:?} != splitting {:?}",
+                &cmp.halving_pair[..k.min(12)],
+                &cmp.splitting_single[..k.min(12)]
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_makes_every_parent_the_grandparent() {
+        let cmp = lockstep_halving_vs_splitting(10);
+        // p[i] = min(i + 2, 9).
+        let expected: Vec<usize> = (0..10).map(|i| (i + 2).min(9)).collect();
+        assert_eq!(cmp.splitting_single, expected);
+    }
+
+    #[test]
+    fn update_counts_match_the_simulation_argument() {
+        // The halving pair performs as many pointer updates as the single
+        // splitting pass (that is the "does as many pointer updates" part
+        // of the Section 3 argument).
+        for k in [8usize, 64, 256] {
+            let cmp = lockstep_halving_vs_splitting(k);
+            assert_eq!(
+                cmp.halving_updates, cmp.splitting_updates,
+                "k = {k}: updates differ"
+            );
+        }
+    }
+
+    #[test]
+    fn path_memory_shape() {
+        let m = path_memory(4);
+        assert_eq!(m.snapshot(), vec![1, 2, 3, 3]);
+        let single = path_memory(1);
+        assert_eq!(single.snapshot(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 3")]
+    fn tiny_paths_rejected() {
+        lockstep_halving_vs_splitting(2);
+    }
+}

@@ -1,0 +1,357 @@
+//! Whole operations (`SameSet` / `Unite`, standard and early-termination)
+//! as APRAM programs, with timed operation records for linearizability
+//! checking.
+
+use std::sync::Arc;
+
+use apram::{Ctx, Machine, Memory, Program, RunReport, Scheduler, StepOutcome};
+use linearize::{CompletedOp, DsuOp};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::find_sm::{AdvanceSm, FindSm, Policy};
+
+/// A completed operation with simulator-step timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The operation.
+    pub op: DsuOp,
+    /// Its return value.
+    pub result: bool,
+    /// Global step at which the operation began executing.
+    pub invoked_at: u64,
+    /// Global step at which it returned.
+    pub returned_at: u64,
+    /// Shared accesses this operation performed (its *work*).
+    pub accesses: u64,
+}
+
+/// Draws the random total order: a uniform permutation of `0..n` as ids.
+pub fn random_ids(n: usize, seed: u64) -> Arc<Vec<u64>> {
+    let mut ids: Vec<u64> = (0..n as u64).collect();
+    ids.shuffle(&mut ChaCha12Rng::seed_from_u64(seed));
+    Arc::new(ids)
+}
+
+/// Where a running operation is.
+#[derive(Debug, Clone)]
+enum OpSm {
+    /// Standard ops: running the find for `u` (0) or `v` (1).
+    Find { which: u8, sm: FindSm },
+    /// Standard ops: re-checking whether `u` is still a root
+    /// (`SameSet` line 8) or CASing the link (`Unite` lines 9/10).
+    RootPhase,
+    /// Early-termination ops: advancing the smaller node.
+    Advance(AdvanceSm),
+    /// Early-termination ops: about to read `u.parent` (SameSet root
+    /// check) or CAS the link (Unite).
+    EarlyRoot,
+}
+
+/// One APRAM process executing a list of DSU operations sequentially.
+///
+/// Implements [`Program`]; feed a batch of these to [`run_concurrent`] (or
+/// an [`apram::Machine`] directly) and collect the timed [`OpRecord`]s for
+/// the linearizability checker.
+#[derive(Debug, Clone)]
+pub struct DsuProcess {
+    ops: Vec<DsuOp>,
+    policy: Policy,
+    early: bool,
+    ids: Arc<Vec<u64>>,
+    /// Completed-operation records (public output).
+    pub records: Vec<OpRecord>,
+    // --- execution state ---
+    next_op: usize,
+    sm: Option<OpSm>,
+    u: usize,
+    v: usize,
+    invoked_at: u64,
+    accesses_at_invoke: u64,
+}
+
+impl DsuProcess {
+    /// A process that will run `ops` in order with the given find `policy`;
+    /// `early` selects the Section 6 early-termination implementations.
+    /// `ids` is the shared random total order (see [`random_ids`]).
+    pub fn new(ops: Vec<DsuOp>, policy: Policy, early: bool, ids: Arc<Vec<u64>>) -> Self {
+        DsuProcess {
+            ops,
+            policy,
+            early,
+            ids,
+            records: Vec::new(),
+            next_op: 0,
+            sm: None,
+            u: 0,
+            v: 0,
+            invoked_at: 0,
+            accesses_at_invoke: 0,
+        }
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        self.ids[a] < self.ids[b]
+    }
+
+    fn finish_op(&mut self, result: bool, ctx: &Ctx<'_>) {
+        let op = self.ops[self.next_op];
+        self.records.push(OpRecord {
+            op,
+            result,
+            invoked_at: self.invoked_at,
+            returned_at: ctx.step,
+            accesses: ctx.mem.accesses() - self.accesses_at_invoke,
+        });
+        self.next_op += 1;
+        self.sm = None;
+    }
+
+    /// Begin the next op; returns `Some(result)` if it finishes with zero
+    /// accesses (trivial early-termination cases).
+    fn begin_op(&mut self, ctx: &Ctx<'_>) -> Option<bool> {
+        let op = self.ops[self.next_op];
+        self.invoked_at = ctx.step;
+        self.accesses_at_invoke = ctx.mem.accesses();
+        let (x, y) = match op {
+            DsuOp::Unite(x, y) | DsuOp::SameSet(x, y) => (x, y),
+        };
+        self.u = x;
+        self.v = y;
+        if self.early {
+            // Algorithms 6/7 check u == v before any access.
+            if self.u == self.v {
+                return Some(!matches!(op, DsuOp::Unite(..))); // SameSet→true, Unite→false
+            }
+            if self.less(self.v, self.u) {
+                std::mem::swap(&mut self.u, &mut self.v);
+            }
+            self.sm = Some(OpSm::EarlyRoot);
+        } else {
+            self.sm = Some(OpSm::Find { which: 0, sm: FindSm::new(self.policy, self.u) });
+        }
+        None
+    }
+
+    /// Advance the in-flight operation by one access. `Some(result)` when
+    /// the operation returns on this step.
+    fn step_op(&mut self, ctx: &mut Ctx<'_>) -> Option<bool> {
+        let op = self.ops[self.next_op];
+        let is_unite = matches!(op, DsuOp::Unite(..));
+        let sm = self.sm.as_mut().expect("operation in flight");
+        match sm {
+            OpSm::Find { which, sm: find } => {
+                if let Some(root) = find.step(ctx.mem) {
+                    if *which == 0 {
+                        self.u = root;
+                        self.sm =
+                            Some(OpSm::Find { which: 1, sm: FindSm::new(self.policy, self.v) });
+                    } else {
+                        self.v = root;
+                        if self.u == self.v {
+                            // SameSet -> true; Unite -> already same set.
+                            return Some(if is_unite { false } else { true });
+                        }
+                        self.sm = Some(OpSm::RootPhase);
+                    }
+                }
+                None
+            }
+            OpSm::RootPhase => {
+                if is_unite {
+                    // Try to link the smaller root under the larger.
+                    let (child, parent) = if self.less(self.u, self.v) {
+                        (self.u, self.v)
+                    } else {
+                        (self.v, self.u)
+                    };
+                    if ctx.mem.cas(child, child, parent) {
+                        return Some(true);
+                    }
+                    // Failed: re-find both.
+                    self.sm = Some(OpSm::Find { which: 0, sm: FindSm::new(self.policy, self.u) });
+                    None
+                } else {
+                    // SameSet: if u is still a root, the sets differ.
+                    let p = ctx.mem.read(self.u);
+                    if p == self.u {
+                        return Some(false);
+                    }
+                    self.sm = Some(OpSm::Find { which: 0, sm: FindSm::new(self.policy, self.u) });
+                    None
+                }
+            }
+            OpSm::EarlyRoot => {
+                if is_unite {
+                    // Algorithm 7: CAS(u.parent, u, v) links if u is a root.
+                    if ctx.mem.cas(self.u, self.u, self.v) {
+                        return Some(true);
+                    }
+                    self.sm = Some(OpSm::Advance(AdvanceSm::new(self.policy, self.u)));
+                    None
+                } else {
+                    // Algorithm 6: if u (the smaller) is a root, different
+                    // sets.
+                    let p = ctx.mem.read(self.u);
+                    if p == self.u {
+                        return Some(false);
+                    }
+                    self.sm = Some(OpSm::Advance(AdvanceSm::new(self.policy, self.u)));
+                    None
+                }
+            }
+            OpSm::Advance(adv) => {
+                if let Some(next_u) = adv.step(ctx.mem) {
+                    self.u = next_u;
+                    // Loop top of Algorithms 6/7 (local decisions).
+                    if self.u == self.v {
+                        return Some(if is_unite { false } else { true });
+                    }
+                    if self.less(self.v, self.u) {
+                        std::mem::swap(&mut self.u, &mut self.v);
+                    }
+                    self.sm = Some(OpSm::EarlyRoot);
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Program for DsuProcess {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+        if self.next_op >= self.ops.len() {
+            return StepOutcome::Done(self.records.len());
+        }
+        if self.sm.is_none() {
+            if let Some(trivial) = self.begin_op(ctx) {
+                // Zero-access operation (e.g. early-termination SameSet(x, x)):
+                // record it and spend this step on it, keeping one step per
+                // operation so history timestamps preserve program order.
+                self.finish_op(trivial, ctx);
+                if self.next_op >= self.ops.len() {
+                    return StepOutcome::Done(self.records.len());
+                }
+                return StepOutcome::Running;
+            }
+        }
+        if let Some(result) = self.step_op(ctx) {
+            self.finish_op(result, ctx);
+            if self.next_op >= self.ops.len() {
+                return StepOutcome::Done(self.records.len());
+            }
+        }
+        StepOutcome::Running
+    }
+}
+
+/// A bare `Find(x)` as a program (used by the Section 3 lockstep
+/// construction).
+#[derive(Debug, Clone)]
+pub struct FindProgram {
+    sm: FindSm,
+}
+
+impl FindProgram {
+    /// A find from `x` under `policy`.
+    pub fn new(policy: Policy, x: usize) -> Self {
+        FindProgram { sm: FindSm::new(policy, x) }
+    }
+}
+
+impl Program for FindProgram {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> StepOutcome {
+        match self.sm.step(ctx.mem) {
+            Some(root) => StepOutcome::Done(root),
+            None => StepOutcome::Running,
+        }
+    }
+}
+
+/// Everything a concurrent simulator run produces.
+#[derive(Debug)]
+pub struct ConcurrentOutcome {
+    /// The machine report (steps, completion, accesses).
+    pub report: RunReport,
+    /// Per-process operation records.
+    pub records: Vec<Vec<OpRecord>>,
+    /// Final memory (the parent array).
+    pub memory: Memory,
+}
+
+impl ConcurrentOutcome {
+    /// Flattens all processes' records into one history for the
+    /// linearizability checker.
+    pub fn history(&self) -> Vec<CompletedOp<DsuOp>> {
+        let mut h: Vec<CompletedOp<DsuOp>> = self
+            .records
+            .iter()
+            .flatten()
+            .map(|r| CompletedOp {
+                op: r.op,
+                result: r.result,
+                invoked_at: r.invoked_at,
+                returned_at: r.returned_at,
+            })
+            .collect();
+        h.sort_by_key(|o| o.invoked_at);
+        h
+    }
+
+    /// The final parent snapshot.
+    pub fn parents(&self) -> Vec<usize> {
+        self.memory.snapshot()
+    }
+
+    /// Canonical labels of the final state (walks parent chains; the run is
+    /// over, so the state is quiescent).
+    pub fn labels(&self) -> Vec<usize> {
+        let parents = self.memory.snapshot();
+        let mut labels = vec![usize::MAX; parents.len()];
+        for start in 0..parents.len() {
+            let mut u = start;
+            let mut steps = 0;
+            while parents[u] != u {
+                u = parents[u];
+                steps += 1;
+                assert!(steps <= parents.len(), "cycle in parent array");
+            }
+            labels[start] = u;
+        }
+        // Normalize to min element per root.
+        let mut min_of = vec![usize::MAX; parents.len()];
+        for (i, &l) in labels.iter().enumerate() {
+            min_of[l] = min_of[l].min(i);
+        }
+        labels.iter().map(|&l| min_of[l]).collect()
+    }
+}
+
+/// Runs `processes` over a fresh singleton forest of `n` elements under
+/// `scheduler`, up to `max_steps` total steps.
+///
+/// # Panics
+///
+/// Panics if the run exceeds `max_steps` without completing (the paper's
+/// operations are wait-free on a fixed universe, so a generous budget
+/// should never trip).
+pub fn run_concurrent(
+    n: usize,
+    mut processes: Vec<DsuProcess>,
+    scheduler: &mut dyn Scheduler,
+    max_steps: u64,
+) -> ConcurrentOutcome {
+    let mut machine = Machine::new(Memory::identity(n));
+    let report = {
+        let mut refs: Vec<&mut dyn Program> =
+            processes.iter_mut().map(|p| p as &mut dyn Program).collect();
+        machine.run(&mut refs, scheduler, max_steps)
+    };
+    assert!(report.completed, "simulation exceeded the step budget");
+    ConcurrentOutcome {
+        report,
+        records: processes.into_iter().map(|p| p.records).collect(),
+        memory: machine.into_memory(),
+    }
+}

@@ -1,0 +1,197 @@
+//! Lemma 3.2, checked mechanically: histories produced by the simulated
+//! concurrent operations under round-robin, random, and adversarially
+//! skewed schedules are always linearizable, for every find policy and
+//! both operation styles.
+
+use apram::{RoundRobin, Scheduler, SeededRandom, StarveAfter, Weighted};
+use apram_dsu::{random_ids, run_concurrent, DsuProcess, Policy};
+use linearize::{check_linearizable, DsuOp, DsuSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+const POLICIES: [Policy; 5] = [
+    Policy::NoCompaction,
+    Policy::OneTry,
+    Policy::TwoTry,
+    Policy::Halving,
+    Policy::Compression,
+];
+
+fn random_ops(n: usize, count: usize, rng: &mut ChaCha12Rng) -> Vec<DsuOp> {
+    (0..count)
+        .map(|_| {
+            let x = rng.gen_range(0..n);
+            let y = rng.gen_range(0..n);
+            if rng.gen_bool(0.5) {
+                DsuOp::Unite(x, y)
+            } else {
+                DsuOp::SameSet(x, y)
+            }
+        })
+        .collect()
+}
+
+fn check_run(
+    n: usize,
+    procs: usize,
+    ops_per_proc: usize,
+    policy: Policy,
+    early: bool,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+) {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let ids = random_ids(n, seed ^ 0x1D5);
+    let processes: Vec<DsuProcess> = (0..procs)
+        .map(|_| DsuProcess::new(random_ops(n, ops_per_proc, &mut rng), policy, early, ids.clone()))
+        .collect();
+    let outcome = run_concurrent(n, processes, scheduler, 1_000_000);
+    let history = outcome.history();
+    let verdict = check_linearizable(&DsuSpec::new(n), &history);
+    assert!(
+        verdict.is_ok(),
+        "NOT LINEARIZABLE: policy {policy:?} early {early} seed {seed}\nhistory: {history:#?}"
+    );
+}
+
+#[test]
+fn round_robin_schedules_are_linearizable() {
+    for policy in POLICIES {
+        for early in [false, true] {
+            for seed in 0..10 {
+                check_run(5, 3, 4, policy, early, &mut RoundRobin::new(), seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_schedules_are_linearizable() {
+    for policy in POLICIES {
+        for early in [false, true] {
+            for seed in 0..25 {
+                check_run(6, 3, 4, policy, early, &mut SeededRandom::new(seed * 31 + 7), seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn skewed_adversarial_schedules_are_linearizable() {
+    for policy in [Policy::TwoTry, Policy::OneTry] {
+        for early in [false, true] {
+            for seed in 0..15 {
+                // One nearly-starved process, one dominant.
+                let mut sched = Weighted::new(vec![100, 1, 10], seed);
+                check_run(5, 3, 4, policy, early, &mut sched, 1000 + seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn final_state_matches_confluent_oracle() {
+    // Whatever the schedule, the final partition must equal the connected
+    // components of all issued unite pairs.
+    for seed in 0..10u64 {
+        let n = 12;
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let ids = random_ids(n, seed);
+        let mut all_unites = Vec::new();
+        let processes: Vec<DsuProcess> = (0..4)
+            .map(|_| {
+                let ops = random_ops(n, 8, &mut rng);
+                for op in &ops {
+                    if let DsuOp::Unite(x, y) = *op {
+                        all_unites.push((x, y));
+                    }
+                }
+                DsuProcess::new(ops, Policy::TwoTry, false, ids.clone())
+            })
+            .collect();
+        let outcome = run_concurrent(n, processes, &mut SeededRandom::new(seed + 99), 1_000_000);
+        let mut oracle = sequential_dsu::NaiveDsu::new(n);
+        for (x, y) in all_unites {
+            oracle.unite(x, y);
+        }
+        assert_eq!(
+            sequential_dsu::Partition::from_labels(&outcome.labels()),
+            oracle.partition(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn per_op_step_counts_are_modest() {
+    // Wait-freedom sanity in the model: with n = 16 no operation should
+    // take hundreds of accesses regardless of schedule.
+    for seed in 0..5u64 {
+        let n = 16;
+        let ids = random_ids(n, seed);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let processes: Vec<DsuProcess> = (0..4)
+            .map(|_| DsuProcess::new(random_ops(n, 10, &mut rng), Policy::TwoTry, false, ids.clone()))
+            .collect();
+        let outcome = run_concurrent(n, processes, &mut SeededRandom::new(seed), 1_000_000);
+        for rec in outcome.records.iter().flatten() {
+            assert!(rec.accesses < 300, "op {rec:?} took {} accesses", rec.accesses);
+            assert!(rec.returned_at >= rec.invoked_at);
+        }
+    }
+}
+
+#[test]
+fn wait_freedom_survives_a_starved_process() {
+    // Lemma 3.3: on a fixed universe, every operation finishes in O(h + 1)
+    // of its *own* steps, no matter what other processes do — including a
+    // process that stops cold mid-operation. Starve process 0 after a few
+    // steps (likely mid-find) and require the others to complete anyway.
+    for policy in POLICIES {
+        for seed in 0..5u64 {
+            let n = 10;
+            let ids = random_ids(n, seed);
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let processes: Vec<DsuProcess> = (0..3)
+                .map(|_| DsuProcess::new(random_ops(n, 6, &mut rng), policy, false, ids.clone()))
+                .collect();
+            let mut sched = StarveAfter::new(0, 7);
+            // run_concurrent asserts completion; the starved process is
+            // allowed to finish only after the survivors are done.
+            let outcome = run_concurrent(n, processes, &mut sched, 1_000_000);
+            assert!(outcome.report.completed, "{policy:?} seed {seed}");
+            // Survivors must not have ballooned: their step counts stay
+            // modest even though process 0 was frozen mid-operation.
+            for proc_id in 1..3 {
+                assert!(
+                    outcome.report.steps_per_proc[proc_id] < 2_000,
+                    "{policy:?} seed {seed}: survivor {proc_id} took {} steps",
+                    outcome.report.steps_per_proc[proc_id]
+                );
+            }
+            // And the whole history is still linearizable.
+            assert!(
+                check_linearizable(&DsuSpec::new(n), &outcome.history()).is_ok(),
+                "{policy:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trivial_self_ops_are_recorded() {
+    let ids = random_ids(3, 0);
+    let procs = vec![DsuProcess::new(
+        vec![DsuOp::SameSet(1, 1), DsuOp::Unite(2, 2), DsuOp::SameSet(0, 1)],
+        Policy::TwoTry,
+        true, // early termination has zero-access self-ops
+        ids,
+    )];
+    let outcome = run_concurrent(3, procs, &mut RoundRobin::new(), 10_000);
+    let recs = &outcome.records[0];
+    assert_eq!(recs.len(), 3);
+    assert!(recs[0].result, "SameSet(1,1) is true");
+    assert!(!recs[1].result, "Unite(2,2) links nothing");
+    assert!(!recs[2].result, "singletons are disjoint");
+    assert!(check_linearizable(&DsuSpec::new(3), &outcome.history()).is_ok());
+}

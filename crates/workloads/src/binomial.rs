@@ -1,0 +1,210 @@
+//! The lower-bound workload of paper Lemma 5.3 and Theorem 5.4.
+//!
+//! Lemma 5.3: for any `k` (we require a power of two), a suitable sequence
+//! of `k − 1` unites — pair up sets round by round, always calling `Unite`
+//! on the current *representatives* — builds a `k`-node tree whose average
+//! node depth is `Ω(log k)` even though every find splits. The trick is
+//! that representatives stay within depth 2, so the splitting finds can
+//! barely compact anything.
+//!
+//! Theorem 5.4 turns this into the `Ω(m log(np/m))` lower bound: build
+//! `n/δ` such trees of size `δ = np/3m`, pick a random node in each, and
+//! have all `p` processes do `SameSet(x, x)` storms against those nodes in
+//! lockstep. Each query must walk its node's whole depth.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::op::{Op, Workload};
+
+/// Emits the Lemma 5.3 union schedule for one tree over the elements
+/// `base .. base + k`, returning the ops and the final representative.
+///
+/// Invariants maintained (paper's (1)–(3)): after round `i` every tree has
+/// `2^i` nodes; representatives have depth ≤ 2; a depth-δ node's subtree
+/// has ≤ `2^(i-δ)` nodes.
+///
+/// # Panics
+///
+/// Panics unless `k` is a power of two and at least 2.
+pub fn binomial_build_ops(base: usize, k: usize) -> (Vec<Op>, usize) {
+    assert!(k >= 2 && k.is_power_of_two(), "k must be a power of two >= 2, got {k}");
+    let mut ops = Vec::with_capacity(k - 1);
+    // reps[j] is the representative of the j-th surviving set.
+    let mut reps: Vec<usize> = (base..base + k).collect();
+    while reps.len() > 1 {
+        let mut next = Vec::with_capacity(reps.len() / 2);
+        for pair in reps.chunks(2) {
+            ops.push(Op::Unite(pair[0], pair[1]));
+            // "Designate either of the representatives" — keep the first.
+            next.push(pair[0]);
+        }
+        reps = next;
+    }
+    (ops, reps[0])
+}
+
+/// The two-phase lower-bound workload of Theorem 5.4 part 2.
+#[derive(Debug, Clone)]
+pub struct LowerBoundWorkload {
+    /// Universe size `n` (a multiple of `delta`).
+    pub n: usize,
+    /// Tree size `δ`: each of the `n/δ` trees has average depth
+    /// `≥ (lg δ)/4`.
+    pub delta: usize,
+    /// Phase 1 (executed by **one** thread, sequentially): the
+    /// binomial-tree builds.
+    pub build: Workload,
+    /// Phase 2 (executed by **every** thread, ideally in lockstep): one
+    /// `SameSet(x, x)` per tree against a random member.
+    pub queries: Workload,
+}
+
+impl LowerBoundWorkload {
+    /// Total operation count across phases, counting the query phase once
+    /// per thread.
+    pub fn total_ops(&self, p: usize) -> usize {
+        self.build.len() + p * self.queries.len()
+    }
+}
+
+/// Builds the Theorem 5.4 workload: `n/delta` binomial trees of size
+/// `delta`, plus a `SameSet(x, x)` query per tree at a uniformly random
+/// member (seeded).
+///
+/// `SameSet(x, x)` is the paper's query of choice: it answers `true` but
+/// still pays two full find walks from `x` — `Ω(log δ)` expected steps in
+/// these trees. (The early-termination variant would answer in `O(1)`;
+/// experiment E5 uses the standard operations.)
+///
+/// # Panics
+///
+/// Panics unless `delta` is a power of two ≥ 2 dividing `n`.
+pub fn lower_bound_workload(n: usize, delta: usize, seed: u64) -> LowerBoundWorkload {
+    assert!(delta >= 2 && delta.is_power_of_two(), "delta must be a power of two >= 2");
+    assert!(n % delta == 0, "delta must divide n");
+    let trees = n / delta;
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut build_ops = Vec::with_capacity(n - trees);
+    let mut query_ops = Vec::with_capacity(trees);
+    for t in 0..trees {
+        let base = t * delta;
+        let (ops, _rep) = binomial_build_ops(base, delta);
+        build_ops.extend(ops);
+        let x = base + rng.gen_range(0..delta);
+        query_ops.push(Op::SameSet(x, x));
+    }
+    LowerBoundWorkload {
+        n,
+        delta,
+        build: Workload::new(n, build_ops),
+        queries: Workload::new(n, query_ops),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_emits_k_minus_one_unites() {
+        for k in [2usize, 4, 8, 64, 256] {
+            let (ops, rep) = binomial_build_ops(0, k);
+            assert_eq!(ops.len(), k - 1);
+            assert!(ops.iter().all(|o| o.is_unite()));
+            assert_eq!(rep, 0, "first representative survives");
+        }
+    }
+
+    #[test]
+    fn build_respects_base_offset() {
+        let (ops, rep) = binomial_build_ops(100, 4);
+        assert_eq!(rep, 100);
+        for op in &ops {
+            let (x, y) = op.operands();
+            assert!((100..104).contains(&x) && (100..104).contains(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        binomial_build_ops(0, 6);
+    }
+
+    #[test]
+    fn rounds_pair_up_representatives() {
+        let (ops, _) = binomial_build_ops(0, 8);
+        // Round 1: (0,1) (2,3) (4,5) (6,7); round 2: (0,2) (4,6); round 3: (0,4).
+        assert_eq!(
+            ops,
+            vec![
+                Op::Unite(0, 1),
+                Op::Unite(2, 3),
+                Op::Unite(4, 5),
+                Op::Unite(6, 7),
+                Op::Unite(0, 2),
+                Op::Unite(4, 6),
+                Op::Unite(0, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn lower_bound_workload_shape() {
+        let w = lower_bound_workload(64, 8, 3);
+        assert_eq!(w.n, 64);
+        assert_eq!(w.build.len(), 64 - 8); // (delta - 1) * trees
+        assert_eq!(w.queries.len(), 8);
+        // Each query targets its own tree and is a self-same-set.
+        for (t, op) in w.queries.ops.iter().enumerate() {
+            let (x, y) = op.operands();
+            assert_eq!(x, y);
+            assert!((t * 8..(t + 1) * 8).contains(&x));
+            assert!(!op.is_unite());
+        }
+        assert_eq!(w.total_ops(4), (64 - 8) + 4 * 8);
+    }
+
+    #[test]
+    fn lower_bound_workload_is_seed_deterministic() {
+        let a = lower_bound_workload(32, 4, 9);
+        let b = lower_bound_workload(32, 4, 9);
+        assert_eq!(a.queries, b.queries);
+        let c = lower_bound_workload(32, 4, 10);
+        // Builds are deterministic regardless of seed; queries may differ.
+        assert_eq!(a.build, c.build);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn delta_must_divide_n() {
+        lower_bound_workload(10, 4, 0);
+    }
+
+    /// The heart of Lemma 5.3, verified empirically: replaying the build
+    /// schedule against a sequential DSU with randomized linking and
+    /// splitting finds leaves a forest of average depth ≥ (lg k)/8 —
+    /// splitting never manages to flatten it. (The paper proves ≥ (lg k)/4
+    /// for its exact construction; we use half that as a robust test
+    /// threshold across seeds.)
+    #[test]
+    fn built_tree_resists_compaction() {
+        use sequential_dsu::{Compaction, Linking, SeqDsu};
+        let k = 1024;
+        for seed in [1u64, 2, 3] {
+            let (ops, _) = binomial_build_ops(0, k);
+            let mut dsu = SeqDsu::with_seed(k, Linking::Randomized, Compaction::Splitting, seed);
+            for op in &ops {
+                let (x, y) = op.operands();
+                dsu.unite(x, y);
+            }
+            // Average depth over the *actual* compressed forest (not the
+            // union forest: we want what splitting failed to flatten).
+            let total_depth: usize = (0..k).map(|x| dsu.depth_of(x)).sum();
+            let avg = total_depth as f64 / k as f64;
+            let bound = (k as f64).log2() / 8.0;
+            assert!(avg >= bound, "seed {seed}: avg depth {avg:.2} < {bound:.2}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload generation for the disjoint-set-union experiments.
+//!
+//! The paper proves its bounds over *arbitrary* operation sequences; the
+//! experiments need concrete, reproducible ones. This crate provides:
+//!
+//! * [`Op`] / [`Workload`] — a serializable operation trace (unite /
+//!   same-set over `0..n`), with helpers to shard a trace across `p`
+//!   threads;
+//! * [`WorkloadSpec`] — seeded generators: uniform, Zipf-skewed
+//!   ([`Zipf`], our own rejection-inversion sampler), and locality-window
+//!   element choice, with a configurable unite : same-set mix;
+//! * [`binomial`] — the adversarial workload of paper Lemma 5.3 /
+//!   Theorem 5.4: a binomial-tree-style union schedule whose resulting
+//!   forest has Ω(log k) average depth, followed by a `SameSet` storm that
+//!   realizes the Ω(m log(np/m)) lower bound;
+//! * JSON trace round-tripping, so any experiment's exact input can be
+//!   archived and replayed.
+//!
+//! # Example
+//!
+//! ```
+//! use dsu_workloads::{WorkloadSpec, ElementDist};
+//!
+//! let spec = WorkloadSpec::new(1000, 5000).unite_fraction(0.3);
+//! let workload = spec.generate(42);
+//! assert_eq!(workload.ops.len(), 5000);
+//! let shards = workload.shard(4);
+//! assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 5000);
+//! ```
+
+pub mod binomial;
+pub mod gen;
+pub mod op;
+pub mod zipf;
+
+pub use binomial::{binomial_build_ops, lower_bound_workload, LowerBoundWorkload};
+pub use gen::{ElementDist, WorkloadSpec};
+pub use op::{Op, Workload};
+pub use zipf::Zipf;

@@ -1,0 +1,44 @@
+//! Minimum spanning forest two ways: classic Kruskal (sequential
+//! union-find deciding cycle edges) and parallel Borůvka driven by the
+//! concurrent structure. Distinct edge weights make the MSF unique, so the
+//! two must return the *same tree* — a sharp check of `unite`'s
+//! linearizable true/false answer.
+//!
+//! Run with: `cargo run --release --example kruskal_mst`
+
+use jt_dsu::dsu_graph::gen;
+use jt_dsu::dsu_graph::mst::{boruvka_parallel, kruskal};
+use std::time::Instant;
+
+fn main() {
+    let n = 1 << 18;
+    let m = 4 * n;
+    println!("weighted G(n = {n}, m = {m}) with distinct weights…");
+    let g = gen::gnm(n, m, 7);
+
+    let t0 = Instant::now();
+    let k = kruskal(&g);
+    let k_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "kruskal:          weight {:>12}  edges {:>7}  {:>8.1} ms",
+        k.total_weight,
+        k.edges.len(),
+        k_ms
+    );
+
+    for p in [1, 4, 8] {
+        let t1 = Instant::now();
+        let b = boruvka_parallel(&g, p);
+        let b_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(b.total_weight, k.total_weight, "MSF weight must be unique");
+        assert_eq!(b.edges, k.edges, "distinct weights ⇒ identical MSF edges");
+        println!(
+            "boruvka (p = {p}):  weight {:>12}  edges {:>7}  {:>8.1} ms  ({:.2}x vs kruskal)",
+            b.total_weight,
+            b.edges.len(),
+            b_ms,
+            k_ms / b_ms
+        );
+    }
+    println!("parallel Borůvka reproduced Kruskal's tree edge-for-edge.");
+}

@@ -1,0 +1,50 @@
+//! # jt-dsu — a reproduction of *A Randomized Concurrent Algorithm for
+//! Disjoint Set Union* (Jayanti & Tarjan, PODC 2016)
+//!
+//! This meta crate re-exports the whole workspace so examples and
+//! downstream users can depend on one name:
+//!
+//! * [`concurrent_dsu`] — the paper's contribution: wait-free union-find
+//!   with randomized linking ([`Dsu`], [`GrowableDsu`]);
+//! * [`sequential_dsu`] — the Section 2 sequential baselines and the
+//!   inverse-Ackermann utilities;
+//! * [`dsu_baselines`] — Anderson–Woll-style rank linking and a global
+//!   lock baseline;
+//! * [`apram`] / [`apram_dsu`] — the APRAM model as an executable
+//!   simulator, and the algorithms as step machines;
+//! * [`linearize`] — Wing–Gong linearizability checking;
+//! * [`dsu_graph`] — graph generators and the applications (connected
+//!   components, MST, percolation, incremental connectivity);
+//! * [`dsu_workloads`] — seeded workload generation, including the
+//!   Lemma 5.3 lower-bound construction;
+//! * [`dsu_harness`] — the experiment driver behind the `e01`–`e12`
+//!   binaries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use jt_dsu::Dsu;
+//!
+//! let dsu: Dsu = Dsu::new(8);
+//! assert!(dsu.unite(0, 1));
+//! assert!(dsu.same_set(1, 0));
+//! ```
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the system inventory and
+//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use apram;
+pub use apram_dsu;
+pub use concurrent_dsu;
+pub use dsu_baselines;
+pub use dsu_graph;
+pub use dsu_harness;
+pub use dsu_workloads;
+pub use linearize;
+pub use sequential_dsu;
+
+pub use concurrent_dsu::{
+    ConcurrentUnionFind, Dsu, DsuHalving, DsuNoCompaction, DsuOneTry, DsuTwoTry, GrowableDsu,
+    Halving, NoCompaction, OneTrySplit, OpStats, TwoTrySplit,
+};
+pub use sequential_dsu::{Compaction, Linking, Partition, SeqDsu};
