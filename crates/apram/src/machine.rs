@@ -73,20 +73,14 @@ impl Machine {
         let accesses_before = self.memory.accesses();
         while !runnable.is_empty() && total_steps < max_steps {
             let pick = scheduler.next(&runnable);
-            assert!(
-                runnable.contains(&pick),
-                "scheduler chose non-runnable process {pick}"
-            );
+            assert!(runnable.contains(&pick), "scheduler chose non-runnable process {pick}");
             let before = self.memory.accesses();
             let outcome = {
                 let mut ctx = Ctx { mem: &mut self.memory, proc_id: pick, step: total_steps };
                 programs[pick].step(&mut ctx)
             };
             let used = self.memory.accesses() - before;
-            assert!(
-                used <= 1,
-                "process {pick} performed {used} shared accesses in one step"
-            );
+            assert!(used <= 1, "process {pick} performed {used} shared accesses in one step");
             steps_per_proc[pick] += 1;
             total_steps += 1;
             if let StepOutcome::Done(v) = outcome {

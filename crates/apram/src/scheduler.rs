@@ -40,11 +40,7 @@ impl Scheduler for RoundRobin {
     fn next(&mut self, runnable: &[usize]) -> usize {
         assert!(!runnable.is_empty(), "no runnable process");
         // Find the first runnable id >= cursor, else wrap.
-        let pick = runnable
-            .iter()
-            .copied()
-            .find(|&p| p >= self.cursor)
-            .unwrap_or(runnable[0]);
+        let pick = runnable.iter().copied().find(|&p| p >= self.cursor).unwrap_or(runnable[0]);
         self.cursor = pick + 1;
         pick
     }

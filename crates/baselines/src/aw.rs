@@ -89,10 +89,7 @@ impl AwDsu {
     ///
     /// Panics if `n` exceeds the 48-bit parent field (`n >= 2^48`).
     pub fn new(n: usize) -> Self {
-        assert!(
-            (n as u64) <= PARENT_MASK,
-            "AwDsu supports at most 2^48 elements"
-        );
+        assert!((n as u64) <= PARENT_MASK, "AwDsu supports at most 2^48 elements");
         AwDsu {
             words: (0..n).map(|i| AtomicU64::new(pack(i, 0))).collect(),
             links: std::sync::atomic::AtomicUsize::new(0),
@@ -229,10 +226,7 @@ impl AwDsu {
     /// `parent`, preserving the child's rank bits.
     fn try_link(&self, child: usize, wchild: u64, parent: usize) -> bool {
         let (_, rank) = unpack(wchild);
-        if self.words[child]
-            .compare_exchange(wchild, pack(parent, rank), ORD, ORD)
-            .is_ok()
-        {
+        if self.words[child].compare_exchange(wchild, pack(parent, rank), ORD, ORD).is_ok() {
             self.links.fetch_add(1, Ordering::Relaxed);
             true
         } else {

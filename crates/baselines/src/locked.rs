@@ -139,8 +139,7 @@ mod tests {
     fn concurrent_use_is_safe_and_confluent() {
         let n = 256;
         let dsu = LockedDsu::new(n, Linking::BySize, Compaction::Splitting);
-        let pairs: Vec<(usize, usize)> =
-            (0..n).map(|i| (i, (i * 37 + 11) % n)).collect();
+        let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, (i * 37 + 11) % n)).collect();
         std::thread::scope(|s| {
             for t in 0..4 {
                 let dsu = &dsu;

@@ -5,9 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use dsu_graph::components::{parallel_components, sequential_components};
+use dsu_graph::gen;
 use dsu_graph::mst::{boruvka_parallel, kruskal};
 use dsu_graph::percolation::percolation_threshold;
-use dsu_graph::gen;
 
 fn bench_components(c: &mut Criterion) {
     let scale = 15u32;

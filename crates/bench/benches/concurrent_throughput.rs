@@ -1,31 +1,46 @@
 //! Multi-threaded throughput per structure (the micro version of
-//! experiment E4): the Jayanti–Tarjan structure vs the Anderson–Woll-style
-//! and lock baselines at 1, 4, and 8 threads.
+//! experiment E4): the Jayanti–Tarjan structure — on the packed and flat
+//! parent stores — vs the Anderson–Woll-style and lock baselines at 1, 2,
+//! 4, and 8 threads.
+//!
+//! The `jt-two-try-packed` / `jt-two-try-flat` pair isolates the storage
+//! layout (same policy, same ids, same workload); its ratio is the number
+//! tracked in `BENCH_PR1.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use concurrent_dsu::{Dsu, GrowableDsu, OneTrySplit, TwoTrySplit};
+use concurrent_dsu::{Dsu, FlatStore, GrowableDsu, OneTrySplit, PackedStore, TwoTrySplit};
 use dsu_baselines::{AwDsu, LockedDsu};
 use dsu_bench::{standard_workload, timed_parallel_run};
 use sequential_dsu::{Compaction, Linking};
 
-const N: usize = 1 << 17;
-const M: usize = 1 << 18;
-const THREADS: [usize; 3] = [1, 4, 8];
+const N: usize = 1 << 20;
+const M: usize = 1 << 21;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn bench_structures(c: &mut Criterion) {
     let w = standard_workload(N, M);
     let mut group = c.benchmark_group("concurrent_throughput");
     group.throughput(Throughput::Elements(M as u64));
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(400));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(600));
+    group.measurement_time(std::time::Duration::from_millis(4000));
     for &p in &THREADS {
-        group.bench_function(BenchmarkId::new("jt-two-try", p), |b| {
+        group.bench_function(BenchmarkId::new("jt-two-try-packed", p), |b| {
             b.iter_custom(|iters| {
                 let mut total = std::time::Duration::ZERO;
                 for _ in 0..iters {
-                    let dsu: Dsu<TwoTrySplit> = Dsu::new(N);
+                    let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(N);
+                    total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("jt-two-try-flat", p), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu: Dsu<TwoTrySplit, FlatStore> = Dsu::new(N);
                     total += timed_parallel_run(&dsu, &w, p);
                 }
                 total

@@ -1,0 +1,44 @@
+//! Interleaved A/B comparison of the packed vs. flat parent store.
+//!
+//! The criterion benches time each structure in its own window, which on a
+//! busy host lets CPU-steal drift masquerade as a layout effect. This
+//! harness alternates packed and flat samples back to back, so both see
+//! the same environment, and reports per-thread-count medians and the
+//! packed/flat throughput ratio.
+//!
+//! Run: `cargo run --release -p dsu-bench --example packed_vs_flat_ab [samples]`
+
+use concurrent_dsu::{Dsu, FlatStore, PackedStore, TwoTrySplit};
+use dsu_bench::{standard_workload, timed_parallel_run};
+
+const N: usize = 1 << 20;
+const M: usize = 1 << 21;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let samples: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let w = standard_workload(N, M);
+    println!("n = {N}, m = {M}, {samples} interleaved samples per layout");
+    println!("{:>7} {:>14} {:>14} {:>8}", "threads", "packed ns", "flat ns", "ratio");
+    for &p in &[1usize, 2, 4, 8] {
+        // Warm-up one run of each.
+        let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(N);
+        timed_parallel_run(&dsu, &w, p);
+        let dsu: Dsu<TwoTrySplit, FlatStore> = Dsu::new(N);
+        timed_parallel_run(&dsu, &w, p);
+        let mut packed_ns = Vec::with_capacity(samples);
+        let mut flat_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(N);
+            packed_ns.push(timed_parallel_run(&dsu, &w, p).as_nanos() as f64);
+            let dsu: Dsu<TwoTrySplit, FlatStore> = Dsu::new(N);
+            flat_ns.push(timed_parallel_run(&dsu, &w, p).as_nanos() as f64);
+        }
+        let (pm, fm) = (median(&mut packed_ns), median(&mut flat_ns));
+        println!("{:>7} {:>14.0} {:>14.0} {:>8.3}", p, pm, fm, fm / pm);
+    }
+}

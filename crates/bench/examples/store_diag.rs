@@ -1,0 +1,55 @@
+//! Work-count cross-check and phase attribution for packed vs. flat.
+//!
+//! Runs the standard mixed workload single-threaded on both layouts with
+//! full `OpStats` instrumentation. The counters (loop iterations, reads,
+//! CAS outcomes) must be *identical* — same ids, same decisions — so any
+//! timing difference is pure per-access cost, attributed separately to the
+//! mixed phase and a pure-find storm.
+//!
+//! Run: `cargo run --release -p dsu-bench --example store_diag [log2_n]`
+
+use concurrent_dsu::{Dsu, DsuStore, FlatStore, OpStats, PackedStore, TwoTrySplit};
+use dsu_bench::standard_workload;
+use std::time::Instant;
+
+fn run<S: DsuStore>(label: &str) {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(17);
+    let n = 1usize << n;
+    let m = 2 * n;
+    let w = standard_workload(n, m);
+    let dsu: Dsu<TwoTrySplit, S> = Dsu::new(n);
+    let mut stats = OpStats::default();
+    // Split workload into unite-only and query-only passes for attribution.
+    let t0 = Instant::now();
+    for op in &w.ops {
+        match *op {
+            dsu_workloads::Op::Unite(x, y) => {
+                dsu.unite_with(x, y, &mut stats);
+            }
+            dsu_workloads::Op::SameSet(x, y) => {
+                dsu.same_set_with(x, y, &mut stats);
+            }
+        }
+    }
+    let total = t0.elapsed();
+    // Pure find storm afterwards (paths now shallow).
+    let t1 = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..n {
+        acc = acc.wrapping_add(dsu.find(i));
+    }
+    let finds = t1.elapsed();
+    std::hint::black_box(acc);
+    println!(
+        "{label}: mixed {:>12?} finds {:>12?} | iters {} reads {} cas_ok {} cas_fail {} links_ok {} links_fail {}",
+        total, finds, stats.loop_iters, stats.reads, stats.compact_cas_ok,
+        stats.compact_cas_fail, stats.links_ok, stats.links_fail
+    );
+}
+
+fn main() {
+    for _ in 0..3 {
+        run::<PackedStore>("packed");
+        run::<FlatStore>("flat  ");
+    }
+}

@@ -19,10 +19,7 @@ pub fn standard_workload(n: usize, m: usize) -> Workload {
 }
 
 /// Applies one op to anything implementing the concurrent interface.
-pub fn apply<D: concurrent_dsu::ConcurrentUnionFind + ?Sized>(
-    dsu: &D,
-    op: dsu_workloads::Op,
-) {
+pub fn apply<D: concurrent_dsu::ConcurrentUnionFind + ?Sized>(dsu: &D, op: dsu_workloads::Op) {
     match op {
         dsu_workloads::Op::Unite(x, y) => {
             dsu.unite(x, y);
@@ -53,8 +50,13 @@ pub fn timed_parallel_run<D: concurrent_dsu::ConcurrentUnionFind>(
                 }
             });
         }
+        // Take the timestamp *before* releasing the barrier: workers cannot
+        // start until this thread arrives, but once the barrier opens this
+        // thread may be descheduled while workers run (oversubscribed
+        // hosts), which would deflate an after-the-wait timestamp.
+        let t0 = std::time::Instant::now();
         barrier.wait();
-        std::time::Instant::now()
+        t0
     });
     started.elapsed()
 }

@@ -1,0 +1,309 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the workspace benches use — `criterion_group!`
+//! / `criterion_main!`, [`Criterion::benchmark_group`], group knobs
+//! (`throughput`, `sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` with [`Bencher::iter`] / [`Bencher::iter_custom`],
+//! [`BenchmarkId`], and [`black_box`] — as a plain wall-clock runner: warm
+//! up for the configured duration, take `sample_size` timed samples, report
+//! the per-iteration mean and min.
+//!
+//! Results are printed human-readably and, when `CRITERION_JSON` names a
+//! file, appended there as JSON lines
+//! (`{"group":..,"bench":..,"mean_ns":..,"min_ns":..,"throughput":..}`)
+//! so runs can be archived (e.g. `BENCH_PR1.json`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per benchmark iteration.
+    Elements(u64),
+    /// Bytes processed per benchmark iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `"{function}/{parameter}"`.
+    pub fn new(function: impl ToString, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", function.to_string()) }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Things acceptable as a `bench_function` identifier.
+pub trait IntoBenchmarkId {
+    /// The final label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure of `bench_function`.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured time.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares units of work per iteration for throughput lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total timed budget (bounds how many samples actually run).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then up to `sample_size` samples within
+    /// the measurement budget; reports mean/min ns per iteration.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let label = id.into_label();
+        if !self.criterion.matches(&self.name, &label) {
+            return self;
+        }
+        let mut run_once = || {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, _marker: Default::default() };
+            f(&mut b);
+            b.elapsed
+        };
+        // Warm-up: at least one run, then keep going until the budget is
+        // spent.
+        let warm_start = Instant::now();
+        let mut last = run_once();
+        while warm_start.elapsed() < self.warm_up_time {
+            last = run_once();
+        }
+        // Sampling: each sample is one iteration (these benches do a full
+        // workload per iteration); stop early when over budget.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for i in 0..self.sample_size {
+            if i > 0 && measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+            samples_ns.push(run_once().as_nanos() as f64);
+        }
+        if samples_ns.is_empty() {
+            samples_ns.push(last.as_nanos() as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut line = format!(
+            "{}/{label}: mean {:.0} ns, min {:.0} ns over {} samples",
+            self.name,
+            mean,
+            min,
+            samples_ns.len()
+        );
+        let mut throughput = None;
+        if let Some(Throughput::Elements(e) | Throughput::Bytes(e)) = self.throughput {
+            let per_sec = e as f64 / (mean / 1e9);
+            throughput = Some(per_sec);
+            let _ = write!(line, " ({:.3} Melem/s)", per_sec / 1e6);
+        }
+        println!("{line}");
+        self.criterion.record(&self.name, &label, mean, min, throughput);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is bookkeeping only).
+    pub fn finish(&mut self) {}
+}
+
+/// JSON-line sink plus global state for one bench binary invocation.
+pub struct Criterion {
+    json_path: Option<std::path::PathBuf>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free CLI arg (as passed by `cargo bench -- <filter>`)
+        // filters benchmarks by substring, mirroring upstream behavior.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion { json_path: std::env::var_os("CRITERION_JSON").map(Into::into), filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            criterion: self,
+        }
+    }
+
+    /// `true` if this benchmark should run under the CLI filter.
+    pub fn matches(&self, group: &str, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{group}/{label}").contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn record(&mut self, group: &str, bench: &str, mean_ns: f64, min_ns: f64, tp: Option<f64>) {
+        if let Some(path) = &self.json_path {
+            let tp_field = match tp {
+                Some(t) => format!("{t:.1}"),
+                None => "null".to_string(),
+            };
+            let line = format!(
+                "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"mean_ns\":{mean_ns:.1},\"min_ns\":{min_ns:.1},\"throughput_per_s\":{tp_field}}}\n",
+            );
+            use std::io::Write;
+            let file = std::fs::OpenOptions::new().create(true).append(true).open(path);
+            match file {
+                Ok(mut f) => {
+                    let _ = f.write_all(line.as_bytes());
+                }
+                Err(e) => eprintln!("criterion stub: cannot append to {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion { json_path: None, filter: None };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(50))
+                .throughput(Throughput::Elements(10));
+            g.bench_function(BenchmarkId::new("spin", 1), |b| {
+                b.iter(|| {
+                    ran += 1;
+                    std::hint::black_box(ran)
+                })
+            });
+            g.finish();
+        }
+        assert!(ran >= 2, "warm-up plus samples must run the closure, ran = {ran}");
+    }
+
+    #[test]
+    fn iter_custom_reports_duration() {
+        let mut b = Bencher { iters: 4, elapsed: Duration::ZERO, _marker: Default::default() };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 10));
+        assert_eq!(b.elapsed, Duration::from_nanos(40));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).into_label(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").into_label(), "p");
+        assert_eq!("raw".into_label(), "raw");
+    }
+}

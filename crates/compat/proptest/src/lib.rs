@@ -1,0 +1,301 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! [`Strategy`](strategy::Strategy) with `prop_map`, integer-range and
+//! tuple strategies, `any::<T>()`, `prop::collection::vec`,
+//! `prop::bool::ANY`, and the `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Cases are generated from a fixed seed (deterministic across runs) with
+//! no shrinking: a failing case panics with the case number and seed so it
+//! can be replayed by re-running the test.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::Rng;
+    use rand_chacha::ChaCha12Rng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut ChaCha12Rng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut ChaCha12Rng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut ChaCha12Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut ChaCha12Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut ChaCha12Rng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: rand::SampleStandard> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut ChaCha12Rng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the "whole domain of `T`" strategy.
+
+    /// A uniform strategy over all of `T`.
+    pub fn any<T: rand::SampleStandard>() -> super::strategy::Any<T> {
+        super::strategy::Any(std::marker::PhantomData)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `bool`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use rand::Rng;
+        use rand_chacha::ChaCha12Rng;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        /// `vec(element_strategy, length_range)`.
+        pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { elem, lo: len.start, hi: len.end }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut ChaCha12Rng) -> Self::Value {
+                let len = rng.gen_range(self.lo..self.hi);
+                (0..len).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        /// A fair coin.
+        pub struct BoolAny;
+
+        impl crate::strategy::Strategy for BoolAny {
+            type Value = bool;
+            fn new_value(&self, rng: &mut rand_chacha::ChaCha12Rng) -> bool {
+                use rand::Rng;
+                rng.gen()
+            }
+        }
+
+        /// The fair-coin strategy value (`prop::bool::ANY`).
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The upstream default is 256; 64 keeps the single-core CI quick
+        // while still exploring a meaningful slice of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error type carried by failing `prop_assert!`s.
+pub type TestCaseError = String;
+
+#[doc(hidden)]
+pub fn __run_cases(
+    test_name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut rand_chacha::ChaCha12Rng) -> Result<(), TestCaseError>,
+) {
+    use rand::SeedableRng;
+    // Fixed base seed: deterministic, still distinct per test via the name.
+    let base = test_name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3));
+    for case in 0..cases {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        if let Err(msg) = body(&mut rng) {
+            panic!("proptest case {case}/{cases} (seed {seed:#x}) failed: {msg}");
+        }
+    }
+}
+
+/// Source-compatible subset of proptest's entry macro. Each contained
+/// `fn name(pat in strategy, ...) { body }` becomes a `#[test]` running
+/// `cases` random instantiations of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg [$cfg] $($rest)*);
+    };
+    (@cfg [$cfg:expr] $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::__run_cases(stringify!($name), cfg.cases, |__rng| {
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), __rng);)*
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg [$crate::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`: fail the
+/// current case without panicking through foreign frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`: fail the current case if `left != right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: {l:?}, right: {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in 0u8..3) {
+            prop_assert!(x < 10);
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0..5, prop::bool::ANY), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (n, _b) in v {
+                prop_assert!((0..5).contains(&n));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0..3, 0..3).prop_map(|(a, b)| a + b), flag in any::<bool>()) {
+            prop_assert!(s <= 4, "sum {} out of range (flag {})", s, flag);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_seed() {
+        crate::__run_cases("always_fails", 3, |_| Err("boom".to_string()));
+    }
+}

@@ -4,33 +4,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ops;
-use crate::order::PermutationOrder;
 use crate::stats::StatsSink;
-use crate::store::FlatStore;
+use crate::store::{DsuStore, PackedStore};
 use crate::ConcurrentUnionFind;
 
 /// A wait-free concurrent disjoint-set union over the fixed universe
 /// `0..n`, parameterized by the find compaction policy `F` (default:
-/// [`TwoTrySplit`], the paper's best variant).
+/// [`TwoTrySplit`], the paper's best variant) and the parent storage layout
+/// `S` (default: [`PackedStore`], one packed parent+id word per element —
+/// see the [`store`](crate::store) module docs; universes larger than
+/// `2^32` must pick [`FlatStore`](crate::store::FlatStore) explicitly).
 ///
 /// All operations take `&self` and may be called from any number of threads
-/// simultaneously; results are linearizable (paper Lemma 3.2) and every
-/// operation finishes in `O(log n)` steps w.h.p. (Theorem 4.3) regardless of
-/// scheduling (wait-freedom, Lemma 3.3).
+/// simultaneously; results are linearizable (paper Lemma 3.2 — on
+/// multi-copy-atomic hardware such as x86-64/ARMv8 under the default
+/// orderings, on every machine under `strict-sc`; see the
+/// [`store`](crate::store) module docs) and every operation finishes in
+/// `O(log n)` steps w.h.p. (Theorem 4.3) regardless of scheduling
+/// (wait-freedom, Lemma 3.3).
 ///
 /// # Example
 ///
 /// ```
-/// use concurrent_dsu::{Dsu, OneTrySplit};
+/// use concurrent_dsu::{Dsu, FlatStore, OneTrySplit};
 ///
 /// let dsu: Dsu<OneTrySplit> = Dsu::with_seed(10, 42);
 /// assert!(dsu.unite(3, 4));
 /// assert!(dsu.same_set(3, 4));
 /// assert_eq!(dsu.set_count(), 9);
+///
+/// // Same semantics on the flat reference layout:
+/// let flat: Dsu<OneTrySplit, FlatStore> = Dsu::with_seed(10, 42);
+/// assert!(flat.unite(3, 4));
+/// assert_eq!(flat.set_count(), 9);
 /// ```
-pub struct Dsu<F: FindPolicy = TwoTrySplit> {
-    store: FlatStore,
-    order: PermutationOrder,
+pub struct Dsu<F: FindPolicy = TwoTrySplit, S: DsuStore = PackedStore> {
+    store: S,
     /// Parent in the *union forest*: written exactly once per element, when
     /// its link CAS succeeds. Read for offline analysis (heights, depths) at
     /// quiescence; never read by the operations themselves.
@@ -40,17 +49,18 @@ pub struct Dsu<F: FindPolicy = TwoTrySplit> {
     _policy: std::marker::PhantomData<F>,
 }
 
-impl<F: FindPolicy> std::fmt::Debug for Dsu<F> {
+impl<F: FindPolicy, S: DsuStore> std::fmt::Debug for Dsu<F, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dsu")
             .field("len", &self.len())
             .field("set_count", &self.set_count())
             .field("policy", &F::NAME)
+            .field("store", &S::NAME)
             .finish()
     }
 }
 
-impl<F: FindPolicy> Dsu<F> {
+impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     /// Default seed for the random node order; fixed so runs are
     /// reproducible unless a seed is supplied via [`Dsu::with_seed`].
     pub const DEFAULT_SEED: u64 = 0x7461_726a_616e_2016; // "tarjan 2016"
@@ -63,10 +73,14 @@ impl<F: FindPolicy> Dsu<F> {
 
     /// Creates `n` singleton sets; `seed` drives the uniformly random node
     /// order that randomized linking requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage layout cannot address `n` elements (the
+    /// default [`PackedStore`] supports at most `2^32`).
     pub fn with_seed(n: usize, seed: u64) -> Self {
         Dsu {
-            store: FlatStore::new(n),
-            order: PermutationOrder::new(n, seed),
+            store: S::with_seed(n, seed),
             union_parent: (0..n).map(AtomicUsize::new).collect(),
             links: AtomicUsize::new(0),
             _policy: std::marker::PhantomData,
@@ -83,10 +97,13 @@ impl<F: FindPolicy> Dsu<F> {
         self.store.is_empty()
     }
 
-    /// Number of disjoint sets right now (`n` minus successful links).
-    /// Linearizes with the link CASes.
+    /// Number of disjoint sets (`n` minus successful links). The counter
+    /// is maintained with relaxed atomics: exact at quiescence and
+    /// monotonically non-increasing, but a concurrent reader may observe
+    /// it lag links that are already visible through `find` (under
+    /// `strict-sc` the counter is sequentially consistent).
     pub fn set_count(&self) -> usize {
-        self.len() - self.links.load(Ordering::SeqCst)
+        self.len() - self.links.load(crate::store::STAT)
     }
 
     /// The random id (position in the random total order) of element `x`.
@@ -95,12 +112,17 @@ impl<F: FindPolicy> Dsu<F> {
     ///
     /// Panics if `x >= self.len()`.
     pub fn id_of(&self, x: usize) -> u64 {
-        self.order.id_of(x)
+        self.store.id_of(x)
     }
 
     /// The name of the find policy (e.g. `"two-try"`), for reports.
     pub fn policy_name(&self) -> &'static str {
         F::NAME
+    }
+
+    /// The name of the storage layout (e.g. `"packed"`), for reports.
+    pub fn store_name(&self) -> &'static str {
+        S::NAME
     }
 
     fn check(&self, x: usize) {
@@ -120,9 +142,9 @@ impl<F: FindPolicy> Dsu<F> {
     }
 
     /// [`find`](Dsu::find) reporting work into `stats`.
-    pub fn find_with<S: StatsSink>(&self, x: usize, stats: &mut S) -> usize {
+    pub fn find_with<Sk: StatsSink>(&self, x: usize, stats: &mut Sk) -> usize {
         self.check(x);
-        F::find(&self.store, x, stats)
+        F::find(&self.store, x, stats).0
     }
 
     /// Returns `true` iff `x` and `y` are in the same set at the operation's
@@ -136,10 +158,10 @@ impl<F: FindPolicy> Dsu<F> {
     }
 
     /// [`same_set`](Dsu::same_set) reporting work into `stats`.
-    pub fn same_set_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+    pub fn same_set_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::same_set::<F, _, _, _>(&self.store, &self.order, x, y, stats)
+        ops::same_set::<F, _, _>(&self.store, x, y, stats)
     }
 
     /// Unites the sets containing `x` and `y` (paper Algorithm 3). Returns
@@ -153,10 +175,10 @@ impl<F: FindPolicy> Dsu<F> {
     }
 
     /// [`unite`](Dsu::unite) reporting work into `stats`.
-    pub fn unite_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+    pub fn unite_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite::<F, _, _, _>(&self.store, &self.order, x, y, stats, |child, parent| {
+        ops::unite::<F, _, _>(&self.store, x, y, stats, |child, parent| {
             self.record_link(child, parent)
         })
     }
@@ -173,10 +195,10 @@ impl<F: FindPolicy> Dsu<F> {
     }
 
     /// [`same_set_early`](Dsu::same_set_early) reporting work into `stats`.
-    pub fn same_set_early_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+    pub fn same_set_early_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::same_set_early::<F, _, _, _>(&self.store, &self.order, x, y, stats)
+        ops::same_set_early::<F, _, _>(&self.store, x, y, stats)
     }
 
     /// `Unite` with early termination (paper Algorithm 7). Same semantics
@@ -190,10 +212,10 @@ impl<F: FindPolicy> Dsu<F> {
     }
 
     /// [`unite_early`](Dsu::unite_early) reporting work into `stats`.
-    pub fn unite_early_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+    pub fn unite_early_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite_early::<F, _, _, _>(&self.store, &self.order, x, y, stats, |child, parent| {
+        ops::unite_early::<F, _, _>(&self.store, x, y, stats, |child, parent| {
             self.record_link(child, parent)
         })
     }
@@ -267,7 +289,7 @@ pub(crate) fn forest_height(parent: &[usize]) -> usize {
     tallest
 }
 
-impl<F: FindPolicy> ConcurrentUnionFind for Dsu<F> {
+impl<F: FindPolicy, S: DsuStore> ConcurrentUnionFind for Dsu<F, S> {
     fn len(&self) -> usize {
         Dsu::len(self)
     }
@@ -349,9 +371,7 @@ mod tests {
         // Set union is confluent: the final partition equals the connected
         // components of all unite pairs, however the threads interleaved.
         let n = 512;
-        let pairs: Vec<(usize, usize)> = (0..n - 1)
-            .map(|i| (i, (i * 7919 + 13) % n))
-            .collect();
+        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, (i * 7919 + 13) % n)).collect();
         let dsu: Dsu = Dsu::new(n);
         std::thread::scope(|s| {
             for t in 0..8 {
@@ -425,9 +445,9 @@ mod tests {
             }
         });
         let parents = dsu.parents_snapshot();
-        for x in 0..n {
-            if parents[x] != x {
-                assert!(dsu.id_of(x) < dsu.id_of(parents[x]));
+        for (x, &p) in parents.iter().enumerate() {
+            if p != x {
+                assert!(dsu.id_of(x) < dsu.id_of(p));
             }
         }
         // The union forest is a sub-relation with the same property, and is

@@ -31,9 +31,15 @@ pub trait FindPolicy: sealed::Sealed + Send + Sync + 'static {
     const NAME: &'static str;
 
     /// Walks from `x` to a node that was a root at the moment its parent
-    /// pointer was read (the linearization point of the find), compacting
-    /// the path per policy, and returns that root.
-    fn find<P: ParentStore + ?Sized, S: StatsSink>(store: &P, x: usize, stats: &mut S) -> usize;
+    /// word was read (the linearization point of the find), compacting the
+    /// path per policy. Returns the root *and the word it was observed
+    /// with*, so callers (notably `Unite`) can CAS against or read
+    /// priorities from that exact observation without re-loading.
+    fn find<P: ParentStore + ?Sized, S: StatsSink>(
+        store: &P,
+        x: usize,
+        stats: &mut S,
+    ) -> (usize, P::Word);
 
     /// One early-termination round (the body of the `while` loop in paper
     /// Algorithms 6/7 after the return checks): performs this policy's
@@ -41,8 +47,7 @@ pub trait FindPolicy: sealed::Sealed + Send + Sync + 'static {
     ///
     /// The caller is responsible for the root/equality checks; `advance` on
     /// a root returns the root itself.
-    fn advance<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S)
-        -> usize;
+    fn advance<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S) -> usize;
 }
 
 /// Paper Algorithm 1: follow parent pointers to the root, never writing.
@@ -57,25 +62,26 @@ impl sealed::Sealed for NoCompaction {}
 impl FindPolicy for NoCompaction {
     const NAME: &'static str = "no-compaction";
 
-    fn find<P: ParentStore + ?Sized, S: StatsSink>(store: &P, x: usize, stats: &mut S) -> usize {
+    fn find<P: ParentStore + ?Sized, S: StatsSink>(
+        store: &P,
+        x: usize,
+        stats: &mut S,
+    ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
         loop {
             stats.loop_iter();
-            let v = store.load_parent(u);
+            let wu = store.load_word(u);
             stats.read();
+            let v = P::parent_of(wu);
             if v == u {
-                return u;
+                return (u, wu);
             }
             u = v;
         }
     }
 
-    fn advance<P: ParentStore + ?Sized, S: StatsSink>(
-        store: &P,
-        u: usize,
-        stats: &mut S,
-    ) -> usize {
+    fn advance<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S) -> usize {
         stats.loop_iter();
         let v = store.load_parent(u);
         stats.read();
@@ -97,19 +103,25 @@ impl sealed::Sealed for OneTrySplit {}
 impl FindPolicy for OneTrySplit {
     const NAME: &'static str = "one-try";
 
-    fn find<P: ParentStore + ?Sized, S: StatsSink>(store: &P, x: usize, stats: &mut S) -> usize {
+    fn find<P: ParentStore + ?Sized, S: StatsSink>(
+        store: &P,
+        x: usize,
+        stats: &mut S,
+    ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
         loop {
             stats.loop_iter();
-            let v = store.load_parent(u);
+            let wu = store.load_word(u);
             stats.read();
-            let w = store.load_parent(v);
+            let v = P::parent_of(wu);
+            let wv = store.load_word(v);
             stats.read();
+            let w = P::parent_of(wv);
             if v == w {
-                return v;
+                return (v, wv);
             }
-            if store.cas_parent(u, v, w) {
+            if store.cas_from(u, wu, w) {
                 stats.compact_cas_ok();
             } else {
                 stats.compact_cas_fail();
@@ -118,11 +130,7 @@ impl FindPolicy for OneTrySplit {
         }
     }
 
-    fn advance<P: ParentStore + ?Sized, S: StatsSink>(
-        store: &P,
-        u: usize,
-        stats: &mut S,
-    ) -> usize {
+    fn advance<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S) -> usize {
         stats.loop_iter();
         split_step(store, u, stats)
     }
@@ -140,21 +148,27 @@ impl sealed::Sealed for TwoTrySplit {}
 impl FindPolicy for TwoTrySplit {
     const NAME: &'static str = "two-try";
 
-    fn find<P: ParentStore + ?Sized, S: StatsSink>(store: &P, x: usize, stats: &mut S) -> usize {
+    fn find<P: ParentStore + ?Sized, S: StatsSink>(
+        store: &P,
+        x: usize,
+        stats: &mut S,
+    ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
         loop {
             stats.loop_iter();
             let mut v = 0;
             for _ in 0..2 {
-                v = store.load_parent(u);
+                let wu = store.load_word(u);
                 stats.read();
-                let w = store.load_parent(v);
+                v = P::parent_of(wu);
+                let wv = store.load_word(v);
                 stats.read();
+                let w = P::parent_of(wv);
                 if v == w {
-                    return v;
+                    return (v, wv);
                 }
-                if store.cas_parent(u, v, w) {
+                if store.cas_from(u, wu, w) {
                     stats.compact_cas_ok();
                 } else {
                     stats.compact_cas_fail();
@@ -164,11 +178,7 @@ impl FindPolicy for TwoTrySplit {
         }
     }
 
-    fn advance<P: ParentStore + ?Sized, S: StatsSink>(
-        store: &P,
-        u: usize,
-        stats: &mut S,
-    ) -> usize {
+    fn advance<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S) -> usize {
         stats.loop_iter();
         let mut z = u;
         for _ in 0..2 {
@@ -191,19 +201,25 @@ impl sealed::Sealed for Halving {}
 impl FindPolicy for Halving {
     const NAME: &'static str = "halving";
 
-    fn find<P: ParentStore + ?Sized, S: StatsSink>(store: &P, x: usize, stats: &mut S) -> usize {
+    fn find<P: ParentStore + ?Sized, S: StatsSink>(
+        store: &P,
+        x: usize,
+        stats: &mut S,
+    ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
         loop {
             stats.loop_iter();
-            let v = store.load_parent(u);
+            let wu = store.load_word(u);
             stats.read();
-            let w = store.load_parent(v);
+            let v = P::parent_of(wu);
+            let wv = store.load_word(v);
             stats.read();
+            let w = P::parent_of(wv);
             if v == w {
-                return v;
+                return (v, wv);
             }
-            if store.cas_parent(u, v, w) {
+            if store.cas_from(u, wu, w) {
                 stats.compact_cas_ok();
             } else {
                 stats.compact_cas_fail();
@@ -214,11 +230,7 @@ impl FindPolicy for Halving {
         }
     }
 
-    fn advance<P: ParentStore + ?Sized, S: StatsSink>(
-        store: &P,
-        u: usize,
-        stats: &mut S,
-    ) -> usize {
+    fn advance<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S) -> usize {
         stats.loop_iter();
         let v = store.load_parent(u);
         stats.read();
@@ -266,40 +278,42 @@ impl sealed::Sealed for Compress {}
 impl FindPolicy for Compress {
     const NAME: &'static str = "compress";
 
-    fn find<P: ParentStore + ?Sized, S: StatsSink>(store: &P, x: usize, stats: &mut S) -> usize {
+    fn find<P: ParentStore + ?Sized, S: StatsSink>(
+        store: &P,
+        x: usize,
+        stats: &mut S,
+    ) -> (usize, P::Word) {
         stats.find_start();
-        // Pass 1: locate a root, remembering the read parents.
-        let mut path: Vec<(usize, usize)> = Vec::new();
+        // Pass 1: locate a root, remembering the words the parents were
+        // read from (pass 2 CASes against these exact observations).
+        let mut path: Vec<(usize, P::Word)> = Vec::new();
         let mut r = x;
-        loop {
+        let root_word = loop {
             stats.loop_iter();
-            let p = store.load_parent(r);
+            let wr = store.load_word(r);
             stats.read();
+            let p = P::parent_of(wr);
             if p == r {
-                break;
+                break wr;
             }
-            path.push((r, p));
+            path.push((r, wr));
             r = p;
-        }
+        };
         // Pass 2: swing everything at the root (skip the node whose parent
         // already is the root).
-        for &(u, v) in &path {
-            if v != r {
-                if store.cas_parent(u, v, r) {
+        for &(u, wu) in &path {
+            if P::parent_of(wu) != r {
+                if store.cas_from(u, wu, r) {
                     stats.compact_cas_ok();
                 } else {
                     stats.compact_cas_fail();
                 }
             }
         }
-        r
+        (r, root_word)
     }
 
-    fn advance<P: ParentStore + ?Sized, S: StatsSink>(
-        store: &P,
-        u: usize,
-        stats: &mut S,
-    ) -> usize {
+    fn advance<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S) -> usize {
         // Compression is not local, so early-termination rounds fall back
         // to a single splitting step (the paper's "method of choice" for
         // local compaction).
@@ -315,12 +329,14 @@ impl FindPolicy for Compress {
 /// already present; we skip that degenerate CAS (pure optimization, no
 /// semantic difference).
 fn split_step<P: ParentStore + ?Sized, S: StatsSink>(store: &P, u: usize, stats: &mut S) -> usize {
-    let z = store.load_parent(u);
+    let wu = store.load_word(u);
     stats.read();
-    let w = store.load_parent(z);
+    let z = P::parent_of(wu);
+    let wz = store.load_word(z);
     stats.read();
+    let w = P::parent_of(wz);
     if z != w {
-        if store.cas_parent(u, z, w) {
+        if store.cas_from(u, wu, w) {
             stats.compact_cas_ok();
         } else {
             stats.compact_cas_fail();
@@ -348,7 +364,7 @@ mod tests {
     fn no_compaction_finds_root_and_writes_nothing() {
         let store = path_store(8);
         let mut stats = crate::OpStats::default();
-        assert_eq!(NoCompaction::find(&store, 0, &mut stats), 7);
+        assert_eq!(NoCompaction::find(&store, 0, &mut stats).0, 7);
         assert_eq!(stats.compact_cas_ok + stats.compact_cas_fail, 0);
         assert_eq!(store.snapshot(), vec![1, 2, 3, 4, 5, 6, 7, 7]);
         assert_eq!(stats.reads, 8); // one read per node incl. root self-loop
@@ -358,7 +374,7 @@ mod tests {
     fn one_try_split_compacts_every_visited_node() {
         let store = path_store(8);
         let mut stats = crate::OpStats::default();
-        assert_eq!(OneTrySplit::find(&store, 0, &mut stats), 7);
+        assert_eq!(OneTrySplit::find(&store, 0, &mut stats).0, 7);
         // Sequentially, splitting sets parent[u] to its grandparent for
         // every non-(root/child-of-root) node on the path.
         assert_eq!(store.snapshot(), vec![2, 3, 4, 5, 6, 7, 7, 7]);
@@ -371,8 +387,8 @@ mod tests {
         let a = path_store(9);
         let b = path_store(9);
         let mut s = ();
-        assert_eq!(TwoTrySplit::find(&a, 0, &mut s), 8);
-        assert_eq!(OneTrySplit::find(&b, 0, &mut s), 8);
+        assert_eq!(TwoTrySplit::find(&a, 0, &mut s).0, 8);
+        assert_eq!(OneTrySplit::find(&b, 0, &mut s).0, 8);
         // Uncontended, the first try always succeeds, so two-try's second
         // try sees the already-updated parent and splits once more: node 0
         // ends two grandparents up, versus one for one-try.
@@ -384,7 +400,7 @@ mod tests {
     fn halving_updates_alternate_nodes() {
         let store = path_store(9);
         let mut stats = crate::OpStats::default();
-        assert_eq!(Halving::find(&store, 0, &mut stats), 8);
+        assert_eq!(Halving::find(&store, 0, &mut stats).0, 8);
         // Visited nodes 0, 2, 4, 6 get halved; 1, 3, 5 untouched.
         assert_eq!(store.snapshot(), vec![2, 2, 4, 4, 6, 6, 8, 8, 8]);
     }
@@ -393,10 +409,10 @@ mod tests {
     fn find_on_root_returns_immediately() {
         let store = FlatStore::new(3);
         let mut s = ();
-        assert_eq!(NoCompaction::find(&store, 1, &mut s), 1);
-        assert_eq!(OneTrySplit::find(&store, 1, &mut s), 1);
-        assert_eq!(TwoTrySplit::find(&store, 1, &mut s), 1);
-        assert_eq!(Halving::find(&store, 1, &mut s), 1);
+        assert_eq!(NoCompaction::find(&store, 1, &mut s).0, 1);
+        assert_eq!(OneTrySplit::find(&store, 1, &mut s).0, 1);
+        assert_eq!(TwoTrySplit::find(&store, 1, &mut s).0, 1);
+        assert_eq!(Halving::find(&store, 1, &mut s).0, 1);
     }
 
     #[test]
@@ -453,10 +469,19 @@ mod tests {
                     for i in 0..(1 << 12) {
                         let start = (i * 2654435761usize + t * 97) % (1 << 12);
                         match t % 4 {
-                            0 => assert_eq!(NoCompaction::find(&*store, start, &mut s), (1 << 12) - 1),
-                            1 => assert_eq!(OneTrySplit::find(&*store, start, &mut s), (1 << 12) - 1),
-                            2 => assert_eq!(TwoTrySplit::find(&*store, start, &mut s), (1 << 12) - 1),
-                            _ => assert_eq!(Halving::find(&*store, start, &mut s), (1 << 12) - 1),
+                            0 => assert_eq!(
+                                NoCompaction::find(&*store, start, &mut s).0,
+                                (1 << 12) - 1
+                            ),
+                            1 => assert_eq!(
+                                OneTrySplit::find(&*store, start, &mut s).0,
+                                (1 << 12) - 1
+                            ),
+                            2 => assert_eq!(
+                                TwoTrySplit::find(&*store, start, &mut s).0,
+                                (1 << 12) - 1
+                            ),
+                            _ => assert_eq!(Halving::find(&*store, start, &mut s).0, (1 << 12) - 1),
                         }
                     }
                 });
@@ -477,7 +502,7 @@ mod tests {
     fn compress_flattens_whole_path_uncontended() {
         let store = path_store(8);
         let mut stats = crate::OpStats::default();
-        assert_eq!(Compress::find(&store, 0, &mut stats), 7);
+        assert_eq!(Compress::find(&store, 0, &mut stats).0, 7);
         // Every node on the path now points straight at the root (node 6
         // already did).
         assert_eq!(store.snapshot(), vec![7, 7, 7, 7, 7, 7, 7, 7]);
@@ -485,7 +510,7 @@ mod tests {
         assert_eq!(stats.compact_cas_fail, 0);
         // A second find is all root-probe, no CASes.
         let mut stats2 = crate::OpStats::default();
-        assert_eq!(Compress::find(&store, 0, &mut stats2), 7);
+        assert_eq!(Compress::find(&store, 0, &mut stats2).0, 7);
         assert_eq!(stats2.cas_attempts(), 0);
         assert_eq!(stats2.reads, 2);
     }
@@ -501,7 +526,7 @@ mod tests {
         let store = path_store(16);
         store.parent_cell(0).store(5, Ordering::SeqCst);
         let mut s = ();
-        let r = Compress::find(&store, 0, &mut s);
+        let r = Compress::find(&store, 0, &mut s).0;
         assert_eq!(r, 15);
         assert_eq!(store.load_parent(0), 15);
     }
@@ -517,7 +542,7 @@ mod tests {
                     let mut s = ();
                     for i in 0..2000 {
                         let start = (i * 37 + t * 131) % (1 << 10);
-                        assert_eq!(Compress::find(&*store, start, &mut s), (1 << 10) - 1);
+                        assert_eq!(Compress::find(&*store, start, &mut s).0, (1 << 10) - 1);
                     }
                 });
             }

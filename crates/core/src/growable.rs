@@ -15,16 +15,15 @@
 //! move memory, and allocating a new segment (which happens at most 64
 //! times ever) is the only place a thread can briefly wait for another.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ops;
-use crate::order::HashOrder;
+use crate::order::{splitmix64, HashOrder, IdOrder};
 use crate::stats::StatsSink;
-use crate::store::ParentStore;
+use crate::store::{self, ParentStore};
 use crate::ConcurrentUnionFind;
-// (ParentStore is used both as the trait bound and for SegmentedStore's impl.)
 
 const SEGMENTS: usize = usize::BITS as usize;
 
@@ -35,36 +34,201 @@ fn locate(e: usize) -> (usize, usize) {
     (s, e + 1 - (1 << s))
 }
 
-/// The segment directory. Lives in its own type so the shared algorithm
-/// code (generic over [`ParentStore`]) can use it directly.
-struct SegmentedStore {
+/// A [`ParentStore`] whose universe grows one element at a time, bundled
+/// with its on-the-fly random order — everything
+/// [`GrowableDsu`] needs from its storage type parameter.
+///
+/// Both implementations keep a directory of at most `usize::BITS` doubling
+/// segments, so cells never move and growth is lock-free.
+pub trait GrowableStore: ParentStore + IdOrder {
+    /// Short layout name for reports (e.g. `"packed-seg"`, `"flat-seg"`).
+    const NAME: &'static str;
+
+    /// An empty store whose random ids are salted by `seed`.
+    fn with_seed(seed: u64) -> Self;
+
+    /// Ensures element `e`'s cell exists and is initialized as a singleton
+    /// (`parent == e`). Called exactly once per element, by `make_set`,
+    /// *before* the element index is published.
+    fn ensure(&self, e: usize);
+}
+
+/// The flat growable layout: `AtomicUsize` parent segments, ids computed on
+/// demand by hashing the index ([`HashOrder`]) — nothing id-related is
+/// stored.
+pub struct SegmentedStore {
     segments: [OnceLock<Box<[AtomicUsize]>>; SEGMENTS],
+    order: HashOrder,
 }
 
 impl SegmentedStore {
-    fn new() -> Self {
-        SegmentedStore { segments: std::array::from_fn(|_| OnceLock::new()) }
-    }
-
-    /// Ensures the segment containing `e` exists (allocating and
-    /// self-initializing it if needed) and returns its cell.
-    fn ensure_cell(&self, e: usize) -> &AtomicUsize {
-        let (s, off) = locate(e);
-        let seg = self.segments[s].get_or_init(|| {
-            let base = (1usize << s) - 1;
-            (0..1usize << s).map(|j| AtomicUsize::new(base + j)).collect()
-        });
-        &seg[off]
-    }
-}
-
-impl ParentStore for SegmentedStore {
-    fn parent_cell(&self, i: usize) -> &AtomicUsize {
+    fn cell(&self, i: usize) -> &AtomicUsize {
         let (s, off) = locate(i);
         let seg = self.segments[s]
             .get()
             .expect("element's segment not allocated: use indices returned by make_set");
         &seg[off]
+    }
+}
+
+impl ParentStore for SegmentedStore {
+    type Word = usize;
+
+    #[inline]
+    fn load_word(&self, i: usize) -> usize {
+        self.cell(i).load(store::LOAD)
+    }
+
+    #[inline]
+    fn parent_of(w: usize) -> usize {
+        w
+    }
+
+    #[inline]
+    fn cas_from(&self, i: usize, seen: usize, new_parent: usize) -> bool {
+        self.cell(i)
+            .compare_exchange(seen, new_parent, store::CAS_SUCCESS, store::CAS_FAILURE)
+            .is_ok()
+    }
+
+    #[inline]
+    fn cas_parent(&self, i: usize, old: usize, new: usize) -> bool {
+        self.cas_from(i, old, new)
+    }
+
+    #[inline]
+    fn priority(&self, i: usize, _w: usize) -> u64 {
+        // The full 64-bit hash; HashOrder's tie-break is the index, which
+        // is exactly the ParentStore::priority contract.
+        self.order.key_of(i).0
+    }
+
+    #[inline]
+    fn precedes(&self, u: usize, v: usize) -> bool {
+        // Ids are computed from the index, not stored: skip the default's
+        // parent-word loads and compare hashes directly.
+        self.order.less(u, v)
+    }
+}
+
+impl IdOrder for SegmentedStore {
+    fn less(&self, u: usize, v: usize) -> bool {
+        self.order.less(u, v)
+    }
+}
+
+impl GrowableStore for SegmentedStore {
+    const NAME: &'static str = "flat-seg";
+
+    fn with_seed(seed: u64) -> Self {
+        SegmentedStore {
+            segments: std::array::from_fn(|_| OnceLock::new()),
+            order: HashOrder::new(seed),
+        }
+    }
+
+    fn ensure(&self, e: usize) {
+        let (s, off) = locate(e);
+        let seg = self.segments[s].get_or_init(|| {
+            let base = (1usize << s) - 1;
+            (0..1usize << s).map(|j| AtomicUsize::new(base + j)).collect()
+        });
+        debug_assert_eq!(seg[off].load(Ordering::Relaxed), e);
+    }
+}
+
+/// The packed growable layout: `AtomicU64` parent segments carrying a
+/// 32-bit hash id in the high half (the paper's Section 7 "universe large
+/// enough that ties are rare" suggestion, with the element index breaking
+/// the rare ties), so traversal and priority comparison touch one word —
+/// same trade as [`PackedStore`](crate::store::PackedStore), including the
+/// `2^32`-element bound.
+pub struct PackedSegmentedStore {
+    segments: [OnceLock<Box<[AtomicU64]>>; SEGMENTS],
+    salt: u64,
+}
+
+impl PackedSegmentedStore {
+    /// The packed word a fresh singleton `e` is born with.
+    fn singleton_word(&self, e: usize) -> u64 {
+        // Top 32 bits of SplitMix64: the best-mixed half.
+        let id = splitmix64((e as u64).wrapping_add(self.salt)) >> 32;
+        store::pack_word(id, e)
+    }
+
+    fn cell(&self, i: usize) -> &AtomicU64 {
+        let (s, off) = locate(i);
+        let seg = self.segments[s]
+            .get()
+            .expect("element's segment not allocated: use indices returned by make_set");
+        &seg[off]
+    }
+
+    /// The `(hash id, index)` priority key of `i`, read from its word.
+    fn key(&self, i: usize) -> (u64, usize) {
+        (store::packed_id(self.cell(i).load(store::STAT)), i)
+    }
+}
+
+impl ParentStore for PackedSegmentedStore {
+    type Word = u64;
+
+    #[inline]
+    fn load_word(&self, i: usize) -> u64 {
+        self.cell(i).load(store::LOAD)
+    }
+
+    #[inline]
+    fn parent_of(w: u64) -> usize {
+        store::packed_parent(w)
+    }
+
+    #[inline]
+    fn cas_from(&self, i: usize, seen: u64, new_parent: usize) -> bool {
+        self.cell(i)
+            .compare_exchange(
+                seen,
+                store::packed_with_parent(seen, new_parent),
+                store::CAS_SUCCESS,
+                store::CAS_FAILURE,
+            )
+            .is_ok()
+    }
+
+    #[inline]
+    fn priority(&self, _i: usize, w: u64) -> u64 {
+        store::packed_id(w)
+    }
+}
+
+impl IdOrder for PackedSegmentedStore {
+    fn less(&self, u: usize, v: usize) -> bool {
+        // 32-bit hash ids can collide; the index tie-break keeps the order
+        // total (paper Section 7's tie-breaking rule).
+        self.key(u) < self.key(v)
+    }
+}
+
+impl GrowableStore for PackedSegmentedStore {
+    const NAME: &'static str = "packed-seg";
+
+    fn with_seed(seed: u64) -> Self {
+        PackedSegmentedStore { segments: std::array::from_fn(|_| OnceLock::new()), salt: seed }
+    }
+
+    fn ensure(&self, e: usize) {
+        assert!(
+            (e as u64) < (1 << 32),
+            "PackedSegmentedStore packs parent and id into 32 bits each and supports at most \
+             2^32 elements, but make_set would create element {e}; use \
+             GrowableDsu<_, SegmentedStore> for larger universes"
+        );
+        let (s, off) = locate(e);
+        let seg = self.segments[s].get_or_init(|| {
+            let base = (1usize << s) - 1;
+            (0..1usize << s).map(|j| AtomicU64::new(self.singleton_word(base + j))).collect()
+        });
+        debug_assert_eq!(store::packed_parent(seg[off].load(Ordering::Relaxed)), e);
     }
 }
 
@@ -94,31 +258,31 @@ impl ParentStore for SegmentedStore {
 /// let c = dsu.make_set();
 /// assert!(!dsu.same_set(a, c));
 /// ```
-pub struct GrowableDsu<F: FindPolicy = TwoTrySplit> {
-    store: SegmentedStore,
-    order: HashOrder,
+pub struct GrowableDsu<F: FindPolicy = TwoTrySplit, S: GrowableStore = PackedSegmentedStore> {
+    store: S,
     count: AtomicUsize,
     links: AtomicUsize,
     _policy: std::marker::PhantomData<F>,
 }
 
-impl<F: FindPolicy> std::fmt::Debug for GrowableDsu<F> {
+impl<F: FindPolicy, S: GrowableStore> std::fmt::Debug for GrowableDsu<F, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GrowableDsu")
             .field("len", &self.len())
             .field("set_count", &self.set_count())
             .field("policy", &F::NAME)
+            .field("store", &S::NAME)
             .finish()
     }
 }
 
-impl<F: FindPolicy> Default for GrowableDsu<F> {
+impl<F: FindPolicy, S: GrowableStore> Default for GrowableDsu<F, S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<F: FindPolicy> GrowableDsu<F> {
+impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
     /// Default seed for the on-the-fly id hash.
     pub const DEFAULT_SEED: u64 = 0x6d61_6b65_5f73_6574; // "make_set"
 
@@ -130,8 +294,7 @@ impl<F: FindPolicy> GrowableDsu<F> {
     /// An empty universe whose random order is salted by `seed`.
     pub fn with_seed(seed: u64) -> Self {
         GrowableDsu {
-            store: SegmentedStore::new(),
-            order: HashOrder::new(seed),
+            store: S::with_seed(seed),
             count: AtomicUsize::new(0),
             links: AtomicUsize::new(0),
             _policy: std::marker::PhantomData,
@@ -149,9 +312,14 @@ impl<F: FindPolicy> GrowableDsu<F> {
 
     /// Creates a fresh singleton set and returns its element index.
     /// Indices are dense: the `k`-th `make_set` overall returns `k - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage layout cannot address the new element (the
+    /// default [`PackedSegmentedStore`] supports at most `2^32`).
     pub fn make_set(&self) -> usize {
         let e = self.count.fetch_add(1, Ordering::SeqCst);
-        self.store.ensure_cell(e);
+        self.store.ensure(e);
         e
     }
 
@@ -167,12 +335,17 @@ impl<F: FindPolicy> GrowableDsu<F> {
 
     /// Number of disjoint sets right now.
     pub fn set_count(&self) -> usize {
-        self.len() - self.links.load(Ordering::SeqCst)
+        self.len() - self.links.load(store::STAT)
     }
 
     /// The name of the find policy, for reports.
     pub fn policy_name(&self) -> &'static str {
         F::NAME
+    }
+
+    /// The name of the storage layout (e.g. `"packed-seg"`), for reports.
+    pub fn store_name(&self) -> &'static str {
+        S::NAME
     }
 
     fn check(&self, x: usize) {
@@ -192,9 +365,9 @@ impl<F: FindPolicy> GrowableDsu<F> {
     }
 
     /// [`find`](GrowableDsu::find) reporting work into `stats`.
-    pub fn find_with<S: StatsSink>(&self, x: usize, stats: &mut S) -> usize {
+    pub fn find_with<Sk: StatsSink>(&self, x: usize, stats: &mut Sk) -> usize {
         self.check(x);
-        F::find(&self.store, x, stats)
+        F::find(&self.store, x, stats).0
     }
 
     /// `true` iff `x` and `y` are in the same set at the linearization
@@ -208,10 +381,10 @@ impl<F: FindPolicy> GrowableDsu<F> {
     }
 
     /// [`same_set`](GrowableDsu::same_set) reporting work into `stats`.
-    pub fn same_set_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+    pub fn same_set_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::same_set::<F, _, _, _>(&self.store, &self.order, x, y, stats)
+        ops::same_set::<F, _, _>(&self.store, x, y, stats)
     }
 
     /// Unites the sets containing `x` and `y`; `true` iff this call linked
@@ -225,10 +398,10 @@ impl<F: FindPolicy> GrowableDsu<F> {
     }
 
     /// [`unite`](GrowableDsu::unite) reporting work into `stats`.
-    pub fn unite_with<S: StatsSink>(&self, x: usize, y: usize, stats: &mut S) -> bool {
+    pub fn unite_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite::<F, _, _, _>(&self.store, &self.order, x, y, stats, |_, _| {
+        ops::unite::<F, _, _>(&self.store, x, y, stats, |_, _| {
             self.links.fetch_add(1, Ordering::Relaxed);
         })
     }
@@ -241,7 +414,7 @@ impl<F: FindPolicy> GrowableDsu<F> {
     pub fn same_set_early(&self, x: usize, y: usize) -> bool {
         self.check(x);
         self.check(y);
-        ops::same_set_early::<F, _, _, _>(&self.store, &self.order, x, y, &mut ())
+        ops::same_set_early::<F, _, _>(&self.store, x, y, &mut ())
     }
 
     /// `Unite` with early termination (paper Algorithm 7).
@@ -252,7 +425,7 @@ impl<F: FindPolicy> GrowableDsu<F> {
     pub fn unite_early(&self, x: usize, y: usize) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite_early::<F, _, _, _>(&self.store, &self.order, x, y, &mut (), |_, _| {
+        ops::unite_early::<F, _, _>(&self.store, x, y, &mut (), |_, _| {
             self.links.fetch_add(1, Ordering::Relaxed);
         })
     }
@@ -267,7 +440,7 @@ impl<F: FindPolicy> GrowableDsu<F> {
     }
 }
 
-impl<F: FindPolicy> ConcurrentUnionFind for GrowableDsu<F> {
+impl<F: FindPolicy, S: GrowableStore> ConcurrentUnionFind for GrowableDsu<F, S> {
     fn len(&self) -> usize {
         GrowableDsu::len(self)
     }
@@ -354,10 +527,7 @@ mod tests {
             }
         }
         assert_eq!(dsu.set_count(), oracle.set_count());
-        assert_eq!(
-            Partition::from_labels(&dsu.labels_snapshot()),
-            oracle.partition()
-        );
+        assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
     }
 
     #[test]

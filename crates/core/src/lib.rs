@@ -78,8 +78,8 @@
 
 pub mod find;
 pub mod growable;
-pub mod order;
 pub mod ops;
+pub mod order;
 pub mod stats;
 pub mod store;
 pub mod viz;
@@ -88,9 +88,10 @@ mod dsu;
 
 pub use dsu::Dsu;
 pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
-pub use growable::GrowableDsu;
+pub use growable::{GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore};
 pub use order::{HashOrder, IdOrder, PermutationOrder};
 pub use stats::{OpStats, StatsSink};
+pub use store::{DsuStore, FlatStore, PackedStore, ParentStore};
 
 /// Convenient alias: the paper's headline configuration (two-try splitting).
 pub type DsuTwoTry = Dsu<TwoTrySplit>;

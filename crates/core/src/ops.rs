@@ -14,7 +14,6 @@
 //! re-find and re-check until one of the two certainties holds.
 
 use crate::find::FindPolicy;
-use crate::order::IdOrder;
 use crate::stats::StatsSink;
 use crate::store::ParentStore;
 
@@ -23,19 +22,18 @@ use crate::store::ParentStore;
 /// Returns `true` iff `x` and `y` are in the same set at the linearization
 /// point (the last root read performed by the final `find(v)` or the
 /// `u.parent` re-read).
-pub fn same_set<F, P, O, S>(store: &P, _order: &O, x: usize, y: usize, stats: &mut S) -> bool
+pub fn same_set<F, P, S>(store: &P, x: usize, y: usize, stats: &mut S) -> bool
 where
     F: FindPolicy,
     P: ParentStore + ?Sized,
-    O: IdOrder + ?Sized,
     S: StatsSink,
 {
     stats.op_start();
     let mut u = x;
     let mut v = y;
     loop {
-        u = F::find(store, u, stats);
-        v = F::find(store, v, stats);
+        u = F::find(store, u, stats).0;
+        v = F::find(store, v, stats).0;
         if u == v {
             return true;
         }
@@ -58,9 +56,8 @@ where
 /// `record_link(child, parent)` is invoked after each successful link CAS;
 /// the wrappers use it to maintain the union-forest snapshot and the live
 /// set count.
-pub fn unite<F, P, O, S>(
+pub fn unite<F, P, S>(
     store: &P,
-    order: &O,
     x: usize,
     y: usize,
     stats: &mut S,
@@ -69,30 +66,34 @@ pub fn unite<F, P, O, S>(
 where
     F: FindPolicy,
     P: ParentStore + ?Sized,
-    O: IdOrder + ?Sized,
     S: StatsSink,
 {
     stats.op_start();
     let mut u = x;
     let mut v = y;
     loop {
-        u = F::find(store, u, stats);
-        v = F::find(store, v, stats);
+        let (ru, wu) = F::find(store, u, stats);
+        let (rv, wv) = F::find(store, v, stats);
+        u = ru;
+        v = rv;
         if u == v {
             return false;
         }
-        // Link the smaller root (in the random order) under the larger;
-        // the CAS fails iff the candidate stopped being a root, in which
-        // case we re-find and retry.
-        if order.less(u, v) {
-            if store.cas_parent(u, u, v) {
+        // Link the smaller root under the larger. Priorities come from the
+        // words the finds already loaded (free in the packed layout), with
+        // the index as tie-break — by the `ParentStore::priority` contract
+        // this is exactly the store's random order. The CAS expects the
+        // exact observed root word, so it fails iff the candidate stopped
+        // being a root since, in which case we re-find and retry.
+        if (store.priority(u, wu), u) < (store.priority(v, wv), v) {
+            if store.cas_from(u, wu, v) {
                 stats.link_ok();
                 record_link(u, v);
                 return true;
             }
             stats.link_fail();
         } else {
-            if store.cas_parent(v, v, u) {
+            if store.cas_from(v, wv, u) {
                 stats.link_ok();
                 record_link(v, u);
                 return true;
@@ -109,11 +110,10 @@ where
 /// of nodes. The compaction step per iteration is the policy's
 /// [`advance`](FindPolicy::advance) (two-try splitting in the paper's
 /// listing; one-try executes the body once; no-compaction just walks).
-pub fn same_set_early<F, P, O, S>(store: &P, order: &O, x: usize, y: usize, stats: &mut S) -> bool
+pub fn same_set_early<F, P, S>(store: &P, x: usize, y: usize, stats: &mut S) -> bool
 where
     F: FindPolicy,
     P: ParentStore + ?Sized,
-    O: IdOrder + ?Sized,
     S: StatsSink,
 {
     stats.op_start();
@@ -123,7 +123,7 @@ where
         if u == v {
             return true;
         }
-        if order.less(v, u) {
+        if store.precedes(v, u) {
             std::mem::swap(&mut u, &mut v);
         }
         // u < v here. If u is a root it cannot be in v's tree (roots have
@@ -143,9 +143,8 @@ where
 /// be a root it is immediately linked under the other current node (which
 /// need not be a root — linking under any larger-id node preserves every
 /// invariant).
-pub fn unite_early<F, P, O, S>(
+pub fn unite_early<F, P, S>(
     store: &P,
-    order: &O,
     x: usize,
     y: usize,
     stats: &mut S,
@@ -154,7 +153,6 @@ pub fn unite_early<F, P, O, S>(
 where
     F: FindPolicy,
     P: ParentStore + ?Sized,
-    O: IdOrder + ?Sized,
     S: StatsSink,
 {
     stats.op_start();
@@ -164,7 +162,7 @@ where
         if u == v {
             return false;
         }
-        if order.less(v, u) {
+        if store.precedes(v, u) {
             std::mem::swap(&mut u, &mut v);
         }
         if store.cas_parent(u, u, v) {
@@ -181,23 +179,30 @@ where
 mod tests {
     use super::*;
     use crate::find::{Halving, NoCompaction, OneTrySplit, TwoTrySplit};
-    use crate::order::PermutationOrder;
+    use crate::order::{IdOrder, PermutationOrder};
     use crate::store::FlatStore;
 
     fn fixture(n: usize, seed: u64) -> (FlatStore, PermutationOrder) {
-        (FlatStore::new(n), PermutationOrder::new(n, seed))
+        // Same seed for both: the store's embedded order (which `unite`
+        // links by) and the standalone order the assertions consult are
+        // the same permutation.
+        (FlatStore::with_seed(n, seed), PermutationOrder::new(n, seed))
     }
 
-    fn run_all_policies(test: impl Fn(&dyn Fn(&FlatStore, &PermutationOrder, usize, usize) -> bool, &dyn Fn(&FlatStore, &PermutationOrder, usize, usize) -> bool)) {
+    fn run_all_policies(
+        test: impl Fn(
+            &dyn Fn(&FlatStore, usize, usize) -> bool,
+            &dyn Fn(&FlatStore, usize, usize) -> bool,
+        ),
+    ) {
         macro_rules! with_policy {
             ($f:ty) => {
+                test(&|s, x, y| unite::<$f, _, _>(s, x, y, &mut (), |_, _| {}), &|s, x, y| {
+                    same_set::<$f, _, _>(s, x, y, &mut ())
+                });
                 test(
-                    &|s, o, x, y| unite::<$f, _, _, _>(s, o, x, y, &mut (), |_, _| {}),
-                    &|s, o, x, y| same_set::<$f, _, _, _>(s, o, x, y, &mut ()),
-                );
-                test(
-                    &|s, o, x, y| unite_early::<$f, _, _, _>(s, o, x, y, &mut (), |_, _| {}),
-                    &|s, o, x, y| same_set_early::<$f, _, _, _>(s, o, x, y, &mut ()),
+                    &|s, x, y| unite_early::<$f, _, _>(s, x, y, &mut (), |_, _| {}),
+                    &|s, x, y| same_set_early::<$f, _, _>(s, x, y, &mut ()),
                 );
             };
         }
@@ -210,23 +215,23 @@ mod tests {
     #[test]
     fn unite_then_same_set_all_policies() {
         run_all_policies(|unite_fn, same_fn| {
-            let (store, order) = fixture(8, 11);
-            assert!(!same_fn(&store, &order, 0, 5));
-            assert!(unite_fn(&store, &order, 0, 5));
-            assert!(same_fn(&store, &order, 0, 5));
-            assert!(!unite_fn(&store, &order, 5, 0), "re-unite returns false");
-            assert!(unite_fn(&store, &order, 5, 6));
-            assert!(same_fn(&store, &order, 0, 6));
-            assert!(!same_fn(&store, &order, 0, 7));
+            let (store, _order) = fixture(8, 11);
+            assert!(!same_fn(&store, 0, 5));
+            assert!(unite_fn(&store, 0, 5));
+            assert!(same_fn(&store, 0, 5));
+            assert!(!unite_fn(&store, 5, 0), "re-unite returns false");
+            assert!(unite_fn(&store, 5, 6));
+            assert!(same_fn(&store, 0, 6));
+            assert!(!same_fn(&store, 0, 7));
         });
     }
 
     #[test]
     fn self_operations() {
         run_all_policies(|unite_fn, same_fn| {
-            let (store, order) = fixture(4, 3);
-            assert!(same_fn(&store, &order, 2, 2));
-            assert!(!unite_fn(&store, &order, 2, 2));
+            let (store, _order) = fixture(4, 3);
+            assert!(same_fn(&store, 2, 2));
+            assert!(!unite_fn(&store, 2, 2));
         });
     }
 
@@ -237,7 +242,7 @@ mod tests {
         run_all_policies(|unite_fn, _| {
             let (store, order) = fixture(64, 99);
             for i in 0..63 {
-                unite_fn(&store, &order, i, i + 1);
+                unite_fn(&store, i, i + 1);
             }
             for x in 0..64 {
                 let p = store.load_parent(x);
@@ -254,7 +259,7 @@ mod tests {
         let (store, order) = fixture(32, 5);
         let links = AtomicUsize::new(0);
         for i in 0..31 {
-            unite::<TwoTrySplit, _, _, _>(&store, &order, i, i + 1, &mut (), |child, parent| {
+            unite::<TwoTrySplit, _, _>(&store, i, i + 1, &mut (), |child, parent| {
                 assert!(order.less(child, parent));
                 links.fetch_add(1, Ordering::Relaxed);
             });
@@ -266,25 +271,25 @@ mod tests {
     fn early_termination_agrees_with_standard() {
         // Interleave unites built by the standard algorithm with queries by
         // the early-termination one (and vice versa) — they share the store.
-        let (store, order) = fixture(16, 21);
+        let (store, _order) = fixture(16, 21);
         let mut s = ();
-        assert!(unite::<TwoTrySplit, _, _, _>(&store, &order, 0, 1, &mut s, |_, _| {}));
-        assert!(same_set_early::<TwoTrySplit, _, _, _>(&store, &order, 0, 1, &mut s));
-        assert!(unite_early::<TwoTrySplit, _, _, _>(&store, &order, 1, 2, &mut s, |_, _| {}));
-        assert!(same_set::<TwoTrySplit, _, _, _>(&store, &order, 0, 2, &mut s));
-        assert!(!same_set_early::<TwoTrySplit, _, _, _>(&store, &order, 0, 15, &mut s));
+        assert!(unite::<TwoTrySplit, _, _>(&store, 0, 1, &mut s, |_, _| {}));
+        assert!(same_set_early::<TwoTrySplit, _, _>(&store, 0, 1, &mut s));
+        assert!(unite_early::<TwoTrySplit, _, _>(&store, 1, 2, &mut s, |_, _| {}));
+        assert!(same_set::<TwoTrySplit, _, _>(&store, 0, 2, &mut s));
+        assert!(!same_set_early::<TwoTrySplit, _, _>(&store, 0, 15, &mut s));
     }
 
     #[test]
     fn stats_account_finds_and_links() {
-        let (store, order) = fixture(8, 2);
+        let (store, _order) = fixture(8, 2);
         let mut stats = crate::OpStats::default();
-        unite::<OneTrySplit, _, _, _>(&store, &order, 0, 1, &mut stats, |_, _| {});
+        unite::<OneTrySplit, _, _>(&store, 0, 1, &mut stats, |_, _| {});
         assert_eq!(stats.ops, 1);
         assert_eq!(stats.finds, 2);
         assert_eq!(stats.links_ok, 1);
         assert_eq!(stats.links_fail, 0);
-        same_set::<OneTrySplit, _, _, _>(&store, &order, 0, 1, &mut stats);
+        same_set::<OneTrySplit, _, _>(&store, 0, 1, &mut stats);
         assert_eq!(stats.ops, 2);
         assert_eq!(stats.finds, 4);
     }

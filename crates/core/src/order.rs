@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn permutation_is_a_bijection() {
         let order = PermutationOrder::new(100, 7);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for u in 0..100 {
             let id = order.id_of(u) as usize;
             assert!(!seen[id], "id {id} assigned twice");

@@ -95,11 +95,7 @@ impl OpStats {
     /// "total number of primitive steps" up to the constant local work per
     /// access.
     pub fn memory_accesses(&self) -> u64 {
-        self.reads
-            + self.compact_cas_ok
-            + self.compact_cas_fail
-            + self.links_ok
-            + self.links_fail
+        self.reads + self.compact_cas_ok + self.compact_cas_fail + self.links_ok + self.links_fail
     }
 
     /// All CAS attempts, successful or not.

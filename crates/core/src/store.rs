@@ -1,58 +1,389 @@
-//! Parent-pointer storage abstraction.
+//! Parent-pointer storage: the packed single-word store, the flat two-array
+//! store, and the memory-ordering contract of the hot path.
+//!
+//! # Why storage is a type parameter
 //!
 //! The paper's algorithms touch shared state only through single-word reads
-//! and CASes of parent pointers. Abstracting *where* those words live lets
-//! the fixed-universe [`Dsu`](crate::Dsu) (one flat slab) and the growable
-//! [`GrowableDsu`](crate::GrowableDsu) (a segment directory) share a single
-//! implementation of every algorithm.
+//! and CASes of parent pointers, plus reads of each element's *immutable*
+//! random id. Everything else — where those words live, whether the id
+//! travels with the parent, which memory orderings the accesses use — is a
+//! layout decision the algorithms never observe. [`ParentStore`] abstracts
+//! the mutable word, [`DsuStore`] bundles it with the random order, and
+//! [`Dsu`](crate::Dsu) is generic over the bundle.
+//!
+//! # The packed layout ([`PackedStore`], the default)
+//!
+//! One `AtomicU64` per element:
+//!
+//! ```text
+//!   63            32 31             0
+//!  +----------------+----------------+
+//!  |   random id    |  parent index  |
+//!  +----------------+----------------+
+//!      immutable          mutable
+//! ```
+//!
+//! A find reads the parent *and* the linking priority of a node in one
+//! load, eight elements share a cache line, and the whole structure is one
+//! 8-byte word per element — half the footprint of the flat layout's
+//! parent-array-plus-id-array. `Unite` compares root priorities straight
+//! from the packed words; there is no side array to miss on. Because the
+//! high 32 bits never change after construction, a CAS that only moves the
+//! parent can reconstruct the full expected/new words from any read of the
+//! cell, and the id bits can be read at any ordering.
+//!
+//! **Universe bound:** both halves are 32 bits, so the packed layout
+//! supports at most `2^32` elements ([`PackedStore::MAX_UNIVERSE`]).
+//! Constructing a larger universe panics with a clear message — use
+//! `Dsu<F, FlatStore>` for universes beyond the bound (the flat layout
+//! stores full-width words).
+//!
+//! # The flat layout ([`FlatStore`])
+//!
+//! The direct translation of the paper: an `AtomicUsize` parent slab plus a
+//! separate random-permutation id array. Full `usize` range, one extra
+//! cache-line touch whenever an operation needs an id. Kept as the
+//! reference layout, the `n > 2^32` fallback, and the baseline the packed
+//! store is benchmarked against.
+//!
+//! # Memory orderings (and the `strict-sc` feature)
+//!
+//! The paper's APRAM model assumes sequentially consistent single-word
+//! registers, but its proofs lean only on the *per-cell* modification order
+//! of the parent words, never on a global total order of unrelated
+//! accesses:
+//!
+//! * Lemma 3.1 (parents strictly increase in the random order) is a
+//!   property of each cell's CAS history in isolation — every successful
+//!   CAS is justified by a value read from that same cell, which
+//!   [`Ordering::Relaxed`] already guarantees (cache coherence).
+//! * Linearizability (Lemma 3.2) needs a find that reaches a root to have
+//!   seen every link CAS on the path it walked. A successful link/compact
+//!   CAS publishes with **`Release`** ([`CAS_SUCCESS`]) and every traversal
+//!   read is an **`Acquire`** load ([`LOAD`]), so walking `u → parent(u)`
+//!   synchronizes-with the CAS that installed that parent: the classic
+//!   message-passing pattern, applied edge by edge up the tree.
+//! * A *failed* CAS publishes nothing — it only tells the caller "retry or
+//!   move on" — so its failure ordering is **`Relaxed`** ([`CAS_FAILURE`]).
+//!   Likewise the statistics counters ([`STAT`]) are mere tallies.
+//!
+//! One honest caveat: the per-path message-passing argument above covers
+//! the orderings each operation *relies on*, but Release/Acquire alone does
+//! not forbid IRIW-style outcomes (two readers disagreeing about the order
+//! of two independent links), which full linearizability of query-only
+//! histories formally needs. On multi-copy-atomic hardware — x86-64 and
+//! ARMv8, every tier-1 Rust target — such outcomes cannot occur, so the
+//! default build is linearizable there; on non-multi-copy-atomic machines
+//! (e.g. POWER) the paper-exact guarantee needs the `strict-sc` build,
+//! which pins every access back to `SeqCst` and restores the literal APRAM
+//! translation for model-fidelity experiments (`e12_cas_anatomy`, the
+//! APRAM cross-checks). The test suite passes under both configurations,
+//! and `tests/packed_vs_flat.rs` cross-checks the two layouts operation by
+//! operation.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// The memory ordering used for every shared-memory access.
+use crate::order::{IdOrder, PermutationOrder};
+
+/// Ordering of every traversal load of a parent word: `Acquire`, so a read
+/// of a parent installed by a `Release` CAS also sees the writes that
+/// preceded the CAS (`SeqCst` under `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const LOAD: Ordering = Ordering::Acquire;
+/// Ordering of every traversal load of a parent word (strict-sc: `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const LOAD: Ordering = Ordering::SeqCst;
+
+/// Success ordering of link and compaction CASes: `Release`, publishing the
+/// new parent edge to subsequent `Acquire` traversals (`SeqCst` under
+/// `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const CAS_SUCCESS: Ordering = Ordering::Release;
+/// Success ordering of link and compaction CASes (strict-sc: `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const CAS_SUCCESS: Ordering = Ordering::SeqCst;
+
+/// Failure ordering of link and compaction CASes: `Relaxed` — a failed CAS
+/// publishes nothing and the loser re-reads with [`LOAD`] anyway (`SeqCst`
+/// under `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const CAS_FAILURE: Ordering = Ordering::Relaxed;
+/// Failure ordering of link and compaction CASes (strict-sc: `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const CAS_FAILURE: Ordering = Ordering::SeqCst;
+
+/// Ordering for reads of immutable id bits and for statistic counters:
+/// `Relaxed` — ids never change after construction and counters are
+/// tallies, not synchronization (`SeqCst` under `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const STAT: Ordering = Ordering::Relaxed;
+/// Ordering for immutable-id reads and statistic counters (strict-sc:
+/// `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const STAT: Ordering = Ordering::SeqCst;
+
+/// `true` when the `strict-sc` feature pinned all orderings to `SeqCst`.
+pub const fn strict_sc() -> bool {
+    cfg!(feature = "strict-sc")
+}
+
+/// A table of atomic parent words indexed by element.
 ///
-/// The APRAM model assumes sequentially consistent single-word registers;
-/// `SeqCst` is the direct translation. On x86-64 the only instruction-level
-/// cost over `Acquire`/`Release` is on plain stores, which these algorithms
-/// never perform (all writes are CASes), so fidelity is effectively free.
-pub const ORDERING: Ordering = Ordering::SeqCst;
-
-/// A table of atomic parent pointers indexed by element.
+/// The *word* ([`ParentStore::Word`]) is the store's unit of atomicity:
+/// the raw `u64` for the packed layout, the bare parent `usize` for the
+/// flat one. The traversal loop works on words — one load yields both the
+/// next parent ([`parent_of`](ParentStore::parent_of)) and, in the packed
+/// layout, the element's linking priority — and every CAS expects the
+/// *exact word previously seen* ([`cas_from`](ParentStore::cas_from)), so
+/// no layout ever needs a second read to reconstruct its CAS operands.
 ///
-/// Implementations must return the *same* atomic cell for the same index for
-/// the lifetime of the store, and must only be asked about elements that
-/// exist (callers bounds-check first).
+/// Implementations must expose, for each existing element, one logical
+/// cell with a coherent modification order, and must only be asked about
+/// elements that exist (callers bounds-check first; implementations may
+/// panic otherwise).
 pub trait ParentStore: Send + Sync {
-    /// The atomic parent cell of element `i`.
+    /// The atomically accessed unit (parent index plus any inline fields).
+    type Word: Copy + PartialEq;
+
+    /// Loads the word of `i` ([`LOAD`] ordering).
+    fn load_word(&self, i: usize) -> Self::Word;
+
+    /// The parent index carried by a word.
+    fn parent_of(w: Self::Word) -> usize;
+
+    /// CASes `i`'s cell from exactly `seen` to the word carrying
+    /// `new_parent` (and `seen`'s immutable fields); `true` on success
+    /// ([`CAS_SUCCESS`] / [`CAS_FAILURE`] orderings).
+    fn cas_from(&self, i: usize, seen: Self::Word, new_parent: usize) -> bool;
+
+    /// The linking priority of element `i` as carried by its word `w` —
+    /// free for packed layouts, an id lookup for flat ones.
+    ///
+    /// Contract: `(priority(u, wu), u) < (priority(v, wv), v)` must agree
+    /// with the store's [`IdOrder`](crate::order::IdOrder) — i.e. the
+    /// index breaks priority ties — so `Unite` may link by priority
+    /// without consulting the order again.
+    fn priority(&self, i: usize, w: Self::Word) -> u64;
+
+    /// Convenience: the parent of `i` ([`LOAD`] ordering).
+    #[inline]
+    fn load_parent(&self, i: usize) -> usize {
+        Self::parent_of(self.load_word(i))
+    }
+
+    /// CASes the parent of `i` from `old` to `new` by value; `true` on
+    /// success. Used by call sites that have no previously seen word (the
+    /// blind link of early-termination `Unite`); packed layouts pay one
+    /// extra (cache-hot) read here to learn the immutable id bits.
+    #[inline]
+    fn cas_parent(&self, i: usize, old: usize, new: usize) -> bool {
+        let seen = self.load_word(i);
+        Self::parent_of(seen) == old && self.cas_from(i, seen, new)
+    }
+
+    /// `true` iff `u` precedes `v` in the store's random linking order —
+    /// the `(priority, index)` comparison of the [`priority`] contract.
+    /// This is the *only* order the concurrent operations consult, so a
+    /// store can never be driven by two disagreeing orders.
+    ///
+    /// [`priority`]: ParentStore::priority
+    #[inline]
+    fn precedes(&self, u: usize, v: usize) -> bool {
+        (self.priority(u, self.load_word(u)), u) < (self.priority(v, self.load_word(v)), v)
+    }
+}
+
+/// A [`ParentStore`] bundled with the random total order on its elements —
+/// everything [`Dsu`](crate::Dsu) needs from its storage type parameter.
+pub trait DsuStore: ParentStore + IdOrder {
+    /// Short layout name for reports (e.g. `"packed"`, `"flat"`).
+    const NAME: &'static str;
+
+    /// `n` singleton cells (`parent[i] == i`) with ids drawn as a uniform
+    /// random permutation of `0..n` seeded by `seed`.
+    ///
+    /// Two stores built with the same `(n, seed)` — of *any* layout —
+    /// assign identical ids, so layouts are interchangeable mid-experiment.
+    fn with_seed(n: usize, seed: u64) -> Self;
+
+    /// Number of cells.
+    fn len(&self) -> usize;
+
+    /// `true` when the store has no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The random id (position in the random total order) of element `u`.
+    fn id_of(&self, u: usize) -> u64;
+
+    /// A non-atomic snapshot of all parents. Only meaningful at quiescence;
+    /// used by tests and offline analysis.
+    fn snapshot(&self) -> Vec<usize>;
+}
+
+// ---------------------------------------------------------------------------
+// Packed store
+// ---------------------------------------------------------------------------
+
+/// Low half of a packed word: the mutable parent index (shared by
+/// [`PackedStore`] and the growable packed segments).
+pub(crate) const PARENT_MASK: u64 = 0xFFFF_FFFF;
+/// Bit offset of the immutable id half of a packed word.
+pub(crate) const ID_SHIFT: u32 = 32;
+
+/// Packs an id/parent pair into one word (shared by both packed layouts).
+#[inline]
+pub(crate) const fn pack_word(id: u64, parent: usize) -> u64 {
+    (id << ID_SHIFT) | parent as u64
+}
+
+/// The parent index carried by a packed word.
+#[inline]
+pub(crate) const fn packed_parent(w: u64) -> usize {
+    (w & PARENT_MASK) as usize
+}
+
+/// The id carried by a packed word.
+#[inline]
+pub(crate) const fn packed_id(w: u64) -> u64 {
+    w >> ID_SHIFT
+}
+
+/// The word `seen` with its parent half replaced by `new_parent` (id half
+/// untouched — ids are immutable, so this is the CAS replacement word).
+#[inline]
+pub(crate) const fn packed_with_parent(seen: u64, new_parent: usize) -> u64 {
+    (seen & !PARENT_MASK) | new_parent as u64
+}
+
+/// The packed single-word store: parent index in the low 32 bits, random id
+/// in the high 32 (see the module docs for layout and ordering rationale).
+///
+/// The default store of [`Dsu`](crate::Dsu); supports universes up to
+/// [`PackedStore::MAX_UNIVERSE`] elements.
+pub struct PackedStore {
+    words: Box<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for PackedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedStore").field("len", &self.words.len()).finish()
+    }
+}
+
+impl PackedStore {
+    /// Largest universe the 32-bit parent/id halves can address.
+    pub const MAX_UNIVERSE: u64 = 1 << 32;
+
+    /// `n` singleton cells with permutation ids (see [`DsuStore::with_seed`]).
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `i` is not an existing element.
-    fn parent_cell(&self, i: usize) -> &AtomicUsize;
-
-    /// Convenience: load the parent of `i` with the model ordering.
-    fn load_parent(&self, i: usize) -> usize {
-        self.parent_cell(i).load(ORDERING)
-    }
-
-    /// Convenience: CAS the parent of `i` from `old` to `new`; `true` on
-    /// success.
-    fn cas_parent(&self, i: usize, old: usize, new: usize) -> bool {
-        self.parent_cell(i)
-            .compare_exchange(old, new, ORDERING, ORDERING)
-            .is_ok()
+    /// Panics if `n` exceeds [`PackedStore::MAX_UNIVERSE`].
+    pub fn with_seed(n: usize, seed: u64) -> Self {
+        assert!(
+            n as u64 <= Self::MAX_UNIVERSE,
+            "PackedStore packs parent and id into 32 bits each and supports at most 2^32 \
+             elements, but n = {n}; use the flat layout (`Dsu<_, FlatStore>`) for larger \
+             universes"
+        );
+        let order = PermutationOrder::new(n, seed);
+        let words =
+            (0..n).map(|i| AtomicU64::new((order.id_of(i) << ID_SHIFT) | i as u64)).collect();
+        PackedStore { words }
     }
 }
 
-/// A flat slab of parent pointers for a fixed universe `0..n`.
+impl ParentStore for PackedStore {
+    type Word = u64;
+
+    #[inline]
+    fn load_word(&self, i: usize) -> u64 {
+        self.words[i].load(LOAD)
+    }
+
+    #[inline]
+    fn parent_of(w: u64) -> usize {
+        (w & PARENT_MASK) as usize
+    }
+
+    #[inline]
+    fn cas_from(&self, i: usize, seen: u64, new_parent: usize) -> bool {
+        // The id half never changes, so `seen`'s high bits are the id bits
+        // of the replacement word too — no re-read needed.
+        self.words[i]
+            .compare_exchange(
+                seen,
+                (seen & !PARENT_MASK) | new_parent as u64,
+                CAS_SUCCESS,
+                CAS_FAILURE,
+            )
+            .is_ok()
+    }
+
+    #[inline]
+    fn priority(&self, _i: usize, w: u64) -> u64 {
+        w >> ID_SHIFT
+    }
+}
+
+impl IdOrder for PackedStore {
+    #[inline]
+    fn less(&self, u: usize, v: usize) -> bool {
+        // Priorities come straight from the packed words — no side array.
+        packed_id(self.words[u].load(STAT)) < packed_id(self.words[v].load(STAT))
+    }
+}
+
+impl DsuStore for PackedStore {
+    const NAME: &'static str = "packed";
+
+    fn with_seed(n: usize, seed: u64) -> Self {
+        PackedStore::with_seed(n, seed)
+    }
+
+    fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    fn id_of(&self, u: usize) -> u64 {
+        packed_id(self.words[u].load(STAT))
+    }
+
+    fn snapshot(&self) -> Vec<usize> {
+        self.words.iter().map(|w| packed_parent(w.load(Ordering::Relaxed))).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat store
+// ---------------------------------------------------------------------------
+
+/// The flat two-array store: an `AtomicUsize` parent slab plus a separate
+/// permutation id array. Full `usize` universe range; the reference layout
+/// the packed store is cross-checked and benchmarked against.
 #[derive(Debug)]
 pub struct FlatStore {
     parents: Box<[AtomicUsize]>,
+    order: PermutationOrder,
 }
 
 impl FlatStore {
-    /// `n` singleton cells (`parent[i] == i`).
+    /// Seed used by [`FlatStore::new`] (tests that don't care about ids).
+    const DEFAULT_SEED: u64 = 0;
+
+    /// `n` singleton cells (`parent[i] == i`) with a default id seed.
     pub fn new(n: usize) -> Self {
-        FlatStore { parents: (0..n).map(AtomicUsize::new).collect() }
+        Self::with_seed(n, Self::DEFAULT_SEED)
+    }
+
+    /// `n` singleton cells with permutation ids (see [`DsuStore::with_seed`]).
+    pub fn with_seed(n: usize, seed: u64) -> Self {
+        FlatStore {
+            parents: (0..n).map(AtomicUsize::new).collect(),
+            order: PermutationOrder::new(n, seed),
+        }
     }
 
     /// Number of cells.
@@ -65,16 +396,82 @@ impl FlatStore {
         self.parents.is_empty()
     }
 
-    /// A non-atomic snapshot of all parents. Only meaningful when no other
-    /// thread is mutating (quiescence); used by tests and offline analysis.
+    /// The atomic parent cell of element `i` — for tests and simulators
+    /// that build forests directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an existing element.
+    pub fn parent_cell(&self, i: usize) -> &AtomicUsize {
+        &self.parents[i]
+    }
+
+    /// A non-atomic snapshot of all parents (quiescence only).
     pub fn snapshot(&self) -> Vec<usize> {
         self.parents.iter().map(|p| p.load(Ordering::Relaxed)).collect()
     }
 }
 
 impl ParentStore for FlatStore {
-    fn parent_cell(&self, i: usize) -> &AtomicUsize {
-        &self.parents[i]
+    type Word = usize;
+
+    #[inline]
+    fn load_word(&self, i: usize) -> usize {
+        self.parents[i].load(LOAD)
+    }
+
+    #[inline]
+    fn parent_of(w: usize) -> usize {
+        w
+    }
+
+    #[inline]
+    fn cas_from(&self, i: usize, seen: usize, new_parent: usize) -> bool {
+        self.parents[i].compare_exchange(seen, new_parent, CAS_SUCCESS, CAS_FAILURE).is_ok()
+    }
+
+    #[inline]
+    fn cas_parent(&self, i: usize, old: usize, new: usize) -> bool {
+        // The word *is* the parent — CAS directly, no pre-read.
+        self.cas_from(i, old, new)
+    }
+
+    #[inline]
+    fn priority(&self, i: usize, _w: usize) -> u64 {
+        self.order.id_of(i)
+    }
+
+    #[inline]
+    fn precedes(&self, u: usize, v: usize) -> bool {
+        // The default would load both parent words only to discard them
+        // (flat priorities live in the id array); go straight to the order.
+        self.order.less(u, v)
+    }
+}
+
+impl IdOrder for FlatStore {
+    fn less(&self, u: usize, v: usize) -> bool {
+        self.order.less(u, v)
+    }
+}
+
+impl DsuStore for FlatStore {
+    const NAME: &'static str = "flat";
+
+    fn with_seed(n: usize, seed: u64) -> Self {
+        FlatStore::with_seed(n, seed)
+    }
+
+    fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    fn id_of(&self, u: usize) -> u64 {
+        self.order.id_of(u)
+    }
+
+    fn snapshot(&self) -> Vec<usize> {
+        FlatStore::snapshot(self)
     }
 }
 
@@ -94,17 +491,97 @@ mod tests {
     }
 
     #[test]
-    fn cas_succeeds_once() {
-        let s = FlatStore::new(3);
+    fn packed_store_starts_as_singletons() {
+        let s = PackedStore::with_seed(5, 7);
+        assert_eq!(DsuStore::len(&s), 5);
+        for i in 0..5 {
+            assert_eq!(s.load_parent(i), i);
+        }
+        assert_eq!(DsuStore::snapshot(&s), vec![0, 1, 2, 3, 4]);
+    }
+
+    fn exercise_cas<P: ParentStore>(s: &P) {
         assert!(s.cas_parent(0, 0, 2));
         assert!(!s.cas_parent(0, 0, 1), "stale expected value must fail");
         assert_eq!(s.load_parent(0), 2);
+        // Word-exact CAS: a stale word fails, the current one succeeds.
+        let seen = s.load_word(0);
+        assert_eq!(P::parent_of(seen), 2);
+        assert!(s.cas_from(0, seen, 1));
+        assert!(!s.cas_from(0, seen, 0), "stale word must fail");
+        assert_eq!(s.load_parent(0), 1);
     }
 
     #[test]
-    fn empty_store() {
-        let s = FlatStore::new(0);
-        assert!(s.is_empty());
-        assert_eq!(s.snapshot(), Vec::<usize>::new());
+    fn cas_succeeds_once_both_layouts() {
+        exercise_cas(&FlatStore::new(3));
+        exercise_cas(&PackedStore::with_seed(3, 0));
+    }
+
+    #[test]
+    fn packed_ids_survive_parent_changes() {
+        let s = PackedStore::with_seed(8, 3);
+        let ids_before: Vec<u64> = (0..8).map(|i| s.id_of(i)).collect();
+        assert!(s.cas_parent(2, 2, 5));
+        assert!(s.cas_parent(5, 5, 7));
+        let ids_after: Vec<u64> = (0..8).map(|i| s.id_of(i)).collect();
+        assert_eq!(ids_before, ids_after, "ids are immutable under parent CASes");
+        assert_eq!(s.load_parent(2), 5);
+    }
+
+    #[test]
+    fn packed_and_flat_assign_identical_ids() {
+        let flat = FlatStore::with_seed(64, 99);
+        let packed = PackedStore::with_seed(64, 99);
+        for i in 0..64 {
+            assert_eq!(DsuStore::id_of(&flat, i), DsuStore::id_of(&packed, i));
+        }
+        // And therefore the same linking order.
+        for u in 0..64 {
+            for v in 0..64 {
+                assert_eq!(IdOrder::less(&flat, u, v), IdOrder::less(&packed, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_ids_are_a_permutation() {
+        let s = PackedStore::with_seed(100, 5);
+        let mut seen = [false; 100];
+        for i in 0..100 {
+            let id = s.id_of(i) as usize;
+            assert!(id < 100 && !seen[id], "id {id} out of range or duplicated");
+            seen[id] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2^32")]
+    fn packed_store_rejects_oversized_universe() {
+        // Keep the allocation from actually happening: the bound check
+        // fires before any memory is touched.
+        let _ = PackedStore::with_seed(PackedStore::MAX_UNIVERSE as usize + 1, 0);
+    }
+
+    #[test]
+    fn empty_stores() {
+        assert!(FlatStore::new(0).is_empty());
+        assert!(DsuStore::is_empty(&PackedStore::with_seed(0, 0)));
+        assert_eq!(FlatStore::new(0).snapshot(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn orderings_match_feature() {
+        if strict_sc() {
+            assert_eq!(LOAD, Ordering::SeqCst);
+            assert_eq!(CAS_SUCCESS, Ordering::SeqCst);
+            assert_eq!(CAS_FAILURE, Ordering::SeqCst);
+            assert_eq!(STAT, Ordering::SeqCst);
+        } else {
+            assert_eq!(LOAD, Ordering::Acquire);
+            assert_eq!(CAS_SUCCESS, Ordering::Release);
+            assert_eq!(CAS_FAILURE, Ordering::Relaxed);
+            assert_eq!(STAT, Ordering::Relaxed);
+        }
     }
 }

@@ -1,0 +1,201 @@
+//! Layout cross-checks: `Dsu<_, PackedStore>` and `Dsu<_, FlatStore>` are
+//! observationally identical.
+//!
+//! Both layouts draw ids from the same seeded permutation, so for any seed
+//! and single-threaded operation sequence every return value, the set
+//! count, and the final partition must agree *exactly* — packing is a
+//! layout optimization, never a semantic one. These tests run under both
+//! the default per-access orderings and `--features strict-sc` (CI runs
+//! both), which is what justifies the relaxed orderings empirically on top
+//! of the argument in `src/store.rs`.
+//!
+//! The multi-threaded stress tests exercise the relaxed link / compaction
+//! CAS paths specifically: concurrent unites force link CASes to race with
+//! splitting CASes on the same words, and the confluence of set union lets
+//! us check the final partition against a sequential oracle no matter how
+//! the interleaving went.
+
+use concurrent_dsu::{
+    Dsu, DsuStore, FindPolicy, FlatStore, GrowableDsu, PackedSegmentedStore, PackedStore,
+    SegmentedStore, TwoTrySplit,
+};
+use proptest::prelude::*;
+use sequential_dsu::{NaiveDsu, Partition};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Unite(usize, usize),
+    SameSet(usize, usize),
+    UniteEarly(usize, usize),
+    SameSetEarly(usize, usize),
+}
+
+fn ops_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..n, 0..n, 0..4usize).prop_map(|(x, y, k)| match k {
+            0 => Op::Unite(x, y),
+            1 => Op::SameSet(x, y),
+            2 => Op::UniteEarly(x, y),
+            _ => Op::SameSetEarly(x, y),
+        }),
+        1..max_len,
+    )
+}
+
+fn apply<F: FindPolicy, S: DsuStore>(dsu: &Dsu<F, S>, op: Op) -> bool {
+    match op {
+        Op::Unite(x, y) => dsu.unite(x, y),
+        Op::SameSet(x, y) => dsu.same_set(x, y),
+        Op::UniteEarly(x, y) => dsu.unite_early(x, y),
+        Op::SameSetEarly(x, y) => dsu.same_set_early(x, y),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The packed and flat layouts agree with each other and with the
+    /// sequential oracle on every observable of every operation.
+    #[test]
+    fn packed_and_flat_agree(ops in ops_strategy(24, 120), seed in any::<u64>()) {
+        let n = 24;
+        let packed: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, seed);
+        let flat: Dsu<TwoTrySplit, FlatStore> = Dsu::with_seed(n, seed);
+        let mut oracle = NaiveDsu::new(n);
+        for &op in &ops {
+            let (p, f) = (apply(&packed, op), apply(&flat, op));
+            prop_assert_eq!(p, f, "{:?} diverged between layouts", op);
+            let expected = match op {
+                Op::Unite(x, y) | Op::UniteEarly(x, y) => oracle.unite(x, y),
+                Op::SameSet(x, y) | Op::SameSetEarly(x, y) => oracle.same_set(x, y),
+            };
+            prop_assert_eq!(p, expected, "{:?} diverged from the oracle", op);
+        }
+        prop_assert_eq!(packed.set_count(), oracle.set_count());
+        prop_assert_eq!(flat.set_count(), oracle.set_count());
+        prop_assert_eq!(
+            Partition::from_labels(&packed.labels_snapshot()),
+            Partition::from_labels(&flat.labels_snapshot())
+        );
+        // Identical ids imply identical linking decisions, hence identical
+        // union forests, not just identical partitions.
+        prop_assert_eq!(packed.union_forest_snapshot(), flat.union_forest_snapshot());
+    }
+
+    /// Both growable layouts match the oracle (ids differ between layouts —
+    /// packed truncates the hash — so forests may differ, but partitions
+    /// and every return value must not).
+    #[test]
+    fn growable_layouts_agree(ops in ops_strategy(16, 100), seed in any::<u64>()) {
+        let n = 16;
+        let packed: GrowableDsu<TwoTrySplit, PackedSegmentedStore> = GrowableDsu::with_seed(seed);
+        let flat: GrowableDsu<TwoTrySplit, SegmentedStore> = GrowableDsu::with_seed(seed);
+        let mut oracle = NaiveDsu::new(n);
+        for _ in 0..n {
+            packed.make_set();
+            flat.make_set();
+        }
+        for &op in &ops {
+            let (expected, x, y) = match op {
+                Op::Unite(x, y) | Op::UniteEarly(x, y) => (oracle.unite(x, y), x, y),
+                Op::SameSet(x, y) | Op::SameSetEarly(x, y) => (oracle.same_set(x, y), x, y),
+            };
+            let (p, f) = match op {
+                Op::Unite(..) => (packed.unite(x, y), flat.unite(x, y)),
+                Op::UniteEarly(..) => (packed.unite_early(x, y), flat.unite_early(x, y)),
+                Op::SameSet(..) => (packed.same_set(x, y), flat.same_set(x, y)),
+                Op::SameSetEarly(..) => (packed.same_set_early(x, y), flat.same_set_early(x, y)),
+            };
+            prop_assert_eq!(p, expected, "packed growable diverged on {:?}", op);
+            prop_assert_eq!(f, expected, "flat growable diverged on {:?}", op);
+        }
+        prop_assert_eq!(packed.set_count(), oracle.set_count());
+        prop_assert_eq!(flat.set_count(), oracle.set_count());
+    }
+}
+
+/// Concurrent stress on the packed store's relaxed link/compaction CASes:
+/// the final partition must equal the connected components of the unite
+/// pairs (set union is confluent), and ids must still strictly increase
+/// along every parent path (Lemma 3.1).
+#[test]
+fn packed_concurrent_stress_matches_components() {
+    let n = 1 << 12;
+    let threads = 8;
+    let pairs: Vec<(usize, usize)> =
+        (0..2 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 7) % n)).collect();
+    let packed: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, 99);
+    let flat: Dsu<TwoTrySplit, FlatStore> = Dsu::with_seed(n, 99);
+    for dsu_run in 0..2 {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let packed = &packed;
+                let flat = &flat;
+                let pairs = &pairs;
+                s.spawn(move || {
+                    for (i, &(x, y)) in pairs.iter().enumerate() {
+                        if i % threads != t {
+                            continue;
+                        }
+                        // Mix queries in so compaction CASes race links.
+                        if dsu_run == 0 {
+                            packed.unite(x, y);
+                            packed.same_set(y, x);
+                        } else {
+                            flat.unite(x, y);
+                            flat.same_set(y, x);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let mut oracle = NaiveDsu::new(n);
+    for &(x, y) in &pairs {
+        oracle.unite(x, y);
+    }
+    assert_eq!(Partition::from_labels(&packed.labels_snapshot()), oracle.partition());
+    assert_eq!(Partition::from_labels(&flat.labels_snapshot()), oracle.partition());
+    assert_eq!(packed.set_count(), oracle.set_count());
+    assert_eq!(flat.set_count(), oracle.set_count());
+    // Lemma 3.1 on the packed words: every non-root's id is below its
+    // parent's id, whatever interleaving the relaxed CASes went through.
+    let parents = packed.parents_snapshot();
+    for (x, &p) in parents.iter().enumerate() {
+        if p != x {
+            assert!(packed.id_of(x) < packed.id_of(p));
+        }
+    }
+}
+
+/// Concurrent growth + churn on the packed segmented store.
+#[test]
+fn packed_growable_concurrent_stress() {
+    let dsu: GrowableDsu<TwoTrySplit, PackedSegmentedStore> = GrowableDsu::new();
+    let threads = 8;
+    let per_thread = 1500;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let dsu = &dsu;
+            s.spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..per_thread {
+                    let e = dsu.make_set();
+                    mine.push(e);
+                    if mine.len() >= 2 {
+                        let a = mine[(i * 31 + t) % mine.len()];
+                        let b = mine[(i * 17 + 1) % mine.len()];
+                        dsu.unite(a, b);
+                        dsu.same_set(b, a);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(dsu.len(), threads * per_thread);
+    // Labels must form a consistent partition.
+    let labels = dsu.labels_snapshot();
+    let _ = Partition::from_labels(&labels);
+    // Every successful link reduced the set count by exactly one.
+    assert!(dsu.set_count() >= 1 && dsu.set_count() <= dsu.len());
+}

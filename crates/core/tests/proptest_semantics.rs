@@ -16,13 +16,15 @@ enum Op {
 
 fn ops_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        (0..n, 0..n, prop::bool::ANY).prop_map(|(x, y, u)| {
-            if u {
-                Op::Unite(x, y)
-            } else {
-                Op::SameSet(x, y)
-            }
-        }),
+        (0..n, 0..n, prop::bool::ANY).prop_map(
+            |(x, y, u)| {
+                if u {
+                    Op::Unite(x, y)
+                } else {
+                    Op::SameSet(x, y)
+                }
+            },
+        ),
         0..max_len,
     )
 }
@@ -76,21 +78,19 @@ proptest! {
         }
         let parents = dsu.parents_snapshot();
         let forest = dsu.union_forest_snapshot();
-        for x in 0..24 {
-            if parents[x] != x {
-                prop_assert!(dsu.id_of(x) < dsu.id_of(parents[x]));
-            }
-            // The current parent must be an ancestor of x in the union
-            // forest (Lemma 3.1's compaction clause).
-            if parents[x] != x {
+        for (x, &p) in parents.iter().enumerate() {
+            if p != x {
+                prop_assert!(dsu.id_of(x) < dsu.id_of(p));
+                // The current parent must be an ancestor of x in the union
+                // forest (Lemma 3.1's compaction clause).
                 let mut u = x;
                 let mut found = false;
                 for _ in 0..24 {
                     u = forest[u];
-                    if u == parents[x] { found = true; break; }
+                    if u == p { found = true; break; }
                     if forest[u] == u { break; }
                 }
-                prop_assert!(found, "parent {} of {} is not a union-forest ancestor", parents[x], x);
+                prop_assert!(found, "parent {} of {} is not a union-forest ancestor", p, x);
             }
         }
     }

@@ -42,11 +42,7 @@ pub fn parallel_components(graph: &EdgeList, threads: usize) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics if `threads == 0` or if `dsu.len() < graph.n()`.
-pub fn unite_edges_parallel<D: ConcurrentUnionFind>(
-    dsu: &D,
-    graph: &EdgeList,
-    threads: usize,
-) {
+pub fn unite_edges_parallel<D: ConcurrentUnionFind>(dsu: &D, graph: &EdgeList, threads: usize) {
     assert!(threads > 0, "need at least one thread");
     assert!(dsu.len() >= graph.n(), "universe smaller than vertex set");
     let edges = graph.edges();

@@ -251,10 +251,7 @@ mod tests {
         let g = gnp(n, p, 7);
         let expected = (n * (n - 1) / 2) as f64 * p;
         let got = g.len() as f64;
-        assert!(
-            (got - expected).abs() < 0.25 * expected,
-            "got {got}, expected ~{expected}"
-        );
+        assert!((got - expected).abs() < 0.25 * expected, "got {got}, expected ~{expected}");
         for e in g.edges() {
             assert!(e.u < e.v, "gnp emits ordered pairs");
         }

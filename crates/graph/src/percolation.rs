@@ -71,9 +71,7 @@ pub fn percolation_threshold(size: usize, seed: u64) -> f64 {
 /// Panics if `trials == 0` or `size == 0`.
 pub fn percolation_mc(size: usize, trials: usize, base_seed: u64) -> f64 {
     assert!(trials > 0, "need at least one trial");
-    let sum: f64 = (0..trials)
-        .map(|t| percolation_threshold(size, base_seed + t as u64))
-        .sum();
+    let sum: f64 = (0..trials).map(|t| percolation_threshold(size, base_seed + t as u64)).sum();
     sum / trials as f64
 }
 
@@ -130,10 +128,7 @@ mod tests {
         // trials lands within ±0.06 comfortably (finite-size effects skew
         // slightly high on small grids).
         let est = percolation_mc(32, 40, 1000);
-        assert!(
-            (0.52..=0.68).contains(&est),
-            "estimate {est} suspiciously far from 0.5927"
-        );
+        assert!((0.52..=0.68).contains(&est), "estimate {est} suspiciously far from 0.5927");
     }
 
     #[test]

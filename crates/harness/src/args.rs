@@ -39,6 +39,9 @@ impl Args {
     /// # Panics
     ///
     /// Panics on malformed input.
+    // Not the std trait: this parses `--key value` pairs and panics on
+    // malformed input, which `FromIterator` must not.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, S>(tokens: I) -> Self
     where
         I: IntoIterator<Item = S>,

@@ -49,8 +49,12 @@ fn main() {
     let reps = args.usize("reps", if quick { 2 } else { 3 });
     let threads = args.usize("threads-per-run", 8);
 
-    println!("E1: union-forest height vs n  (m = 2n random unites, {threads} threads, {reps} seeds)");
-    println!("paper: height = O(log n) w.h.p.  [Cor 4.2.1]; ops take O(log n) steps w.h.p. [Thm 4.3]\n");
+    println!(
+        "E1: union-forest height vs n  (m = 2n random unites, {threads} threads, {reps} seeds)"
+    );
+    println!(
+        "paper: height = O(log n) w.h.p.  [Cor 4.2.1]; ops take O(log n) steps w.h.p. [Thm 4.3]\n"
+    );
 
     let mut table = Table::new(&["n", "lg n", "height(max)", "height/lg n", "mean depth", "sets"]);
     for exp in min_exp..=max_exp {

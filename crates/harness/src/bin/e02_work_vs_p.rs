@@ -13,8 +13,8 @@
 
 use concurrent_dsu::{Dsu, TwoTrySplit};
 use dsu_harness::{mean, run_shards_instrumented, table::f2, Args, Table};
-use sequential_dsu::two_try_work_bound;
 use dsu_workloads::WorkloadSpec;
+use sequential_dsu::two_try_work_bound;
 
 fn main() {
     let args = Args::parse();

@@ -50,7 +50,9 @@ fn main() {
     let ladder = args.thread_ladder();
 
     println!("E3: per-op work by find variant  (n = {n}, m = {m}, {reps} seeds)");
-    println!("paper: two-try ≤ one-try ≤ no-compaction in work; halving ≈ splitting [§3, Thm 5.1/5.2]\n");
+    println!(
+        "paper: two-try ≤ one-try ≤ no-compaction in work; halving ≈ splitting [§3, Thm 5.1/5.2]\n"
+    );
 
     let mut table = Table::new(&["p", "variant", "iters/op", "cas-fail/op", "accesses/op"]);
     for &p in &ladder {

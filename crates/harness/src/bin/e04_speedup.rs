@@ -37,11 +37,10 @@ fn main() {
 
     // Build phase: m = n unites. Query phase: m = 2n same-sets after a
     // sub-critical prior build (components stay logarithmic: no hot root).
-    let build = WorkloadSpec::new(n, n).unite_fraction(1.0).generate(0xE4_B);
-    let prior = WorkloadSpec::new(n, (n as f64 * 0.45) as usize)
-        .unite_fraction(1.0)
-        .generate(0xE4_C);
-    let query = WorkloadSpec::new(n, 2 * n).unite_fraction(0.0).generate(0xE4_D);
+    let build = WorkloadSpec::new(n, n).unite_fraction(1.0).generate(0x0E4B);
+    let prior =
+        WorkloadSpec::new(n, (n as f64 * 0.45) as usize).unite_fraction(1.0).generate(0x0E4C);
+    let query = WorkloadSpec::new(n, 2 * n).unite_fraction(0.0).generate(0x0E4D);
 
     let make_jt2 = |prebuild: bool| {
         let dsu: Dsu<TwoTrySplit> = Dsu::new(n);
@@ -74,23 +73,12 @@ fn main() {
 
     let mut table = Table::new(&["phase", "structure", "p", "Mops/s", "speedup"]);
     for (phase, workload, prebuild) in [("build", &build, false), ("query", &query, true)] {
-        let specs: Vec<(&str, Box<dyn Fn(usize) -> f64>)> = vec![
-            (
-                "jt-two-try",
-                Box::new(|p| run_shards(&make_jt2(prebuild), workload, p).mops()),
-            ),
-            (
-                "jt-one-try",
-                Box::new(|p| run_shards(&make_jt1(prebuild), workload, p).mops()),
-            ),
-            (
-                "aw-rank-halving",
-                Box::new(|p| run_shards(&make_aw(prebuild), workload, p).mops()),
-            ),
-            (
-                "global-lock",
-                Box::new(|p| run_shards(&make_lock(prebuild), workload, p).mops()),
-            ),
+        type Runner<'a> = Box<dyn Fn(usize) -> f64 + 'a>;
+        let specs: Vec<(&str, Runner<'_>)> = vec![
+            ("jt-two-try", Box::new(|p| run_shards(&make_jt2(prebuild), workload, p).mops())),
+            ("jt-one-try", Box::new(|p| run_shards(&make_jt1(prebuild), workload, p).mops())),
+            ("aw-rank-halving", Box::new(|p| run_shards(&make_aw(prebuild), workload, p).mops())),
+            ("global-lock", Box::new(|p| run_shards(&make_lock(prebuild), workload, p).mops())),
         ];
         let reps = args.usize("reps", if quick { 2 } else { 3 });
         for (name, run) in &specs {

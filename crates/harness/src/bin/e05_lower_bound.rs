@@ -39,7 +39,9 @@ fn main() {
     let seed = args.u64("seed", 0xE5);
 
     println!("E5: lockstep SameSet storm vs δ  (n = {n}, p = {p} simulated processes)");
-    println!("paper: expected work Ω(m log(np/m)) — each query pays Ω(log δ) [Lemma 5.3, Thm 5.4]\n");
+    println!(
+        "paper: expected work Ω(m log(np/m)) — each query pays Ω(log δ) [Lemma 5.3, Thm 5.4]\n"
+    );
 
     let mut table = Table::new(&[
         "delta",

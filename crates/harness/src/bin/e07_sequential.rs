@@ -27,15 +27,8 @@ fn main() {
     println!("E7: sequential variants  (n = {n}; m/n swept)");
     println!("paper §2: all nine linking×compaction combos run in O(m α(n, m/n))\n");
 
-    let mut table = Table::new(&[
-        "m/n",
-        "linking",
-        "compaction",
-        "reads/op",
-        "updates/op",
-        "ms",
-        "α(n,m/n)",
-    ]);
+    let mut table =
+        Table::new(&["m/n", "linking", "compaction", "reads/op", "updates/op", "ms", "α(n,m/n)"]);
     for &ratio in &ratios {
         let m = n * ratio;
         let w = WorkloadSpec::new(n, m).unite_fraction(0.5).generate(0xE7 ^ ratio as u64);

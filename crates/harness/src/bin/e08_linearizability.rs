@@ -15,13 +15,8 @@ use linearize::{check_linearizable, DsuOp, DsuSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
-const POLICIES: [Policy; 5] = [
-    Policy::NoCompaction,
-    Policy::OneTry,
-    Policy::TwoTry,
-    Policy::Halving,
-    Policy::Compression,
-];
+const POLICIES: [Policy; 5] =
+    [Policy::NoCompaction, Policy::OneTry, Policy::TwoTry, Policy::Halving, Policy::Compression];
 
 fn main() {
     let args = Args::parse();

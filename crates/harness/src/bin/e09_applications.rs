@@ -30,11 +30,7 @@ fn cc_rows(table: &mut Table, name: &str, graph: &EdgeList, ladder: &[usize]) {
     let (seq_labels, seq_ms) = time_ms(|| sequential_components(graph));
     let comps = count_components(&seq_labels);
     let oracle = graph.to_csr().bfs_components();
-    assert_eq!(
-        count_components(&oracle),
-        comps,
-        "sequential CC disagrees with BFS on {name}"
-    );
+    assert_eq!(count_components(&oracle), comps, "sequential CC disagrees with BFS on {name}");
     table.row(&[
         format!("cc/{name}"),
         "seq rank+halving".into(),
@@ -69,13 +65,13 @@ fn main() {
 
     let mut table = Table::new(&["workload", "impl", "p", "ms", "speedup vs seq", "result"]);
 
-    let gnm = gen::gnm(n, m, 0xE9_1);
+    let gnm = gen::gnm(n, m, 0x0E91);
     cc_rows(&mut table, "gnm", &gnm, &ladder);
-    let rmat = gen::rmat_standard(scale as u32, m, 0xE9_2);
+    let rmat = gen::rmat_standard(scale as u32, m, 0x0E92);
     cc_rows(&mut table, "rmat", &rmat, &ladder);
 
     // MSF: Kruskal vs parallel Borůvka.
-    let msf_graph = gen::gnm(n / 2, m / 2, 0xE9_3);
+    let msf_graph = gen::gnm(n / 2, m / 2, 0x0E93);
     let (k, k_ms) = time_ms(|| kruskal(&msf_graph));
     table.row(&[
         "msf/gnm".into(),
@@ -104,7 +100,7 @@ fn main() {
     let trials = args.usize("trials", if quick { 32 } else { 64 });
     let mut perc_p1 = None;
     for &p in &ladder {
-        let (est, ms) = time_ms(|| percolation_mc_parallel(grid, trials, 0xE9_4, p));
+        let (est, ms) = time_ms(|| percolation_mc_parallel(grid, trials, 0x0E94, p));
         let base = *perc_p1.get_or_insert(ms);
         table.row(&[
             format!("percolation/{grid}x{grid}"),

@@ -23,7 +23,9 @@ fn main() {
     let unite_frac = args.f64("unite-frac", 0.4);
     let ladder = args.thread_ladder();
 
-    println!("E10: growable universe churn  ({ops_per_thread} ops/thread, {unite_frac} unite fraction)");
+    println!(
+        "E10: growable universe churn  ({ops_per_thread} ops/thread, {unite_frac} unite fraction)"
+    );
     println!("paper §3 remark/§7: MakeSet with on-the-fly ids; operations stay lock-free\n");
 
     let mut table = Table::new(&["p", "make_sets", "final sets", "Mops/s", "speedup"]);

@@ -33,7 +33,9 @@ fn main() {
     let reps = args.usize("reps", if quick { 2 } else { 3 });
     let threads = args.usize("threads-per-run", 8);
 
-    println!("E11: unite order vs random node order  (n = {n}, spanning-tree unites, {threads} threads)");
+    println!(
+        "E11: unite order vs random node order  (n = {n}, spanning-tree unites, {threads} threads)"
+    );
     println!("paper assumption (∗): node order independent of unite linearization order\n");
 
     let mut table = Table::new(&["unite order", "height", "height/lg n", "query iters/op"]);
@@ -41,12 +43,11 @@ fn main() {
         let mut heights = Vec::new();
         let mut iters = Vec::new();
         for rep in 0..reps {
-            let seed = 0xE11_0 + rep as u64;
+            let seed = 0x0E110 + rep as u64;
             let dsu: Dsu<TwoTrySplit> = Dsu::with_seed(n, seed);
             // A random spanning tree's edges.
             let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7);
-            let mut edges: Vec<(usize, usize)> =
-                (1..n).map(|i| (i, rng.gen_range(0..i))).collect();
+            let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i, rng.gen_range(0..i))).collect();
             match order_kind {
                 "random" => edges.shuffle(&mut rng),
                 "id-ascending" => {
@@ -56,27 +57,17 @@ fn main() {
                     edges.sort_by_key(|&(a, b)| std::cmp::Reverse(dsu.id_of(a).min(dsu.id_of(b))));
                 }
             }
-            let unites = Workload::new(
-                n,
-                edges.iter().map(|&(a, b)| Op::Unite(a, b)).collect(),
-            );
+            let unites = Workload::new(n, edges.iter().map(|&(a, b)| Op::Unite(a, b)).collect());
             run_shards(&dsu, &unites, threads);
             heights.push(dsu.union_forest_height() as f64);
             // Query storm after the build measures how costly the forest is.
-            let queries = Workload::new(
-                n,
-                (0..n).map(|i| Op::SameSet(i, (i * 2654435761) % n)).collect(),
-            );
+            let queries =
+                Workload::new(n, (0..n).map(|i| Op::SameSet(i, (i * 2654435761) % n)).collect());
             let metrics = run_shards_instrumented(&dsu, &queries, threads, false);
             iters.push(metrics.stats.unwrap().loop_iters as f64 / n as f64);
         }
         let h = mean(&heights);
-        table.row(&[
-            order_kind.to_string(),
-            f2(h),
-            f2(h / (n as f64).log2()),
-            f2(mean(&iters)),
-        ]);
+        table.row(&[order_kind.to_string(), f2(h), f2(h / (n as f64).log2()), f2(mean(&iters))]);
     }
     table.print();
     println!("\nexpected shape: the random row is O(log n) by Cor 4.2.1; the id-correlated");

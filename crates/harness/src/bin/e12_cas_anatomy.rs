@@ -53,11 +53,7 @@ fn main() {
         "fail rate",
     ]);
     for theta in [0.0, 0.8, 1.2, 1.6] {
-        let dist = if theta == 0.0 {
-            ElementDist::Uniform
-        } else {
-            ElementDist::Zipf(theta)
-        };
+        let dist = if theta == 0.0 { ElementDist::Uniform } else { ElementDist::Zipf(theta) };
         let w = WorkloadSpec::new(n, m)
             .unite_fraction(1.0)
             .element_dist(dist)

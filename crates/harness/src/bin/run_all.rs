@@ -31,11 +31,8 @@ fn main() {
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("own path").parent().expect("bin dir").to_path_buf();
 
     let mut failures = Vec::new();
     for (i, name) in EXPERIMENTS.iter().enumerate() {

@@ -45,16 +45,15 @@ fn main() {
                 touched[x] = true;
                 touched[y] = true;
             }
-            println!(
-                "elements touched: {} / {}",
-                touched.iter().filter(|&&t| t).count(),
-                w.n
-            );
+            println!("elements touched: {} / {}", touched.iter().filter(|&&t| t).count(), w.n);
         }
         "replay" => {
             let w = load(&args);
             let p = args.usize("p", 8);
-            let dsu: Dsu = Dsu::with_seed(w.n, args.u64("seed", Dsu::<concurrent_dsu::TwoTrySplit>::DEFAULT_SEED));
+            let dsu: Dsu = Dsu::with_seed(
+                w.n,
+                args.u64("seed", Dsu::<concurrent_dsu::TwoTrySplit>::DEFAULT_SEED),
+            );
             let metrics = run_shards(&dsu, &w, p);
             println!(
                 "replayed {} ops on {p} threads in {:.2} ms ({} Mops/s)",

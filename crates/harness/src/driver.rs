@@ -69,8 +69,12 @@ pub fn run_shards<D: ConcurrentUnionFind + ?Sized>(
                 }
             });
         }
+        // Timestamp before releasing the barrier: once it opens, this
+        // thread may be descheduled while workers run (oversubscribed
+        // hosts), which would deflate an after-the-wait timestamp.
+        let t0 = Instant::now();
         barrier.wait();
-        Instant::now()
+        t0
     });
     RunMetrics {
         elapsed: started.elapsed(),
@@ -127,8 +131,9 @@ pub fn run_shards_instrumented<F: FindPolicy>(
                 (stats, max_iters)
             }));
         }
-        barrier.wait();
+        // Same pre-release timestamp rationale as run_shards.
         let started = Instant::now();
+        barrier.wait();
         let mut merged = OpStats::default();
         let mut max_iters = 0u64;
         for h in handles {
@@ -138,12 +143,7 @@ pub fn run_shards_instrumented<F: FindPolicy>(
         }
         (started.elapsed(), merged, max_iters)
     });
-    RunMetrics {
-        elapsed,
-        ops: workload.len() as u64,
-        stats: Some(merged),
-        max_op_iters: max_iters,
-    }
+    RunMetrics { elapsed, ops: workload.len() as u64, stats: Some(merged), max_op_iters: max_iters }
 }
 
 #[cfg(test)]

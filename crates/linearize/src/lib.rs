@@ -261,10 +261,8 @@ mod tests {
         // SameSet overlapping a Unite may see it or not; both answers are
         // linearizable.
         for observed in [true, false] {
-            let h = vec![
-                op(DsuOp::Unite(0, 1), true, 0, 10),
-                op(DsuOp::SameSet(0, 1), observed, 5, 6),
-            ];
+            let h =
+                vec![op(DsuOp::Unite(0, 1), true, 0, 10), op(DsuOp::SameSet(0, 1), observed, 5, 6)];
             assert!(
                 check_linearizable(&DsuSpec::new(2), &h).is_ok(),
                 "observed = {observed} must be linearizable"
@@ -276,48 +274,27 @@ mod tests {
     fn stale_true_before_any_unite_is_rejected() {
         // SameSet returns true, completing strictly before the only Unite
         // is invoked: impossible.
-        let h = vec![
-            op(DsuOp::SameSet(0, 1), true, 0, 1),
-            op(DsuOp::Unite(0, 1), true, 2, 3),
-        ];
-        assert_eq!(
-            check_linearizable(&DsuSpec::new(2), &h),
-            Err(LinearizeError::NotLinearizable)
-        );
+        let h = vec![op(DsuOp::SameSet(0, 1), true, 0, 1), op(DsuOp::Unite(0, 1), true, 2, 3)];
+        assert_eq!(check_linearizable(&DsuSpec::new(2), &h), Err(LinearizeError::NotLinearizable));
     }
 
     #[test]
     fn forgotten_union_is_rejected() {
         // Unite completes, then a later SameSet still says false: once
         // together, always together.
-        let h = vec![
-            op(DsuOp::Unite(0, 1), true, 0, 1),
-            op(DsuOp::SameSet(0, 1), false, 2, 3),
-        ];
-        assert_eq!(
-            check_linearizable(&DsuSpec::new(2), &h),
-            Err(LinearizeError::NotLinearizable)
-        );
+        let h = vec![op(DsuOp::Unite(0, 1), true, 0, 1), op(DsuOp::SameSet(0, 1), false, 2, 3)];
+        assert_eq!(check_linearizable(&DsuSpec::new(2), &h), Err(LinearizeError::NotLinearizable));
     }
 
     #[test]
     fn double_successful_unite_is_rejected() {
         // Two Unites of the same pair cannot both return true if the first
         // completes before the second starts.
-        let h = vec![
-            op(DsuOp::Unite(0, 1), true, 0, 1),
-            op(DsuOp::Unite(0, 1), true, 2, 3),
-        ];
-        assert_eq!(
-            check_linearizable(&DsuSpec::new(2), &h),
-            Err(LinearizeError::NotLinearizable)
-        );
+        let h = vec![op(DsuOp::Unite(0, 1), true, 0, 1), op(DsuOp::Unite(0, 1), true, 2, 3)];
+        assert_eq!(check_linearizable(&DsuSpec::new(2), &h), Err(LinearizeError::NotLinearizable));
         // But two *overlapping* unites: exactly one true and one false is
         // fine (and required).
-        let h = vec![
-            op(DsuOp::Unite(0, 1), true, 0, 10),
-            op(DsuOp::Unite(0, 1), false, 0, 10),
-        ];
+        let h = vec![op(DsuOp::Unite(0, 1), true, 0, 10), op(DsuOp::Unite(0, 1), false, 0, 10)];
         assert!(check_linearizable(&DsuSpec::new(2), &h).is_ok());
     }
 
@@ -354,10 +331,7 @@ mod tests {
     fn too_large_history_is_reported() {
         let h: Vec<CompletedOp<DsuOp>> =
             (0..65).map(|i| op(DsuOp::SameSet(0, 0), true, i, i)).collect();
-        assert_eq!(
-            check_linearizable(&DsuSpec::new(1), &h),
-            Err(LinearizeError::TooLarge(65))
-        );
+        assert_eq!(check_linearizable(&DsuSpec::new(1), &h), Err(LinearizeError::TooLarge(65)));
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub fn alpha(n: u64, d: f64) -> u32 {
     let mut i = 1;
     loop {
         match ackermann(i, floor_d) {
-            None => return i,                     // beyond u64, certainly > n
+            None => return i, // beyond u64, certainly > n
             Some(v) if v > n => return i,
             _ => i += 1,
         }
@@ -255,7 +255,7 @@ mod tests {
         // universe sits at rank 0, a quarter at rank 1, and so on. Check
         // n = 63 (k = 6).
         let n = 63u64;
-        let mut counts = vec![0u64; 6];
+        let mut counts = [0u64; 6];
         for x in 1..=n {
             counts[gklt_rank(n, x) as usize] += 1;
         }

@@ -84,11 +84,7 @@ impl Partition {
 
     /// Number of disjoint sets.
     pub fn set_count(&self) -> usize {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|&(i, &l)| i == l)
-            .count()
+        self.labels.iter().enumerate().filter(|&(i, &l)| i == l).count()
     }
 
     /// The sets themselves, each sorted ascending, ordered by smallest
@@ -120,10 +116,7 @@ impl Partition {
         assert_eq!(self.len(), other.len(), "partition sizes differ");
         // self refines other iff elements sharing a self-label share an
         // other-label; checking label representatives suffices.
-        self.labels
-            .iter()
-            .enumerate()
-            .all(|(i, &l)| other.labels[i] == other.labels[l])
+        self.labels.iter().enumerate().all(|(i, &l)| other.labels[i] == other.labels[l])
     }
 
     /// The canonical labels slice (`labels[i]` = smallest member of `i`'s

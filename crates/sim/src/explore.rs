@@ -74,12 +74,10 @@ fn dfs(
         report.truncated = true;
         return;
     }
-    let runnable: Vec<usize> =
-        (0..state.procs.len()).filter(|&i| !state.done[i]).collect();
+    let runnable: Vec<usize> = (0..state.procs.len()).filter(|&i| !state.done[i]).collect();
     if runnable.is_empty() {
         report.executions += 1;
-        let records: Vec<Vec<OpRecord>> =
-            state.procs.iter().map(|p| p.records.clone()).collect();
+        let records: Vec<Vec<OpRecord>> = state.procs.iter().map(|p| p.records.clone()).collect();
         if !verdict(&records, &state.memory) {
             report.failures += 1;
         }
@@ -141,8 +139,7 @@ mod tests {
                 // pairs can both link in every schedule); (c) final memory
                 // is one tree containing 0, 1, 2.
                 let ok_lin = check_linearizable(&spec, &history_of(records)).is_ok();
-                let both_linked =
-                    records[0][0].result && records[1][0].result;
+                let both_linked = records[0][0].result && records[1][0].result;
                 let snapshot = memory.snapshot();
                 let root_of = |mut x: usize| {
                     while snapshot[x] != x {
@@ -171,8 +168,7 @@ mod tests {
             DsuProcess::new(vec![DsuOp::Unite(0, 1)], Policy::TwoTry, false, ids.clone()),
         ];
         let report = explore_all_schedules(n, &procs, 3_000_000, |records, _| {
-            let wins =
-                records[0][0].result as u32 + records[1][0].result as u32;
+            let wins = records[0][0].result as u32 + records[1][0].result as u32;
             wins == 1
         });
         assert!(!report.truncated);
@@ -228,7 +224,8 @@ mod tests {
             // Forest sanity: parent chains terminate.
             let snapshot = memory.snapshot();
             let mut sane = true;
-            for mut x in 0..n {
+            for start in 0..n {
+                let mut x = start;
                 let mut hops = 0;
                 while snapshot[x] != x {
                     x = snapshot[x];

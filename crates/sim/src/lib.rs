@@ -44,4 +44,6 @@ pub mod process;
 pub use explore::{explore_all_schedules, ExploreReport};
 pub use find_sm::{AdvanceSm, FindSm, Policy};
 pub use lockstep::{lockstep_halving_vs_splitting, LockstepComparison};
-pub use process::{random_ids, run_concurrent, ConcurrentOutcome, DsuProcess, FindProgram, OpRecord};
+pub use process::{
+    random_ids, run_concurrent, ConcurrentOutcome, DsuProcess, FindProgram, OpRecord,
+};

@@ -123,10 +123,7 @@ mod tests {
         // of the Section 3 argument).
         for k in [8usize, 64, 256] {
             let cmp = lockstep_halving_vs_splitting(k);
-            assert_eq!(
-                cmp.halving_updates, cmp.splitting_updates,
-                "k = {k}: updates differ"
-            );
+            assert_eq!(cmp.halving_updates, cmp.splitting_updates, "k = {k}: updates differ");
         }
     }
 

@@ -151,7 +151,7 @@ impl DsuProcess {
                         self.v = root;
                         if self.u == self.v {
                             // SameSet -> true; Unite -> already same set.
-                            return Some(if is_unite { false } else { true });
+                            return Some(!is_unite);
                         }
                         self.sm = Some(OpSm::RootPhase);
                     }
@@ -161,11 +161,8 @@ impl DsuProcess {
             OpSm::RootPhase => {
                 if is_unite {
                     // Try to link the smaller root under the larger.
-                    let (child, parent) = if self.less(self.u, self.v) {
-                        (self.u, self.v)
-                    } else {
-                        (self.v, self.u)
-                    };
+                    let (child, parent) =
+                        if self.less(self.u, self.v) { (self.u, self.v) } else { (self.v, self.u) };
                     if ctx.mem.cas(child, child, parent) {
                         return Some(true);
                     }
@@ -206,7 +203,7 @@ impl DsuProcess {
                     self.u = next_u;
                     // Loop top of Algorithms 6/7 (local decisions).
                     if self.u == self.v {
-                        return Some(if is_unite { false } else { true });
+                        return Some(!is_unite);
                     }
                     if self.less(self.v, self.u) {
                         std::mem::swap(&mut self.u, &mut self.v);
@@ -309,7 +306,7 @@ impl ConcurrentOutcome {
     pub fn labels(&self) -> Vec<usize> {
         let parents = self.memory.snapshot();
         let mut labels = vec![usize::MAX; parents.len()];
-        for start in 0..parents.len() {
+        for (start, label) in labels.iter_mut().enumerate() {
             let mut u = start;
             let mut steps = 0;
             while parents[u] != u {
@@ -317,7 +314,7 @@ impl ConcurrentOutcome {
                 steps += 1;
                 assert!(steps <= parents.len(), "cycle in parent array");
             }
-            labels[start] = u;
+            *label = u;
         }
         // Normalize to min element per root.
         let mut min_of = vec![usize::MAX; parents.len()];

@@ -9,13 +9,8 @@ use linearize::{check_linearizable, DsuOp, DsuSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
-const POLICIES: [Policy; 5] = [
-    Policy::NoCompaction,
-    Policy::OneTry,
-    Policy::TwoTry,
-    Policy::Halving,
-    Policy::Compression,
-];
+const POLICIES: [Policy; 5] =
+    [Policy::NoCompaction, Policy::OneTry, Policy::TwoTry, Policy::Halving, Policy::Compression];
 
 fn random_ops(n: usize, count: usize, rng: &mut ChaCha12Rng) -> Vec<DsuOp> {
     (0..count)
@@ -131,7 +126,9 @@ fn per_op_step_counts_are_modest() {
         let ids = random_ids(n, seed);
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let processes: Vec<DsuProcess> = (0..4)
-            .map(|_| DsuProcess::new(random_ops(n, 10, &mut rng), Policy::TwoTry, false, ids.clone()))
+            .map(|_| {
+                DsuProcess::new(random_ops(n, 10, &mut rng), Policy::TwoTry, false, ids.clone())
+            })
             .collect();
         let outcome = run_concurrent(n, processes, &mut SeededRandom::new(seed), 1_000_000);
         for rec in outcome.records.iter().flatten() {

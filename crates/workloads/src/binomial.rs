@@ -82,7 +82,7 @@ impl LowerBoundWorkload {
 /// Panics unless `delta` is a power of two ≥ 2 dividing `n`.
 pub fn lower_bound_workload(n: usize, delta: usize, seed: u64) -> LowerBoundWorkload {
     assert!(delta >= 2 && delta.is_power_of_two(), "delta must be a power of two >= 2");
-    assert!(n % delta == 0, "delta must divide n");
+    assert!(n.is_multiple_of(delta), "delta must divide n");
     let trees = n / delta;
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let mut build_ops = Vec::with_capacity(n - trees);

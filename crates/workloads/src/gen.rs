@@ -7,9 +7,10 @@ use crate::op::{Op, Workload};
 use crate::zipf::Zipf;
 
 /// How operand elements are drawn from `0..n`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ElementDist {
     /// Uniformly at random.
+    #[default]
     Uniform,
     /// Zipf with the given exponent: element 0 is the most popular. Skew
     /// concentrates contention on few elements (hot roots).
@@ -17,12 +18,6 @@ pub enum ElementDist {
     /// Both operands within a window of the given width around a uniformly
     /// chosen center — models the spatial locality of grid-like inputs.
     Locality(usize),
-}
-
-impl Default for ElementDist {
-    fn default() -> Self {
-        ElementDist::Uniform
-    }
 }
 
 /// A recipe for a random [`Workload`]: universe size, op count, unite
@@ -98,11 +93,8 @@ impl WorkloadSpec {
         let mut ops = Vec::with_capacity(self.m);
         for _ in 0..self.m {
             let (x, y) = self.draw_pair(&mut rng, zipf.as_ref());
-            let op = if rng.gen_bool(self.unite_fraction) {
-                Op::Unite(x, y)
-            } else {
-                Op::SameSet(x, y)
-            };
+            let op =
+                if rng.gen_bool(self.unite_fraction) { Op::Unite(x, y) } else { Op::SameSet(x, y) };
             ops.push(op);
         }
         Workload::new(self.n, ops)
@@ -114,10 +106,7 @@ impl WorkloadSpec {
             ElementDist::Zipf(_) => {
                 let zipf = zipf.expect("zipf sampler prepared");
                 // Zipf yields 1..=n; element k-1 gets mass k^(-s).
-                (
-                    (zipf.sample(rng) - 1) as usize,
-                    (zipf.sample(rng) - 1) as usize,
-                )
+                ((zipf.sample(rng) - 1) as usize, (zipf.sample(rng) - 1) as usize)
             }
             ElementDist::Locality(window) => {
                 let w = window.max(1).min(self.n);
@@ -158,8 +147,8 @@ mod tests {
             ElementDist::Uniform,
             ElementDist::Zipf(1.3),
             ElementDist::Locality(8),
-            ElementDist::Locality(0),     // degenerate window
-            ElementDist::Locality(10_000) // over-wide window
+            ElementDist::Locality(0),      // degenerate window
+            ElementDist::Locality(10_000), // over-wide window
         ] {
             let w = WorkloadSpec::new(37, 2_000).element_dist(dist).generate(4);
             for op in &w.ops {
@@ -171,9 +160,7 @@ mod tests {
 
     #[test]
     fn zipf_dist_is_skewed() {
-        let w = WorkloadSpec::new(1000, 30_000)
-            .element_dist(ElementDist::Zipf(1.5))
-            .generate(5);
+        let w = WorkloadSpec::new(1000, 30_000).element_dist(ElementDist::Zipf(1.5)).generate(5);
         let hits_0 = w.ops.iter().filter(|o| o.operands().0 == 0).count();
         let hits_500 = w.ops.iter().filter(|o| o.operands().0 == 500).count();
         assert!(hits_0 > 20 * (hits_500 + 1), "0:{hits_0} vs 500:{hits_500}");
@@ -181,9 +168,8 @@ mod tests {
 
     #[test]
     fn locality_dist_keeps_pairs_close() {
-        let w = WorkloadSpec::new(10_000, 5_000)
-            .element_dist(ElementDist::Locality(16))
-            .generate(6);
+        let w =
+            WorkloadSpec::new(10_000, 5_000).element_dist(ElementDist::Locality(16)).generate(6);
         for op in &w.ops {
             let (x, y) = op.operands();
             assert!(x.abs_diff(y) <= 16, "pair too far: {op:?}");

@@ -69,9 +69,7 @@ impl Zipf {
             let x = h_integral_inverse(u, self.s);
             let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
             let k_int = k as u64;
-            if k - x <= self.threshold
-                || u >= h_integral(k + 0.5, self.s) - h(k, self.s)
-            {
+            if k - x <= self.threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
                 return k_int;
             }
         }
@@ -161,8 +159,8 @@ mod tests {
         let n = 16;
         let counts = histogram(n, 0.0, 160_000, 2);
         let expected = 160_000.0 / n as f64;
-        for k in 1..=n as usize {
-            let c = counts[k] as f64;
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let c = count as f64;
             assert!(
                 (c - expected).abs() < 0.1 * expected,
                 "count[{k}] = {c}, expected ~{expected}"

@@ -50,9 +50,8 @@ fn main() {
     assert_eq!(conn.component_count(), 1);
 
     // Part 2: cycle classification over a random stream.
-    let edges: Vec<(usize, usize)> = (0..50_000)
-        .map(|i| ((i * 7919) % 10_000, (i * 104_729 + 3) % 10_000))
-        .collect();
+    let edges: Vec<(usize, usize)> =
+        (0..50_000).map(|i| ((i * 7919) % 10_000, (i * 104_729 + 3) % 10_000)).collect();
     let (forest, cycles) = classify_edges(10_000, &edges);
     println!("edge stream of {}: {forest} forest edges, {cycles} cycle edges", edges.len());
 

@@ -19,10 +19,7 @@ fn main() {
         let start = Instant::now();
         let estimate = percolation_mc_parallel(k, 64, 2024, 8);
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        println!(
-            "{k:>6} {estimate:>12.4} {:>12.4} {ms:>10.1}",
-            (estimate - LITERATURE).abs()
-        );
+        println!("{k:>6} {estimate:>12.4} {:>12.4} {ms:>10.1}", (estimate - LITERATURE).abs());
     }
     println!("\nliterature value: {LITERATURE}");
     println!("(finite-size effects shrink the error as k grows)");

@@ -12,7 +12,12 @@ use std::thread;
 
 fn main() {
     let n = 1_000_000;
-    let dsu: Dsu = Dsu::new(n); // two-try splitting, the paper's best variant
+    // Defaults: two-try splitting (the paper's best find variant) on the
+    // packed store — parent and random id in one 64-bit word per element,
+    // so the hot path touches half the memory of a split layout. Packing
+    // caps the universe at 2^32 elements; for more, pick the flat layout
+    // explicitly: `let dsu: Dsu<TwoTrySplit, FlatStore> = Dsu::new(n);`
+    let dsu: Dsu = Dsu::new(n);
 
     println!("uniting a ring of {n} elements on 8 threads…");
     let start = std::time::Instant::now();

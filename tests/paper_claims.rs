@@ -68,7 +68,8 @@ fn lemma_5_3_lower_bound_workload_forces_log_work() {
                 .collect()
         };
         let mut machine = Machine::new(Memory::identity(n));
-        let mut builder = DsuProcess::new(to_sim(&wl.build.ops), Policy::TwoTry, false, ids.clone());
+        let mut builder =
+            DsuProcess::new(to_sim(&wl.build.ops), Policy::TwoTry, false, ids.clone());
         {
             let mut refs: Vec<&mut dyn Program> = vec![&mut builder];
             assert!(machine.run(&mut refs, &mut RoundRobin::new(), u64::MAX / 2).completed);
@@ -104,8 +105,7 @@ fn lemma_5_3_binomial_trees_have_linear_average_depth_in_log_k() {
         let (x, y) = op.operands();
         dsu.unite(x, y);
     }
-    let avg: f64 =
-        (0..k).map(|x| dsu.depth_of(x)).sum::<usize>() as f64 / k as f64;
+    let avg: f64 = (0..k).map(|x| dsu.depth_of(x)).sum::<usize>() as f64 / k as f64;
     assert!(avg >= (k as f64).log2() / 8.0, "avg depth {avg:.2} too shallow");
 }
 
