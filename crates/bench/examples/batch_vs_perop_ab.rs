@@ -1,0 +1,87 @@
+//! Interleaved A/B comparison of batched vs. per-op edge ingestion.
+//!
+//! Both contenders ingest the same Zipf-skewed batched-arrival trace
+//! through the same dynamic burst-cursor scheduler; the only difference is
+//! `unite_batch` per burst (the filtered, word-seeded bulk path) versus a
+//! `unite` call per edge. Samples alternate back to back so host drift
+//! cancels; per-thread-count medians and the batched/per-op throughput
+//! ratio are printed and, with `--json PATH`, written out for archiving
+//! (`BENCH_PR2.json`) or CI artifacts.
+//!
+//! The default workload keeps the parent store (32 MB at `n = 2^22`)
+//! larger than the last-level cache: that is both the production-scale
+//! regime (millions of elements) and the one where the batch path's
+//! gather waves pay — with a cache-resident store the two ingestion modes
+//! tie, because there are no misses left to overlap.
+//!
+//! Run: `cargo run --release -p dsu-bench --example batch_vs_perop_ab --
+//!       [--samples 15] [--n 4194304] [--batches 2048] [--batch-size 1024]
+//!       [--zipf 1.0] [--threads 1,2,4,8] [--json out.json] [--quick true]`
+
+use std::fmt::Write as _;
+
+use concurrent_dsu::{Dsu, TwoTrySplit};
+use dsu_bench::{standard_edge_batches, timed_ingest_batched, timed_ingest_per_op};
+use dsu_harness::Args;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let samples = args.usize("samples", if quick { 5 } else { 15 });
+    let n = args.usize("n", if quick { 1 << 14 } else { 1 << 22 });
+    let batches = args.usize("batches", if quick { 1 << 6 } else { 1 << 11 });
+    let batch_size = args.usize("batch-size", 1 << 10);
+    let zipf = args.f64("zipf", 1.0);
+    let threads = args.thread_ladder();
+
+    let arrivals = standard_edge_batches(n, batches, batch_size, zipf);
+    let m = arrivals.total_edges();
+    println!(
+        "n = {n}, {batches} bursts x {batch_size} edges = {m} edges, zipf {zipf}, \
+         {samples} interleaved samples per mode"
+    );
+    println!("{:>7} {:>14} {:>14} {:>8}", "threads", "per-op ns", "batched ns", "speedup");
+
+    let mut rows = String::new();
+    for &p in &threads {
+        // Warm-up one run of each.
+        let dsu: Dsu<TwoTrySplit> = Dsu::new(n);
+        timed_ingest_per_op(&dsu, &arrivals.batches, p);
+        let dsu: Dsu<TwoTrySplit> = Dsu::new(n);
+        timed_ingest_batched(&dsu, &arrivals.batches, p);
+        let mut per_op_ns = Vec::with_capacity(samples);
+        let mut batched_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let dsu: Dsu<TwoTrySplit> = Dsu::new(n);
+            per_op_ns.push(timed_ingest_per_op(&dsu, &arrivals.batches, p).as_nanos() as f64);
+            let dsu: Dsu<TwoTrySplit> = Dsu::new(n);
+            batched_ns.push(timed_ingest_batched(&dsu, &arrivals.batches, p).as_nanos() as f64);
+        }
+        let (om, bm) = (median(&mut per_op_ns), median(&mut batched_ns));
+        println!("{:>7} {:>14.0} {:>14.0} {:>8.3}", p, om, bm, om / bm);
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n    {{\"threads\":{p},\"per_op_median_ns\":{om:.0},\"batched_median_ns\":{bm:.0},\
+             \"batched_speedup\":{:.4}}}",
+            om / bm
+        );
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\n  \"example\": \"batch_vs_perop_ab\",\n  \"workload\": {{\"n\": {n}, \
+             \"batches\": {batches}, \"batch_size\": {batch_size}, \"zipf\": {zipf}, \
+             \"seed\": \"0xBA7C\"}},\n  \"samples\": {samples},\n  \"results\": [{rows}\n  ]\n}}\n"
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -10,12 +10,29 @@
 //! * `sequential_variants` — the twelve Section 2 baselines (E7);
 //! * `applications` — connected components / MST / percolation (E9).
 
-use dsu_workloads::{Workload, WorkloadSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dsu_workloads::{EdgeBatchSpec, EdgeBatches, ElementDist, Workload, WorkloadSpec};
 
 /// The standard benchmark workload: `m` half-unite/half-query ops over
 /// `0..n`, fixed seed.
 pub fn standard_workload(n: usize, m: usize) -> Workload {
     WorkloadSpec::new(n, m).unite_fraction(0.5).generate(0xBE7C)
+}
+
+/// The standard batched-arrival workload: `batches` bursts of `batch_size`
+/// edges over `0..n`, endpoints Zipf-skewed with exponent `zipf`, fixed
+/// seed. Skew plus volume make most edges redundant after the early
+/// bursts — the regime the batch path's same-set filter targets.
+pub fn standard_edge_batches(
+    n: usize,
+    batches: usize,
+    batch_size: usize,
+    zipf: f64,
+) -> EdgeBatches {
+    EdgeBatchSpec::new(n, batches, batch_size)
+        .element_dist(ElementDist::Zipf(zipf))
+        .generate(0xBA7C)
 }
 
 /// Applies one op to anything implementing the concurrent interface.
@@ -61,6 +78,72 @@ pub fn timed_parallel_run<D: concurrent_dsu::ConcurrentUnionFind>(
     started.elapsed()
 }
 
+/// Ingests `batches` on `threads` threads — workers claim whole bursts
+/// from a shared cursor (the same dynamic scheduling both contenders get)
+/// and apply `ingest` to each — returning elapsed wall time. The two
+/// public wrappers differ *only* in `ingest`, isolating the batch-API
+/// effect from the scheduler.
+fn timed_ingest<D>(
+    dsu: &D,
+    batches: &[Vec<(usize, usize)>],
+    threads: usize,
+    ingest: impl Fn(&D, &[(usize, usize)]) + Copy + Send,
+) -> std::time::Duration
+where
+    D: concurrent_dsu::ConcurrentUnionFind,
+{
+    let cursor = AtomicUsize::new(0);
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let started = std::thread::scope(|s| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= batches.len() {
+                        break;
+                    }
+                    ingest(dsu, &batches[i]);
+                }
+            });
+        }
+        // Timestamp before releasing the barrier (see timed_parallel_run).
+        let t0 = std::time::Instant::now();
+        barrier.wait();
+        t0
+    });
+    started.elapsed()
+}
+
+/// Per-op ingestion baseline: every edge of every burst goes through a
+/// separate [`unite`](concurrent_dsu::ConcurrentUnionFind::unite) call.
+pub fn timed_ingest_per_op<D: concurrent_dsu::ConcurrentUnionFind>(
+    dsu: &D,
+    batches: &[Vec<(usize, usize)>],
+    threads: usize,
+) -> std::time::Duration {
+    timed_ingest(dsu, batches, threads, |d, burst| {
+        for &(x, y) in burst {
+            d.unite(x, y);
+        }
+    })
+}
+
+/// Batched ingestion: each burst goes through one
+/// [`unite_batch`](concurrent_dsu::ConcurrentUnionFind::unite_batch) call
+/// (the filtered, word-seeded bulk path on [`concurrent_dsu::Dsu`]).
+pub fn timed_ingest_batched<D: concurrent_dsu::ConcurrentUnionFind>(
+    dsu: &D,
+    batches: &[Vec<(usize, usize)>],
+    threads: usize,
+) -> std::time::Duration {
+    timed_ingest(dsu, batches, threads, |d, burst| {
+        d.unite_batch(burst);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +151,19 @@ mod tests {
     #[test]
     fn workload_is_deterministic() {
         assert_eq!(standard_workload(64, 100), standard_workload(64, 100));
+    }
+
+    #[test]
+    fn ingest_runners_cover_every_edge() {
+        let arrivals = standard_edge_batches(256, 16, 32, 1.1);
+        let per_op: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(256);
+        let batched: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(256);
+        let a = timed_ingest_per_op(&per_op, &arrivals.batches, 2);
+        let b = timed_ingest_batched(&batched, &arrivals.batches, 2);
+        assert!(a.as_nanos() > 0 && b.as_nanos() > 0);
+        // Confluence: both ingestion shapes produce the same partition.
+        assert_eq!(per_op.set_count(), batched.set_count());
+        assert_eq!(per_op.labels_snapshot(), batched.labels_snapshot());
     }
 
     #[test]

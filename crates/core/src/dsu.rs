@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::bulk;
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ops;
 use crate::stats::StatsSink;
@@ -220,6 +221,61 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
         })
     }
 
+    /// Batched [`unite`](Dsu::unite) over an edge slice (see the
+    /// [`bulk`](crate::bulk) module): a read-mostly filter pass drops
+    /// already-connected edges via early-termination same-set walks, then a
+    /// link pass CASes each survivor's root straight from the word the
+    /// filter observed. Returns the number of successful links.
+    ///
+    /// Single-threaded, the per-edge outcomes are exactly those of calling
+    /// [`unite`](Dsu::unite) one edge at a time; concurrent callers get the
+    /// usual linearizable semantics per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
+        self.unite_batch_with(edges, &mut ())
+    }
+
+    /// [`unite_batch`](Dsu::unite_batch) reporting work into `stats`.
+    pub fn unite_batch_with<Sk: StatsSink>(
+        &self,
+        edges: &[(usize, usize)],
+        stats: &mut Sk,
+    ) -> usize {
+        for &(x, y) in edges {
+            self.check(x);
+            self.check(y);
+        }
+        bulk::unite_batch(&self.store, edges, stats, |child, parent| {
+            self.record_link(child, parent)
+        })
+    }
+
+    /// [`unite_batch`](Dsu::unite_batch) that also reports, per edge,
+    /// whether this batch performed the link — for clients (Borůvka, cycle
+    /// classification) that need the edge-level verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn unite_batch_results(&self, edges: &[(usize, usize)]) -> Vec<bool> {
+        for &(x, y) in edges {
+            self.check(x);
+            self.check(y);
+        }
+        let mut results = vec![false; edges.len()];
+        bulk::unite_batch_sink(
+            &self.store,
+            edges,
+            &mut (),
+            |child, parent| self.record_link(child, parent),
+            |i, linked| results[i] = linked,
+        );
+        results
+    }
+
     fn record_link(&self, child: usize, parent: usize) {
         // Relaxed is enough: union_parent is only read offline at
         // quiescence, and `links` is a statistic whose own atomicity
@@ -300,6 +356,10 @@ impl<F: FindPolicy, S: DsuStore> ConcurrentUnionFind for Dsu<F, S> {
 
     fn unite(&self, x: usize, y: usize) -> bool {
         Dsu::unite(self, x, y)
+    }
+
+    fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
+        Dsu::unite_batch(self, edges)
     }
 
     fn find(&self, x: usize) -> usize {
@@ -530,6 +590,65 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn unite_batch_matches_per_op_sequence() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(404);
+        let n = 48;
+        let edges: Vec<(usize, usize)> =
+            (0..300).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let batched: Dsu = Dsu::with_seed(n, 8);
+        let per_op: Dsu = Dsu::with_seed(n, 8);
+        let results = batched.unite_batch_results(&edges);
+        let expected: Vec<bool> = edges.iter().map(|&(x, y)| per_op.unite(x, y)).collect();
+        assert_eq!(results, expected);
+        assert_eq!(batched.set_count(), per_op.set_count());
+        assert_eq!(
+            Partition::from_labels(&batched.labels_snapshot()),
+            Partition::from_labels(&per_op.labels_snapshot())
+        );
+        // Count view agrees with the per-edge view.
+        let recount: Dsu = Dsu::with_seed(n, 8);
+        assert_eq!(recount.unite_batch(&edges), results.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn unite_batch_concurrent_chunks_match_oracle() {
+        let n = 1024;
+        let edges: Vec<(usize, usize)> =
+            (0..2 * n).map(|i| ((i * 2654435761) % n, (i * 911 + 3) % n)).collect();
+        let dsu: Dsu = Dsu::new(n);
+        std::thread::scope(|s| {
+            for chunk in edges.chunks(edges.len() / 8 + 1) {
+                let dsu = &dsu;
+                s.spawn(move || dsu.unite_batch(chunk));
+            }
+        });
+        let mut oracle = NaiveDsu::new(n);
+        for &(x, y) in &edges {
+            oracle.unite(x, y);
+        }
+        assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
+        assert_eq!(dsu.set_count(), oracle.set_count());
+    }
+
+    #[test]
+    fn unite_batch_with_reports_stats() {
+        let dsu: Dsu = Dsu::new(8);
+        let mut stats = OpStats::default();
+        let links = dsu.unite_batch_with(&[(0, 1), (1, 0), (2, 3)], &mut stats);
+        assert_eq!(links, 2);
+        assert_eq!(stats.ops, 3);
+        assert_eq!(stats.links_ok, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unite_batch_rejects_out_of_range() {
+        let dsu: Dsu = Dsu::new(4);
+        dsu.unite_batch(&[(0, 1), (2, 4)]);
     }
 
     #[test]

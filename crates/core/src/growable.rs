@@ -18,6 +18,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use crate::bulk;
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ops;
 use crate::order::{splitmix64, HashOrder, IdOrder};
@@ -406,6 +407,47 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
         })
     }
 
+    /// Batched [`unite`](GrowableDsu::unite) over an edge slice (see the
+    /// [`bulk`] module): filter pass, then word-seeded link
+    /// pass. Returns the number of successful links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint was not returned by a completed `make_set`.
+    pub fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
+        for &(x, y) in edges {
+            self.check(x);
+            self.check(y);
+        }
+        bulk::unite_batch(&self.store, edges, &mut (), |_, _| {
+            self.links.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    /// [`unite_batch`](GrowableDsu::unite_batch) that also reports each
+    /// edge's link verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint was not returned by a completed `make_set`.
+    pub fn unite_batch_results(&self, edges: &[(usize, usize)]) -> Vec<bool> {
+        for &(x, y) in edges {
+            self.check(x);
+            self.check(y);
+        }
+        let mut results = vec![false; edges.len()];
+        bulk::unite_batch_sink(
+            &self.store,
+            edges,
+            &mut (),
+            |_, _| {
+                self.links.fetch_add(1, Ordering::Relaxed);
+            },
+            |i, linked| results[i] = linked,
+        );
+        results
+    }
+
     /// `SameSet` with early termination (paper Algorithm 6).
     ///
     /// # Panics
@@ -451,6 +493,10 @@ impl<F: FindPolicy, S: GrowableStore> ConcurrentUnionFind for GrowableDsu<F, S> 
 
     fn unite(&self, x: usize, y: usize) -> bool {
         GrowableDsu::unite(self, x, y)
+    }
+
+    fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
+        GrowableDsu::unite_batch(self, edges)
     }
 
     fn find(&self, x: usize) -> usize {
@@ -569,6 +615,20 @@ mod tests {
         // Labels are a consistent partition.
         let labels = dsu.labels_snapshot();
         let _ = Partition::from_labels(&labels);
+    }
+
+    #[test]
+    fn unite_batch_matches_per_op() {
+        let batched: GrowableDsu = GrowableDsu::with_initial(32);
+        let per_op: GrowableDsu = GrowableDsu::with_initial(32);
+        let edges: Vec<(usize, usize)> =
+            (0..100).map(|i| ((i * 13) % 32, (i * 7 + 1) % 32)).collect();
+        let results = batched.unite_batch_results(&edges);
+        let expected: Vec<bool> = edges.iter().map(|&(x, y)| per_op.unite(x, y)).collect();
+        assert_eq!(results, expected);
+        assert_eq!(batched.set_count(), per_op.set_count());
+        let recount: GrowableDsu = GrowableDsu::with_initial(32);
+        assert_eq!(recount.unite_batch(&edges), expected.iter().filter(|&&b| b).count());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub trait StatsSink {
     fn loop_iter(&mut self);
     /// A shared parent pointer was read.
     fn read(&mut self);
+    /// `n` shared parent pointers were read at once (a batch gather wave).
+    fn reads(&mut self, n: usize) {
+        for _ in 0..n {
+            self.read();
+        }
+    }
     /// A CAS on a parent pointer succeeded during path compaction.
     fn compact_cas_ok(&mut self);
     /// A CAS on a parent pointer failed during path compaction (the work
@@ -40,6 +46,8 @@ impl StatsSink for () {
     fn loop_iter(&mut self) {}
     #[inline(always)]
     fn read(&mut self) {}
+    #[inline(always)]
+    fn reads(&mut self, _n: usize) {}
     #[inline(always)]
     fn compact_cas_ok(&mut self) {}
     #[inline(always)]
@@ -129,6 +137,10 @@ impl StatsSink for OpStats {
     #[inline]
     fn read(&mut self) {
         self.reads += 1;
+    }
+    #[inline]
+    fn reads(&mut self, n: usize) {
+        self.reads += n as u64;
     }
     #[inline]
     fn compact_cas_ok(&mut self) {

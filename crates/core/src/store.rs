@@ -160,7 +160,7 @@ pub trait ParentStore: Send + Sync {
     /// free for packed layouts, an id lookup for flat ones.
     ///
     /// Contract: `(priority(u, wu), u) < (priority(v, wv), v)` must agree
-    /// with the store's [`IdOrder`](crate::order::IdOrder) — i.e. the
+    /// with the store's [`IdOrder`] — i.e. the
     /// index breaks priority ties — so `Unite` may link by priority
     /// without consulting the order again.
     fn priority(&self, i: usize, w: Self::Word) -> u64;
@@ -289,8 +289,7 @@ impl PackedStore {
              universes"
         );
         let order = PermutationOrder::new(n, seed);
-        let words =
-            (0..n).map(|i| AtomicU64::new((order.id_of(i) << ID_SHIFT) | i as u64)).collect();
+        let words = (0..n).map(|i| AtomicU64::new(pack_word(order.id_of(i), i))).collect();
         PackedStore { words }
     }
 }
@@ -305,7 +304,7 @@ impl ParentStore for PackedStore {
 
     #[inline]
     fn parent_of(w: u64) -> usize {
-        (w & PARENT_MASK) as usize
+        packed_parent(w)
     }
 
     #[inline]
@@ -313,18 +312,13 @@ impl ParentStore for PackedStore {
         // The id half never changes, so `seen`'s high bits are the id bits
         // of the replacement word too — no re-read needed.
         self.words[i]
-            .compare_exchange(
-                seen,
-                (seen & !PARENT_MASK) | new_parent as u64,
-                CAS_SUCCESS,
-                CAS_FAILURE,
-            )
+            .compare_exchange(seen, packed_with_parent(seen, new_parent), CAS_SUCCESS, CAS_FAILURE)
             .is_ok()
     }
 
     #[inline]
     fn priority(&self, _i: usize, w: u64) -> u64 {
-        w >> ID_SHIFT
+        packed_id(w)
     }
 }
 

@@ -1,16 +1,42 @@
 //! Connected components — the paper's flagship application ("maintaining
 //! connected components in a graph under edge insertions").
 //!
-//! The parallel algorithm is embarrassingly simple *because* the union-find
-//! is concurrent: shard the edges across threads, every thread unites its
-//! edges' endpoints, done. Correctness needs no coordination at all — set
-//! union is confluent, so the final partition is the same for every
-//! interleaving.
+//! The parallel algorithm needs no coordination at all for *correctness* —
+//! set union is confluent, so the final partition is the same for every
+//! interleaving. What it does need is an ingestion shape that keeps every
+//! thread busy and every edge cheap:
+//!
+//! * **Dynamic chunked scheduling.** Instead of statically pre-assigning
+//!   edge `i` to thread `i % p` (which lets one slow or unlucky thread
+//!   serialize the tail — on skewed R-MAT inputs the hub edges cluster and
+//!   a static shard can be much more expensive than its siblings), a shared
+//!   [`AtomicUsize`] cursor hands out fixed-size chunks on demand: fast
+//!   threads simply take more chunks. The chunk size trades scheduling
+//!   overhead (one `fetch_add` per chunk) against load-balance granularity;
+//!   [`DEFAULT_EDGE_CHUNK`] suits the generated graphs here, and
+//!   [`unite_edges_parallel_chunked`] exposes the knob.
+//! * **Batched ingestion.** Each chunk goes through
+//!   [`ConcurrentUnionFind::unite_batch`] — on [`Dsu`] the bulk path
+//!   (`concurrent_dsu::bulk`) that overlaps parent-word loads in gather
+//!   waves, drops already-connected edges with a read-mostly same-set
+//!   filter, and links each survivor with a CAS seeded by the exact root
+//!   word the filter observed.
+//!
+//! The cursor handles every degenerate shape for free: an empty edge list,
+//! more threads than edges, or a chunk size larger than the input just
+//! leave some workers taking zero chunks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use concurrent_dsu::{ConcurrentUnionFind, Dsu, TwoTrySplit};
 use sequential_dsu::{Compaction, Linking, SeqDsu};
 
 use crate::graph::EdgeList;
+
+/// Edges per chunk handed out by the dynamic scheduler: small enough that
+/// a skewed tail spreads across threads, large enough that the cursor
+/// `fetch_add` and the batch setup are noise.
+pub const DEFAULT_EDGE_CHUNK: usize = 1024;
 
 /// Component labels via a sequential union-find (rank + halving), the
 /// strongest sequential baseline. `labels[v]` is an arbitrary but
@@ -28,32 +54,62 @@ pub fn sequential_components(graph: &EdgeList) -> Vec<usize> {
 }
 
 /// Component labels via the Jayanti–Tarjan structure with `threads`
-/// worker threads (two-try splitting).
+/// worker threads (two-try splitting, batched chunk ingestion).
 pub fn parallel_components(graph: &EdgeList, threads: usize) -> Vec<usize> {
     let dsu: Dsu<TwoTrySplit> = Dsu::new(graph.n());
     unite_edges_parallel(&dsu, graph, threads);
     dsu.labels_snapshot()
 }
 
-/// Shards `graph`'s edges across `threads` threads, each uniting its
-/// share's endpoints in `dsu`. Works with any concurrent union-find — the
-/// speedup experiment runs it against the baselines too.
+/// Ingests `graph`'s edges into `dsu` on `threads` threads via the dynamic
+/// chunk-cursor scheduler with [`DEFAULT_EDGE_CHUNK`]-sized chunks. Works
+/// with any concurrent union-find — the speedup experiment runs it against
+/// the baselines too.
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0` or if `dsu.len() < graph.n()`.
 pub fn unite_edges_parallel<D: ConcurrentUnionFind>(dsu: &D, graph: &EdgeList, threads: usize) {
+    unite_edges_parallel_chunked(dsu, graph, threads, DEFAULT_EDGE_CHUNK);
+}
+
+/// [`unite_edges_parallel`] with an explicit chunk size: workers repeatedly
+/// `fetch_add` a shared cursor to claim the next `chunk_size` edges and
+/// feed them to [`ConcurrentUnionFind::unite_batch`], so no thread is ever
+/// idle while edges remain — however skewed the edge order is.
+///
+/// Degenerate inputs (no edges, `threads > edges`, `chunk_size > edges`)
+/// need no special cases: workers that find the cursor exhausted exit
+/// without touching the structure.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `chunk_size == 0`, or `dsu.len() < graph.n()`.
+pub fn unite_edges_parallel_chunked<D: ConcurrentUnionFind>(
+    dsu: &D,
+    graph: &EdgeList,
+    threads: usize,
+    chunk_size: usize,
+) {
     assert!(threads > 0, "need at least one thread");
+    assert!(chunk_size > 0, "chunk size must be positive");
     assert!(dsu.len() >= graph.n(), "universe smaller than vertex set");
     let edges = graph.edges();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for t in 0..threads {
+        for _ in 0..threads {
+            let cursor = &cursor;
             s.spawn(move || {
-                let mut i = t;
-                while i < edges.len() {
-                    let e = edges[i];
-                    dsu.unite(e.u, e.v);
-                    i += threads;
+                let mut batch: Vec<(usize, usize)> = Vec::with_capacity(chunk_size);
+                loop {
+                    let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
+                    if start >= edges.len() {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(edges.len());
+                    batch.clear();
+                    batch.extend(edges[start..end].iter().map(|e| (e.u, e.v)));
+                    dsu.unite_batch(&batch);
                 }
             });
         }
@@ -102,6 +158,36 @@ mod tests {
         assert_eq!(ours, oracle);
     }
 
+    /// Regression: the old static sharding assigned empty ranges when
+    /// `threads > edges.len()`; the chunk cursor must handle every tiny
+    /// shape — zero edges, one edge, more threads than edges, chunks wider
+    /// than the input — without panicking and with correct results.
+    #[test]
+    fn degenerate_shapes_more_threads_than_edges() {
+        for m in [0usize, 1, 2, 5] {
+            let pairs: Vec<(usize, usize)> = (0..m).map(|i| (i, i + 1)).collect();
+            let g = EdgeList::from_pairs(8, &pairs);
+            for threads in [1, 3, 8, 16] {
+                for chunk in [1, 2, 1024] {
+                    let dsu: Dsu = Dsu::new(8);
+                    unite_edges_parallel_chunked(&dsu, &g, threads, chunk);
+                    assert_eq!(dsu.set_count(), 8 - m, "m={m} threads={threads} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_do_not_change_the_partition() {
+        let g = gen::gnm(400, 900, 77);
+        let oracle = Partition::from_labels(&g.to_csr().bfs_components());
+        for chunk in [1, 7, 64, 4096] {
+            let dsu: Dsu = Dsu::new(g.n());
+            unite_edges_parallel_chunked(&dsu, &g, 4, chunk);
+            assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle, "chunk {chunk}");
+        }
+    }
+
     #[test]
     fn count_components_counts() {
         let g = gen::tree_plus(64, 10, 3); // connected
@@ -127,5 +213,13 @@ mod tests {
         let g = EdgeList::new(2);
         let dsu: Dsu = Dsu::new(2);
         unite_edges_parallel(&dsu, &g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_rejected() {
+        let g = EdgeList::new(2);
+        let dsu: Dsu = Dsu::new(2);
+        unite_edges_parallel_chunked(&dsu, &g, 1, 0);
     }
 }

@@ -55,6 +55,29 @@ impl IncrementalConnectivity {
         self.dsu.unite(x, y)
     }
 
+    /// Inserts a burst of edges through the batched ingestion path
+    /// (`concurrent_dsu::bulk`): already-connected edges are dropped by a
+    /// read-mostly same-set filter before any link CAS. Returns the number
+    /// of spanning-forest edges the burst contributed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn insert_batch(&self, edges: &[(usize, usize)]) -> usize {
+        self.dsu.unite_batch(edges)
+    }
+
+    /// [`insert_batch`](IncrementalConnectivity::insert_batch) that also
+    /// reports, per edge, whether it was a forest edge (`true`) or closed a
+    /// cycle (`false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn insert_batch_results(&self, edges: &[(usize, usize)]) -> Vec<bool> {
+        self.dsu.unite_batch_results(edges)
+    }
+
     /// `true` iff `x` and `y` are currently connected.
     ///
     /// # Panics
@@ -70,24 +93,15 @@ impl IncrementalConnectivity {
     }
 }
 
-/// Streams `edges` into a fresh index and returns
+/// Streams `edges` into a fresh index as one batch and returns
 /// `(forest_edges, cycle_edges)`. For any graph,
 /// `cycle_edges = m - n + components` — the classic circuit-rank identity
-/// the tests verify.
+/// the tests verify. Self-loops filter out as cycles (the batch path's
+/// same-set read is trivially true for them).
 pub fn classify_edges(n: usize, edges: &[(usize, usize)]) -> (usize, usize) {
     let conn = IncrementalConnectivity::new(n);
-    let mut forest = 0;
-    let mut cycles = 0;
-    for &(x, y) in edges {
-        if x == y {
-            cycles += 1; // self-loop is a cycle by convention
-        } else if conn.insert(x, y) {
-            forest += 1;
-        } else {
-            cycles += 1;
-        }
-    }
-    (forest, cycles)
+    let forest = conn.insert_batch(edges);
+    (forest, edges.len() - forest)
 }
 
 #[cfg(test)]
@@ -127,6 +141,23 @@ mod tests {
     fn self_loops_count_as_cycles() {
         let (forest, cycles) = classify_edges(3, &[(0, 0), (0, 1)]);
         assert_eq!((forest, cycles), (1, 1));
+    }
+
+    #[test]
+    fn insert_batch_matches_per_edge_inserts() {
+        let batched = IncrementalConnectivity::new(64);
+        let per_op = IncrementalConnectivity::new(64);
+        let edges: Vec<(usize, usize)> =
+            (0..200).map(|i| ((i * 37) % 64, (i * 11 + 5) % 64)).collect();
+        let results = batched.insert_batch_results(&edges);
+        let expected: Vec<bool> = edges.iter().map(|&(x, y)| per_op.insert(x, y)).collect();
+        assert_eq!(results, expected);
+        assert_eq!(batched.component_count(), per_op.component_count());
+        assert_eq!(
+            batched.insert_batch(&edges),
+            0,
+            "re-inserting the same burst adds no forest edges"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cross-validation of the concurrent `unite`'s linearizable `true/false`
 //! return.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use concurrent_dsu::{Dsu, TwoTrySplit};
 use sequential_dsu::{Compaction, Linking, SeqDsu};
@@ -42,13 +42,22 @@ pub fn kruskal(graph: &EdgeList) -> Msf {
     Msf { total_weight: total, edges: chosen }
 }
 
+/// Edges per chunk claimed from the scan cursor in Borůvka's phase 1 —
+/// same dynamic-scheduling rationale as
+/// [`components::DEFAULT_EDGE_CHUNK`](crate::components::DEFAULT_EDGE_CHUNK).
+const SCAN_CHUNK: usize = 1024;
+
 /// Parallel Borůvka on `threads` threads over the Jayanti–Tarjan structure.
 ///
-/// Each round: (1) every thread scans an edge shard and, for each edge
-/// whose endpoints are in different components, `fetch_min`s a packed
-/// `(weight, edge index)` into both components' "cheapest outgoing" slots;
-/// (2) the chosen edges are united. With distinct weights there are
-/// `O(log n)` rounds and the result is the unique MSF.
+/// Each round: (1) workers claim fixed-size edge chunks from a shared
+/// cursor (dynamic scheduling, so a skewed edge order cannot serialize one
+/// thread) and, for each edge whose endpoints are in different components,
+/// `fetch_min` a packed `(weight, edge index)` into both components'
+/// "cheapest outgoing" slots; (2) the chosen edges — deduplicated, since
+/// both endpoints' components may pick the same edge — are united through
+/// the batch API ([`Dsu::unite_batch_results`]), whose per-edge verdicts
+/// say exactly which edges joined the forest. With distinct weights there
+/// are `O(log n)` rounds and the result is the unique MSF.
 ///
 /// # Panics
 ///
@@ -69,43 +78,54 @@ pub fn boruvka_parallel(graph: &EdgeList, threads: usize) -> Msf {
     let mut total = 0u64;
     let cheapest: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
     loop {
-        // Phase 1: cheapest outgoing edge per current component.
+        // Phase 1: cheapest outgoing edge per current component, scanned in
+        // dynamically claimed chunks.
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for t in 0..threads {
+            for _ in 0..threads {
                 let dsu = &dsu;
                 let cheapest = &cheapest;
-                s.spawn(move || {
-                    let mut i = t;
-                    while i < edges.len() {
-                        let e = edges[i];
+                let cursor = &cursor;
+                s.spawn(move || loop {
+                    let start = cursor.fetch_add(SCAN_CHUNK, Ordering::Relaxed);
+                    if start >= edges.len() {
+                        break;
+                    }
+                    let end = (start + SCAN_CHUNK).min(edges.len());
+                    for (off, e) in edges[start..end].iter().enumerate() {
                         if e.u != e.v {
                             let ru = dsu.find(e.u);
                             let rv = dsu.find(e.v);
                             if ru != rv {
-                                let packed = (e.w << W_SHIFT) | i as u64;
+                                let packed = (e.w << W_SHIFT) | (start + off) as u64;
                                 cheapest[ru].fetch_min(packed, Ordering::Relaxed);
                                 cheapest[rv].fetch_min(packed, Ordering::Relaxed);
                             }
                         }
-                        i += threads;
                     }
                 });
             }
         });
-        // Phase 2 (coordinator): unite along chosen edges; reset slots.
-        let mut progressed = false;
+        // Phase 2 (coordinator): gather the round's candidate edges, then
+        // unite them as one batch; the per-edge verdicts are the MSF
+        // membership bits.
+        let mut candidates: Vec<usize> = Vec::new();
         for slot in cheapest.iter() {
             let packed = slot.swap(u64::MAX, Ordering::Relaxed);
-            if packed == u64::MAX {
-                continue;
+            if packed != u64::MAX {
+                candidates.push((packed & ((1 << W_SHIFT) - 1)) as usize);
             }
-            let i = (packed & ((1 << W_SHIFT) - 1)) as usize;
-            let e = edges[i];
-            // Both endpoints' components may have picked the same edge;
-            // unite() returning true exactly once keeps the MSF exact.
-            if dsu.unite(e.u, e.v) {
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let pairs: Vec<(usize, usize)> =
+            candidates.iter().map(|&i| (edges[i].u, edges[i].v)).collect();
+        let linked = dsu.unite_batch_results(&pairs);
+        let mut progressed = false;
+        for (k, &i) in candidates.iter().enumerate() {
+            if linked[k] {
                 chosen.push(i);
-                total += e.w;
+                total += edges[i].w;
                 progressed = true;
             }
         }

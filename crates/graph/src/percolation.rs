@@ -12,6 +12,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+use concurrent_dsu::{Dsu, TwoTrySplit};
 use sequential_dsu::{Compaction, Linking, SeqDsu};
 
 /// One percolation trial: opens sites of an `size × size` grid in a
@@ -58,6 +59,72 @@ pub fn percolation_threshold(size: usize, seed: u64) -> f64 {
         }
         if dsu.same_set(top, bottom) {
             return (steps + 1) as f64 / n as f64;
+        }
+    }
+    1.0
+}
+
+/// [`percolation_threshold`] with sites opened in bursts of `batch`,
+/// united through the batched ingestion path
+/// ([`Dsu::unite_batch`]), checking percolation once per burst — the
+/// batched-arrival shape the rest of the workspace ingests edges in.
+///
+/// With `batch == 1` this opens sites in the same seed-determined order
+/// and performs the same unites as [`percolation_threshold`], so the two
+/// agree exactly (the tests check this); larger bursts coarsen the
+/// answer's resolution to the burst boundary (never undershooting the
+/// one-by-one threshold), trading precision for bulk ingestion.
+///
+/// # Panics
+///
+/// Panics if `size == 0` or `batch == 0`.
+pub fn percolation_threshold_batched(size: usize, seed: u64, batch: usize) -> f64 {
+    assert!(size > 0, "grid must be non-empty");
+    assert!(batch > 0, "batch must be non-empty");
+    let n = size * size;
+    let top = n;
+    let bottom = n + 1;
+    let dsu: Dsu<TwoTrySplit> = Dsu::new(n + 2);
+    let mut open = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut ChaCha12Rng::seed_from_u64(seed));
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(6 * batch);
+    let mut opened = 0;
+    for burst in order.chunks(batch) {
+        for &site in burst {
+            open[site] = true;
+        }
+        pairs.clear();
+        for &site in burst {
+            let (r, c) = (site / size, site % size);
+            if r == 0 {
+                pairs.push((site, top));
+            }
+            if r == size - 1 {
+                pairs.push((site, bottom));
+            }
+            let mut link = |other: usize| {
+                if open[other] {
+                    pairs.push((site, other));
+                }
+            };
+            if r > 0 {
+                link(site - size);
+            }
+            if r + 1 < size {
+                link(site + size);
+            }
+            if c > 0 {
+                link(site - 1);
+            }
+            if c + 1 < size {
+                link(site + 1);
+            }
+        }
+        dsu.unite_batch(&pairs);
+        opened += burst.len();
+        if dsu.same_set(top, bottom) {
+            return opened as f64 / n as f64;
         }
     }
     1.0
@@ -129,6 +196,40 @@ mod tests {
         // slightly high on small grids).
         let est = percolation_mc(32, 40, 1000);
         assert!((0.52..=0.68).contains(&est), "estimate {est} suspiciously far from 0.5927");
+    }
+
+    #[test]
+    fn batched_with_batch_one_equals_sequential() {
+        for seed in 0..6 {
+            assert_eq!(
+                percolation_threshold_batched(12, seed, 1),
+                percolation_threshold(12, seed),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_thresholds_bracket_the_exact_one() {
+        for seed in [3, 9] {
+            let exact = percolation_threshold(16, seed);
+            for batch in [4, 16, 64] {
+                let coarse = percolation_threshold_batched(16, seed, batch);
+                // Bursts only check at burst boundaries: the answer rounds
+                // the exact threshold up to the next boundary.
+                assert!(coarse >= exact, "batch {batch} undershot");
+                assert!(
+                    coarse - exact <= batch as f64 / 256.0,
+                    "batch {batch}: {coarse} too far above {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-empty")]
+    fn zero_batch_rejected() {
+        percolation_threshold_batched(4, 0, 0);
     }
 
     #[test]

@@ -20,6 +20,43 @@ pub enum ElementDist {
     Locality(usize),
 }
 
+/// Draws operand pairs from `0..n` per an [`ElementDist`] — the sampling
+/// core shared by [`WorkloadSpec`] and the batched edge generator
+/// ([`EdgeBatchSpec`](crate::EdgeBatchSpec)).
+pub(crate) struct PairSampler {
+    n: usize,
+    dist: ElementDist,
+    zipf: Option<Zipf>,
+}
+
+impl PairSampler {
+    pub(crate) fn new(n: usize, dist: ElementDist) -> Self {
+        let zipf = match dist {
+            ElementDist::Zipf(s) => Some(Zipf::new(n as u64, s)),
+            _ => None,
+        };
+        PairSampler { n, dist, zipf }
+    }
+
+    pub(crate) fn draw(&self, rng: &mut ChaCha12Rng) -> (usize, usize) {
+        match self.dist {
+            ElementDist::Uniform => (rng.gen_range(0..self.n), rng.gen_range(0..self.n)),
+            ElementDist::Zipf(_) => {
+                let zipf = self.zipf.as_ref().expect("zipf sampler prepared");
+                // Zipf yields 1..=n; element k-1 gets mass k^(-s).
+                ((zipf.sample(rng) - 1) as usize, (zipf.sample(rng) - 1) as usize)
+            }
+            ElementDist::Locality(window) => {
+                let w = window.max(1).min(self.n);
+                let center = rng.gen_range(0..self.n);
+                let lo = center.saturating_sub(w / 2);
+                let hi = (lo + w).min(self.n);
+                (rng.gen_range(lo..hi), rng.gen_range(lo..hi))
+            }
+        }
+    }
+}
+
 /// A recipe for a random [`Workload`]: universe size, op count, unite
 /// fraction, and operand distribution. Same spec + same seed = same trace.
 ///
@@ -86,36 +123,15 @@ impl WorkloadSpec {
     /// Materializes the trace for `seed`.
     pub fn generate(&self, seed: u64) -> Workload {
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
-        let zipf = match self.dist {
-            ElementDist::Zipf(s) => Some(Zipf::new(self.n as u64, s)),
-            _ => None,
-        };
+        let sampler = PairSampler::new(self.n, self.dist);
         let mut ops = Vec::with_capacity(self.m);
         for _ in 0..self.m {
-            let (x, y) = self.draw_pair(&mut rng, zipf.as_ref());
+            let (x, y) = sampler.draw(&mut rng);
             let op =
                 if rng.gen_bool(self.unite_fraction) { Op::Unite(x, y) } else { Op::SameSet(x, y) };
             ops.push(op);
         }
         Workload::new(self.n, ops)
-    }
-
-    fn draw_pair(&self, rng: &mut ChaCha12Rng, zipf: Option<&Zipf>) -> (usize, usize) {
-        match self.dist {
-            ElementDist::Uniform => (rng.gen_range(0..self.n), rng.gen_range(0..self.n)),
-            ElementDist::Zipf(_) => {
-                let zipf = zipf.expect("zipf sampler prepared");
-                // Zipf yields 1..=n; element k-1 gets mass k^(-s).
-                ((zipf.sample(rng) - 1) as usize, (zipf.sample(rng) - 1) as usize)
-            }
-            ElementDist::Locality(window) => {
-                let w = window.max(1).min(self.n);
-                let center = rng.gen_range(0..self.n);
-                let lo = center.saturating_sub(w / 2);
-                let hi = (lo + w).min(self.n);
-                (rng.gen_range(lo..hi), rng.gen_range(lo..hi))
-            }
-        }
     }
 }
 

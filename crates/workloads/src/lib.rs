@@ -9,6 +9,9 @@
 //! * [`WorkloadSpec`] — seeded generators: uniform, Zipf-skewed
 //!   ([`Zipf`], our own rejection-inversion sampler), and locality-window
 //!   element choice, with a configurable unite : same-set mix;
+//! * [`EdgeBatchSpec`] — batched edge arrivals (bursts of endpoint pairs,
+//!   optionally Zipf-skewed): the input shape of the batch-ingestion
+//!   experiments;
 //! * [`binomial`] — the adversarial workload of paper Lemma 5.3 /
 //!   Theorem 5.4: a binomial-tree-style union schedule whose resulting
 //!   forest has Ω(log k) average depth, followed by a `SameSet` storm that
@@ -28,11 +31,13 @@
 //! assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 5000);
 //! ```
 
+pub mod batched;
 pub mod binomial;
 pub mod gen;
 pub mod op;
 pub mod zipf;
 
+pub use batched::{EdgeBatchSpec, EdgeBatches};
 pub use binomial::{binomial_build_ops, lower_bound_workload, LowerBoundWorkload};
 pub use gen::{ElementDist, WorkloadSpec};
 pub use op::{Op, Workload};

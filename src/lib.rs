@@ -28,6 +28,12 @@
 //! let dsu: Dsu = Dsu::new(8);
 //! assert!(dsu.unite(0, 1));
 //! assert!(dsu.same_set(1, 0));
+//!
+//! // Edges that arrive in bursts go through the batch path (gather
+//! // waves + same-set filtering + seeded link CASes; see
+//! // `concurrent_dsu::bulk`):
+//! assert_eq!(dsu.unite_batch(&[(1, 2), (2, 0), (3, 4)]), 2);
+//! assert_eq!(dsu.set_count(), 5);
 //! ```
 //!
 //! See `README.md` for the tour, `DESIGN.md` for the system inventory and
