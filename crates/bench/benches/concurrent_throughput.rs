@@ -13,7 +13,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use concurrent_dsu::{Dsu, FlatStore, GrowableDsu, OneTrySplit, PackedStore, TwoTrySplit};
+use concurrent_dsu::{
+    Dsu, FlatStore, GrowableDsu, OneTrySplit, PackedStore, ShardSpec, ShardedStore, TwoTrySplit,
+};
 use dsu_baselines::{AwDsu, LockedDsu};
 use dsu_bench::{
     standard_edge_batches, standard_workload, timed_ingest_batched, timed_ingest_per_op,
@@ -58,6 +60,24 @@ fn bench_structures(c: &mut Criterion) {
                 let mut total = std::time::Duration::ZERO;
                 for _ in 0..iters {
                     let dsu: Dsu<TwoTrySplit, FlatStore> = Dsu::new(N);
+                    total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("jt-two-try-sharded", p), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    // One shard per measured thread count, not per host
+                    // core: keeps the criterion numbers comparable across
+                    // machines (the A/B example sweeps the auto spec).
+                    let store = ShardedStore::with_spec(
+                        N,
+                        Dsu::<TwoTrySplit, PackedStore>::DEFAULT_SEED,
+                        ShardSpec::with_shards(p),
+                    );
+                    let dsu: Dsu<TwoTrySplit, ShardedStore> = Dsu::from_store(store);
                     total += timed_parallel_run(&dsu, &w, p);
                 }
                 total

@@ -21,13 +21,8 @@
 use std::fmt::Write as _;
 
 use concurrent_dsu::{Dsu, TwoTrySplit};
-use dsu_bench::{standard_edge_batches, timed_ingest_batched, timed_ingest_per_op};
+use dsu_bench::{median, standard_edge_batches, timed_ingest_batched, timed_ingest_per_op};
 use dsu_harness::Args;
-
-fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs[xs.len() / 2]
-}
 
 fn main() {
     let args = Args::parse();

@@ -14,13 +14,8 @@
 use std::fmt::Write as _;
 
 use concurrent_dsu::{Dsu, FlatStore, PackedStore, TwoTrySplit};
-use dsu_bench::{standard_workload, timed_parallel_run};
+use dsu_bench::{median, standard_workload, timed_parallel_run};
 use dsu_harness::Args;
-
-fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs[xs.len() / 2]
-}
 
 fn main() {
     let args = Args::parse();

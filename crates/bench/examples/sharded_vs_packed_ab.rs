@@ -1,0 +1,102 @@
+//! Interleaved A/B comparison of the sharded vs. packed parent store.
+//!
+//! Same discipline as `packed_vs_flat_ab` / `batch_vs_perop_ab` (and the
+//! same flag set): samples of the two contenders alternate back to back so
+//! host drift cancels, and per-thread-count medians plus the
+//! sharded/packed throughput ratio are printed and, with `--json PATH`,
+//! archived (`BENCH_PR3.json`) or uploaded as CI artifacts.
+//!
+//! The layouts are semantically identical (same seed, same ids, same
+//! linking decisions — CI cross-checks this), so the ratio isolates pure
+//! placement: per-shard slabs + one extra dependent indirection vs. one
+//! contiguous slab. On a single memory domain expect sharded to *lose*
+//! (0.6–0.7× in `BENCH_PR3.json` — the indirection sits on the find's
+//! serial pointer chase and there is no placement win to repay it); the
+//! layout is built for multi-socket/NUMA placement, which this harness
+//! measures when run there. `--skew-shards`/`--skew-bias` switch the
+//! workload to the shard-skew distribution (`ElementDist::ShardSkew`) to
+//! aim traffic at one shard — the adversarial placement shape.
+//!
+//! Run: `cargo run --release -p dsu-bench --example sharded_vs_packed_ab --
+//!       [--samples 15] [--n 4194304] [--m 8388608] [--shards 0=auto]
+//!       [--skew-shards 0] [--skew-bias 0.8] [--threads 1,2,4,8]
+//!       [--json out.json] [--quick true]`
+
+use std::fmt::Write as _;
+
+use concurrent_dsu::{Dsu, PackedStore, ShardSpec, ShardedStore, TwoTrySplit};
+use dsu_bench::{median, shard_skew_workload, standard_workload, timed_parallel_run};
+use dsu_harness::Args;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let samples = args.usize("samples", if quick { 5 } else { 15 });
+    // Default past the last-level cache: placement effects vanish on a
+    // cache-resident store (BENCH_PR2's caveat).
+    let n = args.usize("n", if quick { 1 << 14 } else { 1 << 22 });
+    let m = args.usize("m", 2 * n);
+    let shards = args.usize("shards", 0);
+    let skew_shards = args.usize("skew-shards", 0);
+    let skew_bias = args.f64("skew-bias", 0.8);
+    let threads = args.thread_ladder();
+
+    let spec = if shards == 0 { ShardSpec::auto() } else { ShardSpec::with_shards(shards) };
+    let w = if skew_shards == 0 {
+        standard_workload(n, m)
+    } else {
+        shard_skew_workload(n, m, skew_shards, skew_bias)
+    };
+    let seed = Dsu::<TwoTrySplit, PackedStore>::DEFAULT_SEED;
+    println!(
+        "n = {n}, m = {m}, {} shards, {samples} interleaved samples per layout{}",
+        spec.shards(),
+        if skew_shards == 0 {
+            String::new()
+        } else {
+            format!(", skew {skew_bias} -> 1/{skew_shards} of the universe")
+        }
+    );
+    println!("{:>7} {:>14} {:>14} {:>8}", "threads", "packed ns", "sharded ns", "ratio");
+    let mut rows = String::new();
+    for &p in &threads {
+        // Warm-up one run of each.
+        let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(n);
+        timed_parallel_run(&dsu, &w, p);
+        let dsu: Dsu<TwoTrySplit, ShardedStore> =
+            Dsu::from_store(ShardedStore::with_spec(n, seed, spec));
+        timed_parallel_run(&dsu, &w, p);
+        let mut packed_ns = Vec::with_capacity(samples);
+        let mut sharded_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(n);
+            packed_ns.push(timed_parallel_run(&dsu, &w, p).as_nanos() as f64);
+            let dsu: Dsu<TwoTrySplit, ShardedStore> =
+                Dsu::from_store(ShardedStore::with_spec(n, seed, spec));
+            sharded_ns.push(timed_parallel_run(&dsu, &w, p).as_nanos() as f64);
+        }
+        let (pm, sm) = (median(&mut packed_ns), median(&mut sharded_ns));
+        println!("{:>7} {:>14.0} {:>14.0} {:>8.3}", p, pm, sm, pm / sm);
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n    {{\"threads\":{p},\"packed_median_ns\":{pm:.0},\"sharded_median_ns\":{sm:.0},\
+             \"sharded_speedup\":{:.4}}}",
+            pm / sm
+        );
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\n  \"example\": \"sharded_vs_packed_ab\",\n  \"workload\": {{\"n\": {n}, \
+             \"m\": {m}, \"unite_fraction\": 0.5, \"shards\": {}, \"skew_shards\": {skew_shards}, \
+             \"skew_bias\": {skew_bias}, \"seed\": \"0xBE7C\"}},\n  \"samples\": {samples},\n  \
+             \"results\": [{rows}\n  ]\n}}\n",
+            spec.shards()
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,6 +1,7 @@
-//! Work-count cross-check and phase attribution for packed vs. flat.
+//! Work-count cross-check and phase attribution for packed vs. flat vs.
+//! sharded.
 //!
-//! Runs the standard mixed workload single-threaded on both layouts with
+//! Runs the standard mixed workload single-threaded on all layouts with
 //! full `OpStats` instrumentation. The counters (loop iterations, reads,
 //! CAS outcomes) must be *identical* — same ids, same decisions — so any
 //! timing difference is pure per-access cost, attributed separately to the
@@ -8,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p dsu-bench --example store_diag [log2_n]`
 
-use concurrent_dsu::{Dsu, DsuStore, FlatStore, OpStats, PackedStore, TwoTrySplit};
+use concurrent_dsu::{Dsu, DsuStore, FlatStore, OpStats, PackedStore, ShardedStore, TwoTrySplit};
 use dsu_bench::standard_workload;
 use std::time::Instant;
 
@@ -49,7 +50,8 @@ fn run<S: DsuStore>(label: &str) {
 
 fn main() {
     for _ in 0..3 {
-        run::<PackedStore>("packed");
-        run::<FlatStore>("flat  ");
+        run::<PackedStore>("packed ");
+        run::<FlatStore>("flat   ");
+        run::<ShardedStore>("sharded");
     }
 }

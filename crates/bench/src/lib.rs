@@ -20,6 +20,17 @@ pub fn standard_workload(n: usize, m: usize) -> Workload {
     WorkloadSpec::new(n, m).unite_fraction(0.5).generate(0xBE7C)
 }
 
+/// The shard-skew workload: like [`standard_workload`] but `bias` of the
+/// operand mass aimed at the first of `shards` contiguous index blocks —
+/// the adversarial placement shape for the sharded store
+/// ([`ElementDist::ShardSkew`]), fixed seed.
+pub fn shard_skew_workload(n: usize, m: usize, shards: usize, bias: f64) -> Workload {
+    WorkloadSpec::new(n, m)
+        .unite_fraction(0.5)
+        .element_dist(ElementDist::ShardSkew { shards, bias })
+        .generate(0xBE7C)
+}
+
 /// The standard batched-arrival workload: `batches` bursts of `batch_size`
 /// edges over `0..n`, endpoints Zipf-skewed with exponent `zipf`, fixed
 /// seed. Skew plus volume make most edges redundant after the early
@@ -33,6 +44,18 @@ pub fn standard_edge_batches(
     EdgeBatchSpec::new(n, batches, batch_size)
         .element_dist(ElementDist::Zipf(zipf))
         .generate(0xBA7C)
+}
+
+/// Median of a sample vector, sorting in place (upper middle for even
+/// lengths) — the statistic all the interleaved A/B examples report.
+///
+/// # Panics
+///
+/// Panics on an empty slice or NaN samples.
+pub fn median(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of zero samples");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    xs[xs.len() / 2]
 }
 
 /// Applies one op to anything implementing the concurrent interface.
@@ -151,6 +174,13 @@ mod tests {
     #[test]
     fn workload_is_deterministic() {
         assert_eq!(standard_workload(64, 100), standard_workload(64, 100));
+    }
+
+    #[test]
+    fn median_picks_the_middle() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 3.0, "upper middle for even lengths");
+        assert_eq!(median(&mut [7.0]), 7.0);
     }
 
     #[test]

@@ -6,15 +6,17 @@ use crate::bulk;
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ops;
 use crate::stats::StatsSink;
-use crate::store::{DsuStore, PackedStore};
+use crate::store::DsuStore;
 use crate::ConcurrentUnionFind;
 
 /// A wait-free concurrent disjoint-set union over the fixed universe
 /// `0..n`, parameterized by the find compaction policy `F` (default:
 /// [`TwoTrySplit`], the paper's best variant) and the parent storage layout
-/// `S` (default: [`PackedStore`], one packed parent+id word per element —
-/// see the [`store`](crate::store) module docs; universes larger than
-/// `2^32` must pick [`FlatStore`](crate::store::FlatStore) explicitly).
+/// `S` (default: [`DefaultStore`](crate::DefaultStore) —
+/// [`PackedStore`](crate::PackedStore) unless a `default-store-*` feature
+/// retargets it; see the layout-selection guide in the
+/// [`store`](crate::store) module docs; universes larger than `2^32` must
+/// pick [`FlatStore`](crate::store::FlatStore) explicitly).
 ///
 /// All operations take `&self` and may be called from any number of threads
 /// simultaneously; results are linearizable (paper Lemma 3.2 — on
@@ -39,7 +41,7 @@ use crate::ConcurrentUnionFind;
 /// assert!(flat.unite(3, 4));
 /// assert_eq!(flat.set_count(), 9);
 /// ```
-pub struct Dsu<F: FindPolicy = TwoTrySplit, S: DsuStore = PackedStore> {
+pub struct Dsu<F: FindPolicy = TwoTrySplit, S: DsuStore = crate::DefaultStore> {
     store: S,
     /// Parent in the *union forest*: written exactly once per element, when
     /// its link CAS succeeds. Read for offline analysis (heights, depths) at
@@ -78,11 +80,30 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     /// # Panics
     ///
     /// Panics if the storage layout cannot address `n` elements (the
-    /// default [`PackedStore`] supports at most `2^32`).
+    /// default [`PackedStore`](crate::PackedStore) supports at most `2^32`).
     pub fn with_seed(n: usize, seed: u64) -> Self {
+        Self::from_store(S::with_seed(n, seed))
+    }
+
+    /// Wraps an already-constructed store — the entry point for stores
+    /// whose constructors take more than `(n, seed)`, such as a
+    /// [`ShardedStore`](crate::ShardedStore) with an explicit
+    /// [`ShardSpec`](crate::ShardSpec):
+    ///
+    /// ```
+    /// use concurrent_dsu::{Dsu, ShardSpec, ShardedStore, TwoTrySplit};
+    ///
+    /// let store = ShardedStore::with_spec(100, 42, ShardSpec::with_shards(8));
+    /// let dsu: Dsu<TwoTrySplit, ShardedStore> = Dsu::from_store(store);
+    /// assert!(dsu.unite(3, 4));
+    /// ```
+    ///
+    /// The store must be freshly constructed (all singletons): `Dsu`
+    /// tracks the set count and union forest from zero.
+    pub fn from_store(store: S) -> Self {
         Dsu {
-            store: S::with_seed(n, seed),
-            union_parent: (0..n).map(AtomicUsize::new).collect(),
+            union_parent: (0..store.len()).map(AtomicUsize::new).collect(),
+            store,
             links: AtomicUsize::new(0),
             _policy: std::marker::PhantomData,
         }

@@ -26,11 +26,12 @@ use crate::stats::StatsSink;
 use crate::store::{self, ParentStore};
 use crate::ConcurrentUnionFind;
 
-const SEGMENTS: usize = usize::BITS as usize;
+pub(crate) const SEGMENTS: usize = usize::BITS as usize;
 
 /// Maps element `e` to `(segment, offset)`: segment `s` holds the `2^s`
-/// elements `2^s - 1 ..= 2^(s+1) - 2`.
-fn locate(e: usize) -> (usize, usize) {
+/// elements `2^s - 1 ..= 2^(s+1) - 2`. (Shared with the sharded growable
+/// layout, which applies it per shard.)
+pub(crate) fn locate(e: usize) -> (usize, usize) {
     let s = (usize::BITS - 1 - (e + 1).leading_zeros()) as usize;
     (s, e + 1 - (1 << s))
 }
@@ -259,7 +260,8 @@ impl GrowableStore for PackedSegmentedStore {
 /// let c = dsu.make_set();
 /// assert!(!dsu.same_set(a, c));
 /// ```
-pub struct GrowableDsu<F: FindPolicy = TwoTrySplit, S: GrowableStore = PackedSegmentedStore> {
+pub struct GrowableDsu<F: FindPolicy = TwoTrySplit, S: GrowableStore = crate::DefaultGrowableStore>
+{
     store: S,
     count: AtomicUsize,
     links: AtomicUsize,
@@ -294,8 +296,16 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
 
     /// An empty universe whose random order is salted by `seed`.
     pub fn with_seed(seed: u64) -> Self {
+        Self::from_store(S::with_seed(seed))
+    }
+
+    /// Wraps an already-constructed (still empty) store — the entry point
+    /// for stores whose constructors take more than a seed, such as a
+    /// [`ShardedSegmentedStore`](crate::ShardedSegmentedStore) with an
+    /// explicit [`ShardSpec`](crate::ShardSpec).
+    pub fn from_store(store: S) -> Self {
         GrowableDsu {
-            store: S::with_seed(seed),
+            store,
             count: AtomicUsize::new(0),
             links: AtomicUsize::new(0),
             _policy: std::marker::PhantomData,
@@ -659,6 +669,27 @@ mod tests {
         let s = format!("{dsu:?}");
         assert!(s.contains("GrowableDsu"));
         assert!(s.contains("two-try"));
+    }
+
+    /// The packed growable layout's `2^32` bound check must both state the
+    /// bound and point at the flat growable fallback. (Regression: this
+    /// message previously had no test at all.)
+    #[test]
+    fn packed_seg_oversize_panic_names_the_flat_fallback() {
+        let store = <PackedSegmentedStore as GrowableStore>::with_seed(0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.ensure(1 << 32);
+        }))
+        .expect_err("element 2^32 must be rejected");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("at most"), "panic must state the bound: {msg}");
+        assert!(
+            msg.contains("SegmentedStore"),
+            "panic must point at the flat growable layout: {msg}"
+        );
+        // (Not exercising 2^32 - 1 itself: ensure() allocates the whole
+        // containing segment — gigabytes for the top one. The bound check
+        // fires before any allocation, which is the property under test.)
     }
 
     #[test]

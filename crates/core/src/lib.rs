@@ -111,8 +111,38 @@ pub use dsu::Dsu;
 pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
 pub use growable::{GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore};
 pub use order::{HashOrder, IdOrder, PermutationOrder};
-pub use stats::{OpStats, StatsSink};
-pub use store::{DsuStore, FlatStore, PackedStore, ParentStore};
+pub use stats::{OpStats, ShardSkew, StatsSink};
+pub use store::{
+    DsuStore, FlatStore, PackedStore, ParentStore, ShardReport, ShardSpec, ShardedSegmentedStore,
+    ShardedStore,
+};
+
+/// The storage layout [`Dsu`] defaults to, selected at compile time by the
+/// mutually exclusive `default-store-flat` / `default-store-sharded` cargo
+/// features (neither: [`PackedStore`]). CI's test matrix builds the crate
+/// once per layout so the whole suite runs on every store; explicit type
+/// parameters (`Dsu<F, FlatStore>`) always override the default.
+#[cfg(feature = "default-store-sharded")]
+pub type DefaultStore = ShardedStore;
+/// The storage layout [`Dsu`] defaults to (see the `default-store-*`
+/// features; this build: flat).
+#[cfg(all(feature = "default-store-flat", not(feature = "default-store-sharded")))]
+pub type DefaultStore = FlatStore;
+/// The storage layout [`Dsu`] defaults to (see the `default-store-*`
+/// features; this build: packed, the fastest single-socket layout).
+#[cfg(not(any(feature = "default-store-sharded", feature = "default-store-flat")))]
+pub type DefaultStore = PackedStore;
+
+/// The growable layout [`GrowableDsu`] defaults to — the growable twin of
+/// [`DefaultStore`], following the same `default-store-*` features.
+#[cfg(feature = "default-store-sharded")]
+pub type DefaultGrowableStore = ShardedSegmentedStore;
+/// The growable layout [`GrowableDsu`] defaults to (this build: flat).
+#[cfg(all(feature = "default-store-flat", not(feature = "default-store-sharded")))]
+pub type DefaultGrowableStore = SegmentedStore;
+/// The growable layout [`GrowableDsu`] defaults to (this build: packed).
+#[cfg(not(any(feature = "default-store-sharded", feature = "default-store-flat")))]
+pub type DefaultGrowableStore = PackedSegmentedStore;
 
 /// Convenient alias: the paper's headline configuration (two-try splitting).
 pub type DsuTwoTry = Dsu<TwoTrySplit>;

@@ -168,6 +168,48 @@ impl StatsSink for OpStats {
     }
 }
 
+/// Summary of how a per-shard count (roots, cells, traffic) spreads across
+/// the shards of a sharded store — the report type behind
+/// [`ShardReport::root_skew`](crate::store::ShardReport::root_skew).
+///
+/// `imbalance` is the headline number: `max / mean`, so `1.0` means the
+/// shards are perfectly balanced and `S` (the shard count) means one shard
+/// carries everything. An empty or all-zero count vector reports `1.0` —
+/// nothing is imbalanced when there is nothing to balance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSkew {
+    /// Number of shards summarized.
+    pub shards: usize,
+    /// Smallest per-shard count.
+    pub min: u64,
+    /// Largest per-shard count.
+    pub max: u64,
+    /// Mean per-shard count.
+    pub mean: f64,
+    /// `max / mean` (`1.0` when the mean is zero): how much hotter the
+    /// hottest shard is than a perfectly balanced one.
+    pub imbalance: f64,
+}
+
+impl ShardSkew {
+    /// Summarizes one count per shard.
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>) -> Self {
+        let (mut shards, mut total) = (0usize, 0u64);
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for c in counts {
+            shards += 1;
+            total += c;
+            min = min.min(c);
+            max = max.max(c);
+        }
+        if shards == 0 || total == 0 {
+            return ShardSkew { shards, min: 0, max, mean: 0.0, imbalance: 1.0 };
+        }
+        let mean = total as f64 / shards as f64;
+        ShardSkew { shards, min, max, mean, imbalance: max as f64 / mean }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +246,22 @@ mod tests {
         assert_eq!(b.links_ok, 1);
         assert_eq!(b.links_fail, 1);
         assert_eq!(b.reads, 2);
+    }
+
+    #[test]
+    fn shard_skew_balanced_and_hot() {
+        let balanced = ShardSkew::from_counts([5, 5, 5, 5]);
+        assert_eq!(balanced.shards, 4);
+        assert_eq!((balanced.min, balanced.max), (5, 5));
+        assert!((balanced.imbalance - 1.0).abs() < 1e-12);
+
+        let hot = ShardSkew::from_counts([12, 0, 0, 0]);
+        assert_eq!((hot.min, hot.max), (0, 12));
+        assert!((hot.mean - 3.0).abs() < 1e-12);
+        assert!((hot.imbalance - 4.0).abs() < 1e-12, "one shard carries all -> imbalance = S");
+
+        assert!((ShardSkew::from_counts([]).imbalance - 1.0).abs() < 1e-12);
+        assert!((ShardSkew::from_counts([0, 0]).imbalance - 1.0).abs() < 1e-12);
     }
 
     #[test]

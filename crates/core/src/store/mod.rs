@@ -1,0 +1,309 @@
+//! Parent-pointer storage: the packed, flat, and sharded layouts, and the
+//! memory-ordering contract of the hot path.
+//!
+//! # Why storage is a type parameter
+//!
+//! The paper's algorithms touch shared state only through single-word reads
+//! and CASes of parent pointers, plus reads of each element's *immutable*
+//! random id. Everything else — where those words live, whether the id
+//! travels with the parent, which memory orderings the accesses use — is a
+//! layout decision the algorithms never observe. [`ParentStore`] abstracts
+//! the mutable word, [`DsuStore`] bundles it with the random order, and
+//! [`Dsu`](crate::Dsu) is generic over the bundle.
+//!
+//! # Layout-selection guide
+//!
+//! Three fixed-universe layouts implement [`DsuStore`]; all three draw ids
+//! from the same seeded permutation, so for a given `(n, seed)` they make
+//! identical linking decisions and are interchangeable mid-experiment. Pick
+//! by universe size and thread count:
+//!
+//! | layout | word | footprint | universe bound | pick when |
+//! |---|---|---|---|---|
+//! | [`PackedStore`] (default) | `id << 32 \| parent` in one `AtomicU64` | 8 B/elem | `2^32` | single socket, universe fits the bound — the all-round fastest |
+//! | [`FlatStore`] | bare `AtomicUsize` parent + side id array | 16 B/elem | `usize` | universes beyond `2^32`, or as the reference/baseline layout |
+//! | [`ShardedStore`] | packed words in per-shard slabs | 8 B/elem + shard headers | `2^32` | multi-socket / NUMA placement: each slab is its own allocation, so page placement can follow threads — accept a measured single-socket penalty for it |
+//!
+//! **Packed vs flat.** A find on the packed layout reads the parent *and*
+//! the linking priority in one load, eight elements share a cache line,
+//! and the structure is half the flat layout's footprint; `BENCH_PR1.json`
+//! measures it 13–23% faster on the mixed workload. The flat layout's only
+//! structural advantages are the full-width universe and a layout the
+//! simulators can poke directly ([`FlatStore::parent_cell`]).
+//!
+//! **When sharding pays (and what it costs).** [`ShardedStore`] splits the
+//! universe into power-of-two contiguous blocks indexed by the *high* bits
+//! of the element index, each block a separately allocated,
+//! cache-line-padded packed slab ([`ShardSpec`] picks the count from the
+//! machine's parallelism unless overridden). Because ids are a uniform
+//! random permutation, the hot high-id roots land in uniformly random
+//! *indices* — i.e. uniformly across shards — so no single allocation (or
+//! NUMA node, under first-touch or interleaved placement) carries all the
+//! root traffic, and false sharing cannot cross a shard boundary. The
+//! price is one extra *dependent* load per traversal hop (the shard's slab
+//! pointer — always L1-resident, but it sits on the serial pointer-chase
+//! path that is a find): `BENCH_PR3.json` measures sharded at 0.6–0.7× the
+//! packed store's throughput on a single-socket box, uniformly across
+//! thread counts. **Do not shard on one memory domain** — the layout
+//! exists for machines where parent-word misses cross sockets, where the
+//! placement win has room to repay the hop (unverified here: the bench box
+//! has one domain; see ROADMAP).
+//!
+//! **Cache-residency caveat** (from `BENCH_PR2.json`): layout effects only
+//! show once the parent store exceeds the last-level cache. At `n = 2^20`
+//! (8 MB packed) every layout is cache-resident on a big LLC and they all
+//! tie; size experiments at `n ≥ 2^22` before concluding anything about
+//! placement.
+//!
+//! Growable twins: [`PackedSegmentedStore`](crate::PackedSegmentedStore)
+//! (default), [`SegmentedStore`](crate::SegmentedStore) (flat), and
+//! [`ShardedSegmentedStore`] (sharded) make the same trades for universes
+//! that grow via `make_set`.
+//!
+//! The default store behind [`Dsu`](crate::Dsu)'s `S` parameter follows the
+//! `default-store-flat` / `default-store-sharded` cargo features (see
+//! [`DefaultStore`](crate::DefaultStore)); CI runs the whole test suite
+//! under every layout × ordering combination.
+//!
+//! # Memory orderings (and the `strict-sc` feature)
+//!
+//! The paper's APRAM model assumes sequentially consistent single-word
+//! registers, but its proofs lean only on the *per-cell* modification order
+//! of the parent words, never on a global total order of unrelated
+//! accesses:
+//!
+//! * Lemma 3.1 (parents strictly increase in the random order) is a
+//!   property of each cell's CAS history in isolation — every successful
+//!   CAS is justified by a value read from that same cell, which
+//!   [`Ordering::Relaxed`] already guarantees (cache coherence).
+//! * Linearizability (Lemma 3.2) needs a find that reaches a root to have
+//!   seen every link CAS on the path it walked. A successful link/compact
+//!   CAS publishes with **`Release`** ([`CAS_SUCCESS`]) and every traversal
+//!   read is an **`Acquire`** load ([`LOAD`]), so walking `u → parent(u)`
+//!   synchronizes-with the CAS that installed that parent: the classic
+//!   message-passing pattern, applied edge by edge up the tree.
+//! * A *failed* CAS publishes nothing — it only tells the caller "retry or
+//!   move on" — so its failure ordering is **`Relaxed`** ([`CAS_FAILURE`]).
+//!   Likewise the statistics counters ([`STAT`]) are mere tallies.
+//!
+//! One honest caveat: the per-path message-passing argument above covers
+//! the orderings each operation *relies on*, but Release/Acquire alone does
+//! not forbid IRIW-style outcomes (two readers disagreeing about the order
+//! of two independent links), which full linearizability of query-only
+//! histories formally needs. On multi-copy-atomic hardware — x86-64 and
+//! ARMv8, every tier-1 Rust target — such outcomes cannot occur, so the
+//! default build is linearizable there; on non-multi-copy-atomic machines
+//! (e.g. POWER) the paper-exact guarantee needs the `strict-sc` build,
+//! which pins every access back to `SeqCst` and restores the literal APRAM
+//! translation for model-fidelity experiments (`e12_cas_anatomy`, the
+//! APRAM cross-checks). The test suite passes under both configurations,
+//! and `tests/packed_vs_flat.rs` cross-checks all layouts operation by
+//! operation.
+
+use std::sync::atomic::Ordering;
+
+use crate::order::IdOrder;
+
+mod flat;
+mod packed;
+mod sharded;
+
+pub use flat::FlatStore;
+pub use packed::PackedStore;
+pub(crate) use packed::{pack_word, packed_id, packed_parent, packed_with_parent};
+pub use sharded::{ShardReport, ShardSpec, ShardedSegmentedStore, ShardedStore};
+
+/// Ordering of every traversal load of a parent word: `Acquire`, so a read
+/// of a parent installed by a `Release` CAS also sees the writes that
+/// preceded the CAS (`SeqCst` under `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const LOAD: Ordering = Ordering::Acquire;
+/// Ordering of every traversal load of a parent word (strict-sc: `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const LOAD: Ordering = Ordering::SeqCst;
+
+/// Success ordering of link and compaction CASes: `Release`, publishing the
+/// new parent edge to subsequent `Acquire` traversals (`SeqCst` under
+/// `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const CAS_SUCCESS: Ordering = Ordering::Release;
+/// Success ordering of link and compaction CASes (strict-sc: `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const CAS_SUCCESS: Ordering = Ordering::SeqCst;
+
+/// Failure ordering of link and compaction CASes: `Relaxed` — a failed CAS
+/// publishes nothing and the loser re-reads with [`LOAD`] anyway (`SeqCst`
+/// under `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const CAS_FAILURE: Ordering = Ordering::Relaxed;
+/// Failure ordering of link and compaction CASes (strict-sc: `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const CAS_FAILURE: Ordering = Ordering::SeqCst;
+
+/// Ordering for reads of immutable id bits and for statistic counters:
+/// `Relaxed` — ids never change after construction and counters are
+/// tallies, not synchronization (`SeqCst` under `strict-sc`).
+#[cfg(not(feature = "strict-sc"))]
+pub const STAT: Ordering = Ordering::Relaxed;
+/// Ordering for immutable-id reads and statistic counters (strict-sc:
+/// `SeqCst`).
+#[cfg(feature = "strict-sc")]
+pub const STAT: Ordering = Ordering::SeqCst;
+
+/// `true` when the `strict-sc` feature pinned all orderings to `SeqCst`.
+pub const fn strict_sc() -> bool {
+    cfg!(feature = "strict-sc")
+}
+
+/// A table of atomic parent words indexed by element.
+///
+/// The *word* ([`ParentStore::Word`]) is the store's unit of atomicity:
+/// the raw `u64` for the packed layouts, the bare parent `usize` for the
+/// flat ones. The traversal loop works on words — one load yields both the
+/// next parent ([`parent_of`](ParentStore::parent_of)) and, in the packed
+/// layouts, the element's linking priority — and every CAS expects the
+/// *exact word previously seen* ([`cas_from`](ParentStore::cas_from)), so
+/// no layout ever needs a second read to reconstruct its CAS operands.
+///
+/// Implementations must expose, for each existing element, one logical
+/// cell with a coherent modification order, and must only be asked about
+/// elements that exist (callers bounds-check first; implementations may
+/// panic otherwise).
+pub trait ParentStore: Send + Sync {
+    /// The atomically accessed unit (parent index plus any inline fields).
+    type Word: Copy + PartialEq;
+
+    /// Loads the word of `i` ([`LOAD`] ordering).
+    fn load_word(&self, i: usize) -> Self::Word;
+
+    /// The parent index carried by a word.
+    fn parent_of(w: Self::Word) -> usize;
+
+    /// CASes `i`'s cell from exactly `seen` to the word carrying
+    /// `new_parent` (and `seen`'s immutable fields); `true` on success
+    /// ([`CAS_SUCCESS`] / [`CAS_FAILURE`] orderings).
+    fn cas_from(&self, i: usize, seen: Self::Word, new_parent: usize) -> bool;
+
+    /// The linking priority of element `i` as carried by its word `w` —
+    /// free for packed layouts, an id lookup for flat ones.
+    ///
+    /// Contract: `(priority(u, wu), u) < (priority(v, wv), v)` must agree
+    /// with the store's [`IdOrder`] — i.e. the
+    /// index breaks priority ties — so `Unite` may link by priority
+    /// without consulting the order again.
+    fn priority(&self, i: usize, w: Self::Word) -> u64;
+
+    /// Convenience: the parent of `i` ([`LOAD`] ordering).
+    #[inline]
+    fn load_parent(&self, i: usize) -> usize {
+        Self::parent_of(self.load_word(i))
+    }
+
+    /// CASes the parent of `i` from `old` to `new` by value; `true` on
+    /// success. Used by call sites that have no previously seen word (the
+    /// blind link of early-termination `Unite`); packed layouts pay one
+    /// extra (cache-hot) read here to learn the immutable id bits.
+    #[inline]
+    fn cas_parent(&self, i: usize, old: usize, new: usize) -> bool {
+        let seen = self.load_word(i);
+        Self::parent_of(seen) == old && self.cas_from(i, seen, new)
+    }
+
+    /// `true` iff `u` precedes `v` in the store's random linking order —
+    /// the `(priority, index)` comparison of the [`priority`] contract.
+    /// This is the *only* order the concurrent operations consult, so a
+    /// store can never be driven by two disagreeing orders.
+    ///
+    /// [`priority`]: ParentStore::priority
+    #[inline]
+    fn precedes(&self, u: usize, v: usize) -> bool {
+        (self.priority(u, self.load_word(u)), u) < (self.priority(v, self.load_word(v)), v)
+    }
+}
+
+/// A [`ParentStore`] bundled with the random total order on its elements —
+/// everything [`Dsu`](crate::Dsu) needs from its storage type parameter.
+pub trait DsuStore: ParentStore + IdOrder {
+    /// Short layout name for reports (e.g. `"packed"`, `"flat"`,
+    /// `"sharded"`).
+    const NAME: &'static str;
+
+    /// `n` singleton cells (`parent[i] == i`) with ids drawn as a uniform
+    /// random permutation of `0..n` seeded by `seed`.
+    ///
+    /// Two stores built with the same `(n, seed)` — of *any* layout —
+    /// assign identical ids, so layouts are interchangeable mid-experiment.
+    fn with_seed(n: usize, seed: u64) -> Self;
+
+    /// Number of cells.
+    fn len(&self) -> usize;
+
+    /// `true` when the store has no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The random id (position in the random total order) of element `u`.
+    fn id_of(&self, u: usize) -> u64;
+
+    /// A non-atomic snapshot of all parents. Only meaningful at quiescence;
+    /// used by tests and offline analysis.
+    fn snapshot(&self) -> Vec<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_cas<P: ParentStore>(s: &P) {
+        assert!(s.cas_parent(0, 0, 2));
+        assert!(!s.cas_parent(0, 0, 1), "stale expected value must fail");
+        assert_eq!(s.load_parent(0), 2);
+        // Word-exact CAS: a stale word fails, the current one succeeds.
+        let seen = s.load_word(0);
+        assert_eq!(P::parent_of(seen), 2);
+        assert!(s.cas_from(0, seen, 1));
+        assert!(!s.cas_from(0, seen, 0), "stale word must fail");
+        assert_eq!(s.load_parent(0), 1);
+    }
+
+    #[test]
+    fn cas_succeeds_once_all_layouts() {
+        exercise_cas(&FlatStore::new(3));
+        exercise_cas(&PackedStore::with_seed(3, 0));
+        exercise_cas(&ShardedStore::with_spec(3, 0, ShardSpec::with_shards(2)));
+    }
+
+    #[test]
+    fn all_layouts_assign_identical_ids() {
+        let flat = FlatStore::with_seed(64, 99);
+        let packed = PackedStore::with_seed(64, 99);
+        let sharded = ShardedStore::with_spec(64, 99, ShardSpec::with_shards(4));
+        for i in 0..64 {
+            assert_eq!(DsuStore::id_of(&flat, i), DsuStore::id_of(&packed, i));
+            assert_eq!(DsuStore::id_of(&flat, i), DsuStore::id_of(&sharded, i));
+        }
+        // And therefore the same linking order.
+        for u in 0..64 {
+            for v in 0..64 {
+                assert_eq!(IdOrder::less(&flat, u, v), IdOrder::less(&packed, u, v));
+                assert_eq!(IdOrder::less(&flat, u, v), IdOrder::less(&sharded, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn orderings_match_feature() {
+        if strict_sc() {
+            assert_eq!(LOAD, Ordering::SeqCst);
+            assert_eq!(CAS_SUCCESS, Ordering::SeqCst);
+            assert_eq!(CAS_FAILURE, Ordering::SeqCst);
+            assert_eq!(STAT, Ordering::SeqCst);
+        } else {
+            assert_eq!(LOAD, Ordering::Acquire);
+            assert_eq!(CAS_SUCCESS, Ordering::Release);
+            assert_eq!(CAS_FAILURE, Ordering::Relaxed);
+            assert_eq!(STAT, Ordering::Relaxed);
+        }
+    }
+}

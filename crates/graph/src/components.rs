@@ -150,6 +150,26 @@ mod tests {
         }
     }
 
+    /// The graph pipeline is layout-agnostic: the same chunked ingestion
+    /// over a sharded-store Dsu yields the same components (the batch
+    /// path, the cursor scheduler, and labels_snapshot all run through the
+    /// word-based ParentStore interface).
+    #[test]
+    fn parallel_ingestion_works_on_sharded_store() {
+        use concurrent_dsu::{ShardSpec, ShardedStore};
+        let g = gen::gnm(600, 900, 77);
+        let store = ShardedStore::with_spec(
+            g.n(),
+            Dsu::<TwoTrySplit>::DEFAULT_SEED,
+            ShardSpec::with_shards(4),
+        );
+        let dsu: Dsu<TwoTrySplit, ShardedStore> = Dsu::from_store(store);
+        unite_edges_parallel(&dsu, &g, 4);
+        let ours = Partition::from_labels(&dsu.labels_snapshot());
+        let oracle = Partition::from_labels(&g.to_csr().bfs_components());
+        assert_eq!(ours, oracle);
+    }
+
     #[test]
     fn parallel_works_on_skewed_graphs() {
         let g = gen::rmat_standard(9, 4000, 5);

@@ -20,7 +20,7 @@
 //!
 //! Usage: `--n 2097152 --quick true --csv out.csv`
 
-use concurrent_dsu::{Dsu, OneTrySplit, TwoTrySplit};
+use concurrent_dsu::{Dsu, OneTrySplit, ShardSpec, ShardedStore, TwoTrySplit};
 use dsu_baselines::{AwDsu, LockedDsu};
 use dsu_harness::{run_shards, table::f2, Args, Table};
 use dsu_workloads::WorkloadSpec;
@@ -56,6 +56,15 @@ fn main() {
         }
         dsu
     };
+    let seed = Dsu::<TwoTrySplit>::DEFAULT_SEED;
+    let make_jt2_sharded = |prebuild: bool| {
+        let dsu: Dsu<TwoTrySplit, ShardedStore> =
+            Dsu::from_store(ShardedStore::with_spec(n, seed, ShardSpec::auto()));
+        if prebuild {
+            run_shards(&dsu, &prior, 8);
+        }
+        dsu
+    };
     let make_aw = |prebuild: bool| {
         let dsu = AwDsu::new(n);
         if prebuild {
@@ -76,6 +85,10 @@ fn main() {
         type Runner<'a> = Box<dyn Fn(usize) -> f64 + 'a>;
         let specs: Vec<(&str, Runner<'_>)> = vec![
             ("jt-two-try", Box::new(|p| run_shards(&make_jt2(prebuild), workload, p).mops())),
+            (
+                "jt-two-try-sharded",
+                Box::new(|p| run_shards(&make_jt2_sharded(prebuild), workload, p).mops()),
+            ),
             ("jt-one-try", Box::new(|p| run_shards(&make_jt1(prebuild), workload, p).mops())),
             ("aw-rank-halving", Box::new(|p| run_shards(&make_aw(prebuild), workload, p).mops())),
             ("global-lock", Box::new(|p| run_shards(&make_lock(prebuild), workload, p).mops())),

@@ -18,6 +18,19 @@ pub enum ElementDist {
     /// Both operands within a window of the given width around a uniformly
     /// chosen center — models the spatial locality of grid-like inputs.
     Locality(usize),
+    /// Shard-skew: with probability `bias` an operand is drawn from the
+    /// first of `shards` equal contiguous index blocks, otherwise
+    /// uniformly from the whole universe. Contiguous blocks are exactly
+    /// how the sharded parent store splits the universe (high-bit
+    /// indexing), so this is the adversarial workload for shard placement:
+    /// `bias = 1/shards` reproduces uniform per-shard traffic, `bias → 1`
+    /// aims all traffic at one shard.
+    ShardSkew {
+        /// Number of equal contiguous blocks the universe is viewed as.
+        shards: usize,
+        /// Probability an operand lands in block 0 (clamped to `[0, 1]`).
+        bias: f64,
+    },
 }
 
 /// Draws operand pairs from `0..n` per an [`ElementDist`] — the sampling
@@ -52,6 +65,20 @@ impl PairSampler {
                 let lo = center.saturating_sub(w / 2);
                 let hi = (lo + w).min(self.n);
                 (rng.gen_range(lo..hi), rng.gen_range(lo..hi))
+            }
+            ElementDist::ShardSkew { shards, bias } => {
+                // Hot block = the first ceil(n / shards) indices, matching
+                // the sharded store's contiguous high-bit split.
+                let hot = self.n.div_ceil(shards.max(1));
+                let bias = bias.clamp(0.0, 1.0);
+                let one = |rng: &mut ChaCha12Rng| {
+                    if rng.gen_bool(bias) {
+                        rng.gen_range(0..hot)
+                    } else {
+                        rng.gen_range(0..self.n)
+                    }
+                };
+                (one(rng), one(rng))
             }
         }
     }
@@ -165,6 +192,8 @@ mod tests {
             ElementDist::Locality(8),
             ElementDist::Locality(0),      // degenerate window
             ElementDist::Locality(10_000), // over-wide window
+            ElementDist::ShardSkew { shards: 8, bias: 0.9 },
+            ElementDist::ShardSkew { shards: 0, bias: 2.0 }, // degenerate: clamped
         ] {
             let w = WorkloadSpec::new(37, 2_000).element_dist(dist).generate(4);
             for op in &w.ops {
@@ -180,6 +209,29 @@ mod tests {
         let hits_0 = w.ops.iter().filter(|o| o.operands().0 == 0).count();
         let hits_500 = w.ops.iter().filter(|o| o.operands().0 == 500).count();
         assert!(hits_0 > 20 * (hits_500 + 1), "0:{hits_0} vs 500:{hits_500}");
+    }
+
+    #[test]
+    fn shard_skew_dist_concentrates_on_block_zero() {
+        let n = 1024;
+        let shards = 8;
+        let hot = n / shards; // 128
+        let w = WorkloadSpec::new(n, 20_000)
+            .element_dist(ElementDist::ShardSkew { shards, bias: 0.9 })
+            .generate(11);
+        let in_hot =
+            w.ops.iter().filter(|o| o.operands().0 < hot).count() as f64 / w.ops.len() as f64;
+        // 0.9 directly + 0.1 * (1/8) uniformly ≈ 0.9125.
+        assert!((0.87..0.95).contains(&in_hot), "hot-block fraction = {in_hot}");
+
+        // bias = 1/shards degenerates to (per-block) uniform traffic.
+        let u = WorkloadSpec::new(n, 20_000)
+            .element_dist(ElementDist::ShardSkew { shards, bias: 1.0 / shards as f64 })
+            .generate(12);
+        let in_hot_u =
+            u.ops.iter().filter(|o| o.operands().0 < hot).count() as f64 / u.ops.len() as f64;
+        // 1/8 + 7/8 * 1/8 ≈ 0.234.
+        assert!((0.20..0.27).contains(&in_hot_u), "uniformized fraction = {in_hot_u}");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fail-soft bench regression gate for the CI bench-smoke job.
+
+Compares the current run's A/B bench JSON files against the previous run's
+(restored from the actions/cache baseline keyed on branch) and flags any
+`*_median_ns` that regressed by more than THRESHOLD. The gate is advisory
+by design: CI bench boxes are noisy shared VMs, so a regression prints a
+warning block into the GitHub job summary (and stdout) but never turns the
+job red. Treat a warning as "re-run / measure on real hardware before
+merging a perf-sensitive change", not as a verdict.
+
+Usage:
+    check_bench_regression.py BASELINE_DIR CURRENT_DIR FILE [FILE...]
+
+Each FILE is a JSON produced by one of the dsu-bench A/B examples
+(`--json` flag): {"example": ..., "results": [{"threads": N,
+"<mode>_median_ns": ...}, ...]}. Files missing from either directory are
+skipped with a note (first run on a branch has no baseline yet).
+
+Exit status is always 0.
+"""
+
+import json
+import os
+import sys
+
+THRESHOLD = 1.15  # flag medians more than 15% slower than the baseline
+
+
+def rows_by_threads(doc):
+    return {row.get("threads"): row for row in doc.get("results", []) if "threads" in row}
+
+
+def compare_file(baseline_dir, current_dir, name):
+    """Returns (lines, regression_count) for one bench JSON file."""
+    b_path = os.path.join(baseline_dir, name)
+    c_path = os.path.join(current_dir, name)
+    if not os.path.exists(c_path):
+        return ([f"- `{name}`: no current result — bench step skipped or failed?"], 0)
+    if not os.path.exists(b_path):
+        return ([f"- `{name}`: no baseline yet (first run for this branch) — recorded for next time"], 0)
+    try:
+        with open(b_path) as f:
+            base = json.load(f)
+        with open(c_path) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ([f"- `{name}`: unreadable ({e}) — skipped"], 0)
+
+    lines, regressions = [], 0
+    base_rows = rows_by_threads(base)
+    for threads, row in sorted(rows_by_threads(cur).items()):
+        b_row = base_rows.get(threads)
+        if b_row is None:
+            continue
+        for key in sorted(row):
+            if not key.endswith("_median_ns"):
+                continue
+            new, old = row.get(key), b_row.get(key)
+            if not isinstance(new, (int, float)) or not isinstance(old, (int, float)) or old <= 0:
+                continue
+            ratio = new / old
+            mode = key[: -len("_median_ns")]
+            if ratio > THRESHOLD:
+                regressions += 1
+                lines.append(
+                    f"- :warning: `{name}` **{mode}** @ {threads} threads regressed: "
+                    f"{old:.0f} ns -> {new:.0f} ns ({ratio:.2f}x, threshold {THRESHOLD:.2f}x)"
+                )
+            else:
+                lines.append(f"- `{name}` {mode} @ {threads} threads: {ratio:.2f}x baseline")
+    return (lines, regressions)
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__)
+        return 0
+    baseline_dir, current_dir, names = argv[1], argv[2], argv[3:]
+
+    body, total_regressions = [], 0
+    for name in names:
+        lines, regs = compare_file(baseline_dir, current_dir, name)
+        body.extend(lines)
+        total_regressions += regs
+
+    if total_regressions:
+        verdict = (
+            f"**{total_regressions} median(s) regressed > {round((THRESHOLD - 1) * 100)}% "
+            f"vs the previous run.** Advisory only (shared CI hardware is noisy): "
+            f"re-run, or confirm on dedicated hardware before trusting the number."
+        )
+    else:
+        verdict = f"No median regressed more than {round((THRESHOLD - 1) * 100)}% vs the previous run."
+
+    report = "\n".join(["## Bench regression check (fail-soft)", "", verdict, ""] + body) + "\n"
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(report)
+    # Fail-soft: warnings only, never a red job.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

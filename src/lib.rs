@@ -36,6 +36,35 @@
 //! assert_eq!(dsu.set_count(), 5);
 //! ```
 //!
+//! ## Choosing a storage layout
+//!
+//! [`Dsu`] is also generic over its parent store: packed (default), flat
+//! (universes beyond `2^32`), or sharded (per-shard slabs for many-core /
+//! NUMA placement) — see the layout-selection guide in
+//! [`concurrent_dsu::store`]:
+//!
+//! ```
+//! use jt_dsu::concurrent_dsu::{Dsu, ShardSpec, ShardedStore, TwoTrySplit};
+//!
+//! let store = ShardedStore::with_spec(1000, 42, ShardSpec::with_shards(8));
+//! let dsu: Dsu<TwoTrySplit, ShardedStore> = Dsu::from_store(store);
+//! assert!(dsu.unite(1, 999));
+//! ```
+//!
+//! ## CI
+//!
+//! `.github/workflows/ci.yml` runs, on every push/PR: `lint` (fmt, clippy,
+//! rustdoc, all `-D warnings`); a `test` **matrix** over
+//! `{default, strict-sc}` orderings × `{packed, flat, sharded}` store
+//! layouts (the `default-store-*` cargo features retarget `Dsu`'s default
+//! store so the full suite exercises each layout); `bench-smoke`, which
+//! runs the three A/B examples in quick mode, archives their JSON, and
+//! fail-soft-compares medians against the previous run's cached baseline
+//! (>15% regression warns in the job summary, never turns red); and
+//! `harness-smoke` (one real experiment binary end to end). A weekly
+//! `schedule` (plus `workflow_dispatch`) triggers `bench-full`, the
+//! non-quick A/B runs. Runs on the same ref cancel their predecessors.
+//!
 //! See `README.md` for the tour, `DESIGN.md` for the system inventory and
 //! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
 
@@ -51,6 +80,6 @@ pub use sequential_dsu;
 
 pub use concurrent_dsu::{
     ConcurrentUnionFind, Dsu, DsuHalving, DsuNoCompaction, DsuOneTry, DsuTwoTry, GrowableDsu,
-    Halving, NoCompaction, OneTrySplit, OpStats, TwoTrySplit,
+    Halving, NoCompaction, OneTrySplit, OpStats, ShardSpec, ShardedStore, TwoTrySplit,
 };
 pub use sequential_dsu::{Compaction, Linking, Partition, SeqDsu};
