@@ -19,7 +19,7 @@ use concurrent_dsu::{
 use dsu_baselines::{AwDsu, LockedDsu};
 use dsu_bench::{
     standard_edge_batches, standard_workload, timed_ingest_batched, timed_ingest_per_op,
-    timed_parallel_run,
+    timed_parallel_run, timed_parallel_run_cached,
 };
 use sequential_dsu::{Compaction, Linking};
 
@@ -79,6 +79,21 @@ fn bench_structures(c: &mut Criterion) {
                     );
                     let dsu: Dsu<TwoTrySplit, ShardedStore> = Dsu::from_store(store);
                     total += timed_parallel_run(&dsu, &w, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("jt-two-try-cached", p), |b| {
+            // Same structure and workload as jt-two-try-packed, but every
+            // worker routes its ops through a per-thread hot-root cache
+            // session (Dsu::cached): the pair isolates the cache layer on
+            // the serial per-op path (the number cache_ab tracks in
+            // BENCH_PR4.json).
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(N);
+                    total += timed_parallel_run_cached(&dsu, &w, p);
                 }
                 total
             })

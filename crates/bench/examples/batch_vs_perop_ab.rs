@@ -72,9 +72,11 @@ fn main() {
 
     if let Some(path) = args.get("json") {
         let json = format!(
-            "{{\n  \"example\": \"batch_vs_perop_ab\",\n  \"workload\": {{\"n\": {n}, \
+            "{{\n  \"example\": \"batch_vs_perop_ab\",\n  \"machine\": {},\n  \
+             \"workload\": {{\"n\": {n}, \
              \"batches\": {batches}, \"batch_size\": {batch_size}, \"zipf\": {zipf}, \
-             \"seed\": \"0xBA7C\"}},\n  \"samples\": {samples},\n  \"results\": [{rows}\n  ]\n}}\n"
+             \"seed\": \"0xBA7C\"}},\n  \"samples\": {samples},\n  \"results\": [{rows}\n  ]\n}}\n",
+            dsu_bench::machine_fingerprint_json()
         );
         std::fs::write(path, json).expect("write json");
         println!("wrote {path}");

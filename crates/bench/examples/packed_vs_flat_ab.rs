@@ -58,9 +58,11 @@ fn main() {
 
     if let Some(path) = args.get("json") {
         let json = format!(
-            "{{\n  \"example\": \"packed_vs_flat_ab\",\n  \"workload\": {{\"n\": {n}, \
+            "{{\n  \"example\": \"packed_vs_flat_ab\",\n  \"machine\": {},\n  \
+             \"workload\": {{\"n\": {n}, \
              \"m\": {m}, \"unite_fraction\": 0.5, \"seed\": \"0xBE7C\"}},\n  \
-             \"samples\": {samples},\n  \"results\": [{rows}\n  ]\n}}\n"
+             \"samples\": {samples},\n  \"results\": [{rows}\n  ]\n}}\n",
+            dsu_bench::machine_fingerprint_json()
         );
         std::fs::write(path, json).expect("write json");
         println!("wrote {path}");

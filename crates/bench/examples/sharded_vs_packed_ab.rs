@@ -90,10 +90,12 @@ fn main() {
 
     if let Some(path) = args.get("json") {
         let json = format!(
-            "{{\n  \"example\": \"sharded_vs_packed_ab\",\n  \"workload\": {{\"n\": {n}, \
+            "{{\n  \"example\": \"sharded_vs_packed_ab\",\n  \"machine\": {},\n  \
+             \"workload\": {{\"n\": {n}, \
              \"m\": {m}, \"unite_fraction\": 0.5, \"shards\": {}, \"skew_shards\": {skew_shards}, \
              \"skew_bias\": {skew_bias}, \"seed\": \"0xBE7C\"}},\n  \"samples\": {samples},\n  \
              \"results\": [{rows}\n  ]\n}}\n",
+            dsu_bench::machine_fingerprint_json(),
             spec.shards()
         );
         std::fs::write(path, json).expect("write json");

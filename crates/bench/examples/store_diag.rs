@@ -3,9 +3,12 @@
 //!
 //! Runs the standard mixed workload single-threaded on all layouts with
 //! full `OpStats` instrumentation. The counters (loop iterations, reads,
-//! CAS outcomes) must be *identical* — same ids, same decisions — so any
-//! timing difference is pure per-access cost, attributed separately to the
-//! mixed phase and a pure-find storm.
+//! CAS outcomes — and, for the cached phase, cache hits/stale) must be
+//! *identical* — same ids, same decisions — so any timing difference is
+//! pure per-access cost, attributed separately to the mixed phase, a
+//! pure-find storm, and a hot-root-cached find storm (the storm repeated
+//! through a `Dsu::cached` session: its hit/stale counters say exactly
+//! how much walk work the cache replaced with validation loads).
 //!
 //! Run: `cargo run --release -p dsu-bench --example store_diag [log2_n]`
 
@@ -41,10 +44,34 @@ fn run<S: DsuStore>(label: &str) {
     }
     let finds = t1.elapsed();
     std::hint::black_box(acc);
+    // The same storm through a hot-root cache session: every element is
+    // touched once (worst case for the cache — no re-hits except roots),
+    // so the hit/stale split reports exactly what fraction of entries the
+    // direct-mapped table could retain.
+    let mut cached_stats = OpStats::default();
+    let mut session = dsu.cached();
+    let t2 = Instant::now();
+    let mut acc2 = 0usize;
+    for i in 0..n {
+        acc2 = acc2.wrapping_add(session.find_with(i, &mut cached_stats));
+    }
+    let cached_finds = t2.elapsed();
+    std::hint::black_box(acc2);
     println!(
-        "{label}: mixed {:>12?} finds {:>12?} | iters {} reads {} cas_ok {} cas_fail {} links_ok {} links_fail {}",
-        total, finds, stats.loop_iters, stats.reads, stats.compact_cas_ok,
-        stats.compact_cas_fail, stats.links_ok, stats.links_fail
+        "{label}: mixed {:>12?} finds {:>12?} cached-finds {:>12?} | iters {} reads {} cas_ok {} \
+         cas_fail {} links_ok {} links_fail {} | cached: reads {} hits {} stale {}",
+        total,
+        finds,
+        cached_finds,
+        stats.loop_iters,
+        stats.reads,
+        stats.compact_cas_ok,
+        stats.compact_cas_fail,
+        stats.links_ok,
+        stats.links_fail,
+        cached_stats.reads,
+        cached_stats.cache_hits,
+        cached_stats.cache_stale
     );
 }
 

@@ -8,18 +8,29 @@
 //! 1. **Serialized loads.** Each operation's find is a dependent pointer
 //!    chase, and a per-op loop starts the next edge's first load only
 //!    after the previous edge retires. A batch knows every future
-//!    endpoint, so the filter pass front-loads each group's first-level
-//!    parent words in a **gather wave** of mutually independent loads the
-//!    memory system overlaps — memory-level parallelism per-op dispatch
-//!    cannot express.
+//!    endpoint, so the filter pass front-loads each group's parent words
+//!    in **gather waves** of mutually independent loads the memory system
+//!    overlaps — memory-level parallelism per-op dispatch cannot express.
+//!    [`WaveDepth`] selects how many parent levels are front-loaded (two
+//!    or three); with the `prefetch` feature the next group's endpoint
+//!    words are additionally software-prefetched one wave ahead, so by the
+//!    time that wave's gather issues, its lines are already inbound.
 //! 2. **Redundant work per edge.** The walks then run *seeded*: the word
 //!    in hand is carried from step to step (one fresh load per visited
 //!    node, where the standalone find policies pay two), same-set edges
 //!    are dropped with no validation re-read and no CAS, and each
 //!    surviving edge's link CAS is issued against the exact root word the
 //!    filter observed — no re-traversal between deciding and linking.
+//!    Callers can additionally thread a [`RootCache`] through the filter
+//!    ([`unite_batch_sink_tuned`], [`Dsu::cached`](crate::Dsu::cached),
+//!    [`unite_batch_cached`](crate::ConcurrentUnionFind::unite_batch_cached)):
+//!    a memoized endpoint re-resolves with a single validated load of its
+//!    cached root, and even that load rides the overlapped wave (the
+//!    endpoint's wave-1 gather slot loads the *root's* word instead of the
+//!    endpoint's). This is deliberately **opt-in**, not the `unite_batch`
+//!    default — see the measured negative on [`unite_batch_sink`].
 //!
-//! `unite_batch` structures this as a **filter pass** (gather wave, then
+//! `unite_batch` structures this as a **filter pass** (gather waves, then
 //! seeded root walks, recording for each survivor the `(root, word,
 //! target)` observation that nominated the link) and a **link pass** (one
 //! seeded CAS per survivor, falling back to the full retry loop only when
@@ -35,13 +46,17 @@
 //! at its linearization point, exactly the argument behind Algorithm 7.
 //! Any staleness (the root moved, the sets merged meanwhile) makes the CAS
 //! fail, and the fallback loop re-establishes the answer from fresh reads.
+//! A hot-root cache entry adds no new kind of staleness: it is only an
+//! older observation whose validation load *is* the find's linearization
+//! point (see the [`cache`](crate::cache) module docs for the argument).
 //! Consequently a single-threaded `unite_batch` returns, edge by edge, the
 //! *same* booleans a one-at-a-time `unite` sequence would — the property
-//! `tests/batch_semantics.rs` checks exhaustively. (The union *forest* may
-//! shape differently than per-op's: a batch link can attach a root under a
-//! node an earlier link of the same wave already demoted — Algorithm 7's
-//! "link under any larger-id node" case. The partition, the verdicts, and
-//! Lemma 3.1's id ordering are unaffected.)
+//! `tests/batch_semantics.rs` and `tests/cache_semantics.rs` check
+//! exhaustively. (The union *forest* may shape differently than per-op's:
+//! a batch link can attach a root under a node an earlier link of the same
+//! wave already demoted — Algorithm 7's "link under any larger-id node"
+//! case. The partition, the verdicts, and Lemma 3.1's id ordering are
+//! unaffected.)
 //!
 //! The batch path's climb always compacts by *seeded one-try splitting*
 //! (the carried word doubles as the CAS expectation), independent of the
@@ -50,6 +65,7 @@
 //! never changes a root — so no operation's result depends on it, and the
 //! splitting step is the one whose operands the filter already holds.
 
+use crate::cache::RootCache;
 use crate::stats::StatsSink;
 use crate::store::ParentStore;
 
@@ -64,14 +80,60 @@ use crate::store::ParentStore;
 /// 16/32/64 and 256 on the benchmark host.
 pub const GATHER: usize = 128;
 
-/// Outcome of the filter walk over one edge.
-enum Filter<W> {
-    /// Both walks reached the same root: the endpoints share a set now and
-    /// forever — drop the edge.
-    Same,
-    /// `root` was observed as a root via `word`, with `id(root) < id(under)`
-    /// at that instant: the sets were distinct, link `root` under `under`.
-    Candidate { root: usize, word: W, under: usize },
+/// How many parent levels a gather wave front-loads before the seeded
+/// walks start (the `cache_ab` example sweeps the two settings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaveDepth {
+    /// Front-load each endpoint's word and its parent's word (the PR 2
+    /// shape): walks start with one unrolled step in hand. The default:
+    /// on the tracked Zipf ingestion workload the third wave measured
+    /// 0.93–0.99x (a consistent slight loss) on the bench host — at all
+    /// sizes and thread counts, and in deep-forest (`m ≥ n`) probes too —
+    /// because splitting keeps almost every endpoint within the first two
+    /// levels, so wave 3 adds ~45% more gather loads to save a serial
+    /// tail that is already only ~2% of reads (`BENCH_PR4.json`
+    /// counters).
+    #[default]
+    Two,
+    /// Additionally front-load the grandparent's word, unrolling a second
+    /// walk step. A candidate only where paths regularly exceed two hops
+    /// *and* memory latency dwarfs the extra wave's cost — unverified on
+    /// the 1-vCPU bench box (every measured regime lost slightly);
+    /// re-evaluate on real multi-core hardware (ROADMAP) before
+    /// defaulting to it.
+    Three,
+}
+
+/// Tuning knobs for the batch path. `Default` is the measured-best
+/// configuration; the A/B examples construct explicit variants.
+///
+/// # Example
+///
+/// ```
+/// use concurrent_dsu::bulk::{BatchTuning, WaveDepth};
+///
+/// let t = BatchTuning::new().wave_depth(WaveDepth::Three);
+/// assert_eq!(t.wave_depth, WaveDepth::Three);
+/// assert_eq!(BatchTuning::default().wave_depth, WaveDepth::Two);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchTuning {
+    /// Parent levels front-loaded per gather wave.
+    pub wave_depth: WaveDepth,
+}
+
+impl BatchTuning {
+    /// The default tuning (same as `Default::default()`, usable in const
+    /// contexts).
+    pub const fn new() -> Self {
+        BatchTuning { wave_depth: WaveDepth::Two }
+    }
+
+    /// Replaces the wave depth.
+    pub fn wave_depth(mut self, depth: WaveDepth) -> Self {
+        self.wave_depth = depth;
+        self
+    }
 }
 
 /// The climb at the heart of the filter: walk from `u` — whose word `wu`
@@ -113,14 +175,22 @@ where
     }
 }
 
-/// Resolves one endpoint to its observed root given the two gather waves'
-/// words: `wx` is `x`'s word, `wp` the word of `parent(wx)`. The first
-/// climb step is unrolled against the preloaded grandparent word — with
+/// Resolves one endpoint to its observed root given the gather waves'
+/// words: `wx` is `x`'s word, `wp` the word of `parent(wx)`, and — at
+/// [`WaveDepth::Three`] — `wpp` the word of `parent(wp)`. Each preloaded
+/// level unrolls one climb step against words already in hand; with
 /// compaction keeping almost every node within two hops of its root, most
-/// endpoints resolve here without issuing a single serial load — and the
+/// endpoints resolve here without issuing a single serial load, and the
 /// remainder falls through to [`find_from`].
 #[inline]
-fn resolve<P, S>(store: &P, x: usize, wx: P::Word, wp: P::Word, stats: &mut S) -> (usize, P::Word)
+fn resolve<P, S>(
+    store: &P,
+    x: usize,
+    wx: P::Word,
+    wp: P::Word,
+    wpp: Option<P::Word>,
+    stats: &mut S,
+) -> (usize, P::Word)
 where
     P: ParentStore + ?Sized,
     S: StatsSink,
@@ -138,56 +208,54 @@ where
             stats.compact_cas_fail();
         }
     }
-    find_from(store, z, wp, stats)
+    let Some(wpp) = wpp else {
+        return find_from(store, z, wp, stats);
+    };
+    // Third-level unroll: [`find_from`]'s first iteration at `z` with its
+    // grandparent load replaced by the wave-3 word.
+    stats.loop_iter();
+    if w == z {
+        return (z, wp);
+    }
+    let w2 = P::parent_of(wpp);
+    if w != w2 {
+        if store.cas_from(z, wp, w2) {
+            stats.compact_cas_ok();
+        } else {
+            stats.compact_cas_fail();
+        }
+    }
+    find_from(store, w, wpp, stats)
 }
 
-/// The filter over one edge: climb both endpoints to their observed roots
-/// (seeded by the gather waves' words) and compare. Equal roots mean the
-/// endpoints share a set now and forever — the edge is dropped without a
-/// single link CAS. Distinct roots yield a candidate carrying the
-/// smaller-priority root *and the word it was observed with*, so the link
-/// pass needs no re-traversal.
-///
-/// Unlike `SameSet` (paper Algorithm 2), the distinct-roots exit performs
-/// no validation re-read: the filter does not claim the sets are distinct,
-/// it only nominates a link for the link pass, whose CAS against the
-/// returned word is the validation (see the module docs).
-///
-/// An interleaved early-termination walk (paper Algorithm 6) was tried
-/// here first and lost by 3–4x: its priority comparison per step is a
-/// data-dependent branch the predictor cannot learn, which costs more
-/// than the loads it saves once compaction has flattened the forest.
-#[allow(clippy::too_many_arguments)]
-fn filter_edge<P, S>(
+/// Resolves the endpoint whose wave-1 slot was seeded from the hot-root
+/// cache: `r` is the cached root, `w` the wave-1 word loaded *from `r`*.
+/// A passing validation (still a root) costs nothing beyond that
+/// overlapped load; a failed one falls back to a fresh seeded walk from
+/// the node itself (the gather loaded the stale root's words, not the
+/// node's). Either way the cache ends up holding the current root.
+fn resolve_seeded<P, S>(
     store: &P,
-    x: usize,
-    y: usize,
-    wx: P::Word,
-    wy: P::Word,
-    wpx: P::Word,
-    wpy: P::Word,
+    cache: &mut RootCache,
+    node: usize,
+    r: usize,
+    w: P::Word,
     stats: &mut S,
-) -> Filter<P::Word>
+) -> (usize, P::Word)
 where
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
-    stats.op_start();
-    if x == y {
-        return Filter::Same;
+    if P::parent_of(w) == r {
+        stats.cache_hit();
+        return (r, w); // entry already present and correct
     }
-    let (ru, wru) = resolve(store, x, wx, wpx, stats);
-    let (rv, wrv) = resolve(store, y, wy, wpy, stats);
-    if ru == rv {
-        return Filter::Same;
-    }
-    // Nominate the smaller-priority root for linking under the other, the
-    // same choice `Unite` makes (index breaks ties per the store contract).
-    if (store.priority(ru, wru), ru) < (store.priority(rv, wrv), rv) {
-        Filter::Candidate { root: ru, word: wru, under: rv }
-    } else {
-        Filter::Candidate { root: rv, word: wrv, under: ru }
-    }
+    stats.cache_stale();
+    let wx = store.load_word(node);
+    stats.read();
+    let (root, word) = find_from(store, node, wx, stats);
+    cache.insert(node, root);
+    (root, word)
 }
 
 /// Retry loop for survivors whose seeded CAS lost a race: paper
@@ -234,19 +302,132 @@ where
     }
 }
 
-/// Batched `unite` over `edges`, reporting each edge's outcome (its index
-/// and whether *this batch* performed the link) into `outcome`. Returns the
+/// Batched `unite` over `edges` with explicit [`BatchTuning`] and an
+/// optional caller-owned hot-root cache (`None` disables memoization — the
+/// cache-off arm of the A/B). Reports each edge's outcome (its index and
+/// whether *this batch* performed the link) into `outcome`; returns the
 /// number of successful links.
 ///
 /// Processes the slice in [`GATHER`]-sized waves: gather the group's
-/// first-level words, filter every edge (read-mostly — same-set drops cost
-/// no link CAS), then link the group's survivors from their recorded
-/// observations. Outcomes are reported exactly once per edge but *not* in
-/// index order (same-set edges report during the filter step of their
-/// wave).
-pub fn unite_batch_sink<P, S>(
+/// parent-word levels (wave-1 slots of cached endpoints load the cached
+/// root's word instead — the validation load, overlapped with everything
+/// else), software-prefetch the *next* group's endpoints (`prefetch`
+/// feature), filter every edge (read-mostly — same-set drops cost no link
+/// CAS), then link the group's survivors from their recorded observations.
+/// Outcomes are reported exactly once per edge but *not* in index order
+/// (same-set edges report during the filter step of their wave).
+pub fn unite_batch_sink_tuned<P, S>(
     store: &P,
     edges: &[(usize, usize)],
+    tuning: BatchTuning,
+    cache: Option<&mut RootCache>,
+    stats: &mut S,
+    record_link: impl Fn(usize, usize),
+    outcome: impl FnMut(usize, bool),
+) -> usize
+where
+    P: ParentStore + ?Sized,
+    S: StatsSink,
+{
+    // Two monomorphic loops rather than one cache-optional loop: threading
+    // `Option<&mut RootCache>` through every endpoint taxed the cache-off
+    // filter ~3x on the quick ingestion shape (per-endpoint Option checks,
+    // target bookkeeping, and an outlined resolve), and the cache-off path
+    // is the default everyone pays.
+    match cache {
+        None => batch_plain(store, edges, tuning, stats, record_link, outcome),
+        Some(cache) => batch_cached(store, edges, tuning, cache, stats, record_link, outcome),
+    }
+}
+
+/// Nominates the link direction for two distinct observed roots: the
+/// smaller-priority root goes under the other, the same choice `Unite`
+/// makes (index breaks ties per the store contract). Unlike `SameSet`
+/// (paper Algorithm 2), no validation re-read happens at nomination: the
+/// filter does not claim the sets are distinct, it only nominates a link
+/// for the link pass, whose CAS against the recorded word is the
+/// validation (see the module docs).
+#[inline]
+fn nominate<P>(
+    store: &P,
+    ru: usize,
+    wru: P::Word,
+    rv: usize,
+    wrv: P::Word,
+) -> (usize, P::Word, usize)
+where
+    P: ParentStore + ?Sized,
+{
+    if (store.priority(ru, wru), ru) < (store.priority(rv, wrv), rv) {
+        (ru, wru, rv)
+    } else {
+        (rv, wrv, ru)
+    }
+}
+
+/// The link pass over one group's survivors: one seeded CAS per survivor
+/// on the common path, the full retry loop on a lost race.
+fn link_survivors<P, S>(
+    store: &P,
+    survivors: &[(usize, usize, P::Word, usize)],
+    stats: &mut S,
+    record_link: &impl Fn(usize, usize),
+    outcome: &mut impl FnMut(usize, bool),
+) -> usize
+where
+    P: ParentStore + ?Sized,
+    S: StatsSink,
+{
+    let mut links = 0;
+    for &(i, root, word, under) in survivors {
+        let linked = if store.cas_from(root, word, under) {
+            stats.link_ok();
+            record_link(root, under);
+            true
+        } else {
+            stats.link_fail();
+            unite_from::<P, S>(store, root, under, stats, record_link)
+        };
+        links += linked as usize;
+        outcome(i, linked);
+    }
+    links
+}
+
+/// Software-prefetch of group `g + 1`'s endpoint words, issued while group
+/// `g`'s gather loads are still outstanding: by the time that wave's
+/// gather issues, its lines are inbound. `lens` maps each endpoint to the
+/// cell its wave-1 slot will actually load (identity for the plain loop;
+/// the cached loop substitutes the endpoint's cached root, since that is
+/// the word its seeded gather reads). A pure hint — compiled in only
+/// under the `prefetch` feature.
+#[inline]
+fn prefetch_next_group<P, S>(
+    store: &P,
+    edges: &[(usize, usize)],
+    g: usize,
+    lens: impl Fn(usize) -> usize,
+    stats: &mut S,
+) where
+    P: ParentStore + ?Sized,
+    S: StatsSink,
+{
+    let next_start = (g + 1) * GATHER;
+    if crate::store::prefetch_enabled() && next_start < edges.len() {
+        for &(x, y) in &edges[next_start..(next_start + GATHER).min(edges.len())] {
+            store.prefetch(lens(x));
+            store.prefetch(lens(y));
+        }
+        stats.prefetch_wave();
+    }
+}
+
+/// The cache-less batch loop (the default path): gather waves straight
+/// from the endpoints, unrolled resolves, link pass.
+fn batch_plain<P, S>(
+    store: &P,
+    edges: &[(usize, usize)],
+    tuning: BatchTuning,
     stats: &mut S,
     record_link: impl Fn(usize, usize),
     mut outcome: impl FnMut(usize, bool),
@@ -256,8 +437,13 @@ where
     S: StatsSink,
 {
     let mut links = 0;
+    let depth3 = tuning.wave_depth == WaveDepth::Three;
     let mut words: Vec<(P::Word, P::Word)> = Vec::with_capacity(GATHER);
     let mut parents: Vec<(P::Word, P::Word)> = Vec::with_capacity(GATHER);
+    // Depth-2 (the default) never touches the third-level scratch; don't
+    // make every call pay its allocation.
+    let mut grands: Vec<(P::Word, P::Word)> =
+        if depth3 { Vec::with_capacity(GATHER) } else { Vec::new() };
     let mut survivors: Vec<(usize, usize, P::Word, usize)> = Vec::with_capacity(GATHER);
     for (g, group) in edges.chunks(GATHER).enumerate() {
         let base = g * GATHER;
@@ -273,33 +459,185 @@ where
             (store.load_word(P::parent_of(wx)), store.load_word(P::parent_of(wy)))
         }));
         stats.reads(2 * group.len());
+        // Gather wave 3 (depth three): the grandparents' words.
+        if depth3 {
+            grands.clear();
+            grands.extend(parents.iter().map(|&(wpx, wpy)| {
+                (store.load_word(P::parent_of(wpx)), store.load_word(P::parent_of(wpy)))
+            }));
+            stats.reads(2 * group.len());
+        }
+        prefetch_next_group(store, edges, g, |x| x, stats);
         // Filter: seeded root walks from the gathered words.
         survivors.clear();
         for (k, &(x, y)) in group.iter().enumerate() {
+            stats.op_start();
+            if x == y {
+                outcome(base + k, false);
+                continue;
+            }
             let (wx, wy) = words[k];
             let (wpx, wpy) = parents[k];
-            match filter_edge::<P, S>(store, x, y, wx, wy, wpx, wpy, stats) {
-                Filter::Same => outcome(base + k, false),
-                Filter::Candidate { root, word, under } => {
-                    survivors.push((base + k, root, word, under));
-                }
+            let (wppx, wppy) =
+                if depth3 { (Some(grands[k].0), Some(grands[k].1)) } else { (None, None) };
+            let (ru, wru) = resolve(store, x, wx, wpx, wppx, stats);
+            let (rv, wrv) = resolve(store, y, wy, wpy, wppy, stats);
+            if ru == rv {
+                outcome(base + k, false);
+                continue;
             }
+            let (root, word, under) = nominate(store, ru, wru, rv, wrv);
+            survivors.push((base + k, root, word, under));
         }
-        // Link: one seeded CAS per survivor on the common path.
-        for &(i, root, word, under) in &survivors {
-            let linked = if store.cas_from(root, word, under) {
-                stats.link_ok();
-                record_link(root, under);
-                true
-            } else {
-                stats.link_fail();
-                unite_from::<P, S>(store, root, under, stats, &record_link)
-            };
-            links += linked as usize;
-            outcome(i, linked);
-        }
+        links += link_survivors(store, &survivors, stats, &record_link, &mut outcome);
     }
     links
+}
+
+/// The cache-carrying batch loop: each endpoint's wave-1 slot loads its
+/// cached root's word when an entry exists (the validation load rides the
+/// overlapped wave), resolutions are memoized, and the cache persists for
+/// whatever scope the caller gave it (per-batch, per-thread session, ...).
+fn batch_cached<P, S>(
+    store: &P,
+    edges: &[(usize, usize)],
+    tuning: BatchTuning,
+    cache: &mut RootCache,
+    stats: &mut S,
+    record_link: impl Fn(usize, usize),
+    mut outcome: impl FnMut(usize, bool),
+) -> usize
+where
+    P: ParentStore + ?Sized,
+    S: StatsSink,
+{
+    let mut links = 0;
+    let depth3 = tuning.wave_depth == WaveDepth::Three;
+    // Per endpoint: the wave-1 gather target — `Some(root)` when seeded
+    // from the cache, `None` for the endpoint itself (an entry can map an
+    // element to itself, so an index alone could not encode "seeded").
+    let mut targets: Vec<Option<usize>> = Vec::with_capacity(2 * GATHER);
+    let mut w1: Vec<P::Word> = Vec::with_capacity(2 * GATHER);
+    let mut w2: Vec<P::Word> = Vec::with_capacity(2 * GATHER);
+    // Unused at depth 2: allocate nothing there.
+    let mut w3: Vec<P::Word> = if depth3 { Vec::with_capacity(2 * GATHER) } else { Vec::new() };
+    let mut survivors: Vec<(usize, usize, P::Word, usize)> = Vec::with_capacity(GATHER);
+    for (g, group) in edges.chunks(GATHER).enumerate() {
+        let base = g * GATHER;
+        // Decide each endpoint's gather target: cached root or itself.
+        targets.clear();
+        for &(x, y) in group {
+            targets.push(cache.get(x));
+            targets.push(cache.get(y));
+        }
+        // Gather wave 1 (seeded): the endpoint's word, or the cached
+        // root's word — its validation load rides the wave.
+        w1.clear();
+        w1.extend(group.iter().zip(targets.chunks_exact(2)).flat_map(|(&(x, y), t)| {
+            [store.load_word(t[0].unwrap_or(x)), store.load_word(t[1].unwrap_or(y))]
+        }));
+        stats.reads(w1.len());
+        // Gather waves 2 and 3 — for *unseeded* slots only: a seeded
+        // slot's deeper words are never read (a validated hit uses just
+        // w1, and the stale fallback restarts from the node), so loading
+        // them would waste exactly the hot-endpoint loads the cache
+        // exists to save and pad the read counters the A/B attributes
+        // with. Seeded slots carry their w1 word down as a placeholder.
+        let mut fresh = 0usize;
+        w2.clear();
+        w2.extend(w1.iter().zip(&targets).map(|(&w, t)| {
+            if t.is_some() {
+                w
+            } else {
+                fresh += 1;
+                store.load_word(P::parent_of(w))
+            }
+        }));
+        stats.reads(fresh);
+        if depth3 {
+            let mut fresh = 0usize;
+            w3.clear();
+            w3.extend(w2.iter().zip(&targets).map(|(&w, t)| {
+                if t.is_some() {
+                    w
+                } else {
+                    fresh += 1;
+                    store.load_word(P::parent_of(w))
+                }
+            }));
+            stats.reads(fresh);
+        }
+        // Prefetch the next group through the same cache lens its wave 1
+        // will use: a seeded endpoint's gather reads its cached *root's*
+        // word, so that is the line worth warming, not the endpoint's.
+        // (The entry may change before that gather runs — the filter
+        // below inserts and evicts — but a prefetch is free to be
+        // slightly stale.)
+        let lens_cache: &RootCache = cache;
+        prefetch_next_group(store, edges, g, |e| lens_cache.get(e).unwrap_or(e), stats);
+        // Filter: validate seeded slots, walk the rest, memoize results.
+        survivors.clear();
+        for (k, &(x, y)) in group.iter().enumerate() {
+            stats.op_start();
+            if x == y {
+                outcome(base + k, false);
+                continue;
+            }
+            let mut resolve_at = |j: usize, node: usize, stats: &mut S| match targets[j] {
+                Some(r) => resolve_seeded(store, cache, node, r, w1[j], stats),
+                None => {
+                    let wpp = if depth3 { Some(w3[j]) } else { None };
+                    let (root, word) = resolve(store, node, w1[j], w2[j], wpp, stats);
+                    cache.insert(node, root);
+                    (root, word)
+                }
+            };
+            let (ru, wru) = resolve_at(2 * k, x, stats);
+            let (rv, wrv) = resolve_at(2 * k + 1, y, stats);
+            if ru == rv {
+                outcome(base + k, false);
+                continue;
+            }
+            let (root, word, under) = nominate(store, ru, wru, rv, wrv);
+            survivors.push((base + k, root, word, under));
+        }
+        links += link_survivors(store, &survivors, stats, &record_link, &mut outcome);
+    }
+    links
+}
+
+/// Batched `unite` over `edges`, reporting each edge's outcome into
+/// `outcome` — [`unite_batch_sink_tuned`] at the default tuning, with
+/// **no** hot-root cache: on the bench box the intra-batch memoization is
+/// a measured loss for the wave-fed filter (the gather waves already
+/// preload the levels a hit would skip, so the probe's bookkeeping and
+/// its 50/50-unpredictable validation branch buy nothing —
+/// `BENCH_PR4.json` attributes it via the `cache_hits`/read counters,
+/// echoing the PR 2 Algorithm-6 branch lesson). Callers whose workloads
+/// re-hit endpoints across bursts opt in explicitly via
+/// [`Dsu::cached`](crate::Dsu::cached) or
+/// [`unite_batch_cached`](crate::ConcurrentUnionFind::unite_batch_cached).
+/// Returns the number of successful links.
+pub fn unite_batch_sink<P, S>(
+    store: &P,
+    edges: &[(usize, usize)],
+    stats: &mut S,
+    record_link: impl Fn(usize, usize),
+    outcome: impl FnMut(usize, bool),
+) -> usize
+where
+    P: ParentStore + ?Sized,
+    S: StatsSink,
+{
+    unite_batch_sink_tuned::<P, S>(
+        store,
+        edges,
+        BatchTuning::default(),
+        None,
+        stats,
+        record_link,
+        outcome,
+    )
 }
 
 /// Batched `unite` over `edges`; returns the number of successful links.
@@ -409,5 +747,88 @@ mod tests {
         let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         assert_eq!(batch_on(&store, &edges), n - 1);
         assert!(ops::same_set::<TwoTrySplit, _, _>(&store, 0, n - 1, &mut ()));
+    }
+
+    /// Every `(wave depth, cache on/off)` tuning combination produces the
+    /// same links and the same final partition — tuning is performance
+    /// only.
+    #[test]
+    fn tunings_are_semantically_invisible() {
+        use crate::find::FindPolicy;
+        let n = 300;
+        let edges: Vec<(usize, usize)> =
+            (0..1000).map(|i| ((i * 7919) % n, (i * 104729 + 5) % n)).collect();
+        let mut snapshots = Vec::new();
+        for depth in [WaveDepth::Two, WaveDepth::Three] {
+            for cached in [false, true] {
+                let store = PackedStore::with_seed(n, 4);
+                let mut cache = RootCache::with_capacity(32);
+                let links = unite_batch_sink_tuned(
+                    &store,
+                    &edges,
+                    BatchTuning::new().wave_depth(depth),
+                    cached.then_some(&mut cache),
+                    &mut (),
+                    |_, _| {},
+                    |_, _| {},
+                );
+                let labels: Vec<usize> =
+                    (0..n).map(|i| TwoTrySplit::find(&store, i, &mut ()).0).collect();
+                snapshots.push((links, labels));
+            }
+        }
+        for s in &snapshots[1..] {
+            assert_eq!(s.0, snapshots[0].0, "link counts diverged across tunings");
+            assert_eq!(s.1, snapshots[0].1, "partitions diverged across tunings");
+        }
+    }
+
+    /// The intra-batch cache actually fires on hot-endpoint batches (and
+    /// goes stale when the hot root is demoted by the batch's own links);
+    /// the default path, which opts out of the cache, must not touch it.
+    #[test]
+    fn hot_endpoints_hit_the_cache_across_waves() {
+        let n = 4 * GATHER;
+        let store = PackedStore::with_seed(n, 77);
+        // Every edge shares endpoint 0: later waves should validate 0's
+        // cached root instead of re-walking.
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        let mut stats = crate::OpStats::default();
+        let mut cache = RootCache::default();
+        let links = unite_batch_sink_tuned(
+            &store,
+            &edges,
+            BatchTuning::default(),
+            Some(&mut cache),
+            &mut stats,
+            |_, _| {},
+            |_, _| {},
+        );
+        assert_eq!(links, n - 1);
+        assert!(stats.cache_hits > 0, "hot endpoint never hit: {stats:?}");
+        // Links demote roots between waves, so some validations must have
+        // gone stale too (0's root changes as its set grows).
+        assert!(stats.cache_hits + stats.cache_stale >= (n - GATHER) as u64 / 2);
+
+        // The cache-less default path reports no cache traffic at all.
+        let store = PackedStore::with_seed(n, 77);
+        let mut plain = crate::OpStats::default();
+        unite_batch(&store, &edges, &mut plain, |_, _| {});
+        assert_eq!(plain.cache_hits + plain.cache_stale, 0);
+    }
+
+    #[test]
+    fn prefetch_wave_counter_matches_feature() {
+        let n = 3 * GATHER;
+        let store = PackedStore::with_seed(n, 1);
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let mut stats = crate::OpStats::default();
+        unite_batch(&store, &edges, &mut stats, |_, _| {});
+        if crate::store::prefetch_enabled() {
+            // One prefetch wave per group except the last.
+            assert_eq!(stats.prefetch_waves, 2);
+        } else {
+            assert_eq!(stats.prefetch_waves, 0);
+        }
     }
 }

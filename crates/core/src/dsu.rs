@@ -2,7 +2,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::bulk;
+use crate::bulk::{self, BatchTuning};
+use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ops;
 use crate::stats::StatsSink;
@@ -274,6 +275,73 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
         })
     }
 
+    /// [`unite_batch`](Dsu::unite_batch) with explicit [`BatchTuning`]
+    /// (gather-wave depth) and an optional caller-owned hot-root cache:
+    /// `Some` memoizes hot endpoints across this call *and* any other
+    /// calls sharing the cache (the per-thread session shape —
+    /// [`Dsu::cached`] packages it); `None` disables memoization entirely
+    /// (the cache-off arm of the `cache_ab` A/B). Tuning is performance
+    /// only — every combination returns the same verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn unite_batch_tuned_with<Sk: StatsSink>(
+        &self,
+        edges: &[(usize, usize)],
+        tuning: BatchTuning,
+        cache: Option<&mut RootCache>,
+        stats: &mut Sk,
+    ) -> usize {
+        for &(x, y) in edges {
+            self.check(x);
+            self.check(y);
+        }
+        bulk::unite_batch_sink_tuned(
+            &self.store,
+            edges,
+            tuning,
+            cache,
+            stats,
+            |child, parent| self.record_link(child, parent),
+            |_, _| {},
+        )
+    }
+
+    /// Opens a hot-root cache session: a thread-private handle whose
+    /// finds start at the last root each element was observed under,
+    /// falling back to the normal walk when a single validation load says
+    /// the entry went stale (see the [`cache`](crate::cache) module for
+    /// the semantics argument). Results are identical to the plain
+    /// operations; only the work changes. One handle per thread — its
+    /// methods take `&mut self`. The cache capacity is
+    /// [`RootCache::DEFAULT_CAPACITY`] unless the `DSU_CACHE_SLOTS`
+    /// environment variable overrides it (via [`RootCache::default`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use concurrent_dsu::Dsu;
+    ///
+    /// let dsu: Dsu = Dsu::new(100);
+    /// let mut session = dsu.cached();
+    /// for i in 0..99 {
+    ///     session.unite(i, i + 1);
+    /// }
+    /// assert!(session.same_set(0, 99));
+    /// assert!(dsu.same_set(0, 99)); // plain ops see the same sets
+    /// ```
+    pub fn cached(&self) -> CachedHandle<'_, F, S> {
+        CachedHandle { dsu: self, cache: RootCache::default() }
+    }
+
+    /// [`cached`](Dsu::cached) with an explicit cache capacity (slots,
+    /// rounded up to a power of two). Capacity trades hit rate against
+    /// footprint and never affects results.
+    pub fn cached_with_capacity(&self, capacity: usize) -> CachedHandle<'_, F, S> {
+        CachedHandle { dsu: self, cache: RootCache::with_capacity(capacity) }
+    }
+
     /// [`unite_batch`](Dsu::unite_batch) that also reports, per edge,
     /// whether this batch performed the link — for clients (Borůvka, cycle
     /// classification) that need the edge-level verdicts.
@@ -340,6 +408,117 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     }
 }
 
+/// A thread-private hot-root cache session over a [`Dsu`] (from
+/// [`Dsu::cached`]): the same operations, with every find first probing a
+/// small element-to-last-observed-root table and validating the entry with
+/// one load (see [`cache`](crate::cache)). Verdicts are identical to the
+/// plain operations — proptested in `tests/cache_semantics.rs` — so a
+/// handle can be dropped and recreated, or mixed freely with plain and
+/// batched calls from other threads.
+///
+/// Methods take `&mut self` (the cache is the handle's private state), so
+/// a handle serves one thread at a time; share the underlying [`Dsu`]
+/// across threads and give each thread its own handle.
+pub struct CachedHandle<'a, F: FindPolicy = TwoTrySplit, S: DsuStore = crate::DefaultStore> {
+    dsu: &'a Dsu<F, S>,
+    cache: RootCache,
+}
+
+impl<F: FindPolicy, S: DsuStore> std::fmt::Debug for CachedHandle<'_, F, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedHandle")
+            .field("dsu", self.dsu)
+            .field("cache_capacity", &self.cache.capacity())
+            .finish()
+    }
+}
+
+impl<'a, F: FindPolicy, S: DsuStore> CachedHandle<'a, F, S> {
+    /// The structure this session operates on.
+    pub fn dsu(&self) -> &'a Dsu<F, S> {
+        self.dsu
+    }
+
+    /// Empties the session's cache (e.g. between phases with different
+    /// hot sets). Never required for correctness.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Root of the tree containing `x`, starting from the cached root when
+    /// the entry validates. Same staleness caveat as [`Dsu::find`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.dsu().len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        self.find_with(x, &mut ())
+    }
+
+    /// [`find`](CachedHandle::find) reporting work (including
+    /// `cache_hits` / `cache_stale`) into `stats`.
+    pub fn find_with<Sk: StatsSink>(&mut self, x: usize, stats: &mut Sk) -> usize {
+        self.dsu.check(x);
+        cache::find_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, stats).0
+    }
+
+    /// [`Dsu::same_set`] with cached finds — identical verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn same_set(&mut self, x: usize, y: usize) -> bool {
+        self.same_set_with(x, y, &mut ())
+    }
+
+    /// [`same_set`](CachedHandle::same_set) reporting work into `stats`.
+    pub fn same_set_with<Sk: StatsSink>(&mut self, x: usize, y: usize, stats: &mut Sk) -> bool {
+        self.dsu.check(x);
+        self.dsu.check(y);
+        cache::same_set_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, y, stats)
+    }
+
+    /// [`Dsu::unite`] with cached finds — identical verdicts; the link CAS
+    /// expects the exact word the cache validation (or fallback walk)
+    /// observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn unite(&mut self, x: usize, y: usize) -> bool {
+        self.unite_with(x, y, &mut ())
+    }
+
+    /// [`unite`](CachedHandle::unite) reporting work into `stats`.
+    pub fn unite_with<Sk: StatsSink>(&mut self, x: usize, y: usize, stats: &mut Sk) -> bool {
+        self.dsu.check(x);
+        self.dsu.check(y);
+        cache::unite_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, y, stats, |c, p| {
+            self.dsu.record_link(c, p)
+        })
+    }
+
+    /// [`Dsu::unite_batch`] with the session's cache carried across calls,
+    /// so hot endpoints stay memoized from one burst to the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn unite_batch(&mut self, edges: &[(usize, usize)]) -> usize {
+        self.unite_batch_with(edges, &mut ())
+    }
+
+    /// [`unite_batch`](CachedHandle::unite_batch) reporting work into
+    /// `stats`.
+    pub fn unite_batch_with<Sk: StatsSink>(
+        &mut self,
+        edges: &[(usize, usize)],
+        stats: &mut Sk,
+    ) -> usize {
+        self.dsu.unite_batch_tuned_with(edges, BatchTuning::default(), Some(&mut self.cache), stats)
+    }
+}
+
 /// Height (max arc count root-to-leaf) of a self-loop-rooted parent forest.
 pub(crate) fn forest_height(parent: &[usize]) -> usize {
     let mut depth = vec![usize::MAX; parent.len()];
@@ -381,6 +560,10 @@ impl<F: FindPolicy, S: DsuStore> ConcurrentUnionFind for Dsu<F, S> {
 
     fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
         Dsu::unite_batch(self, edges)
+    }
+
+    fn unite_batch_cached(&self, edges: &[(usize, usize)], cache: &mut RootCache) -> usize {
+        self.unite_batch_tuned_with(edges, BatchTuning::default(), Some(cache), &mut ())
     }
 
     fn find(&self, x: usize) -> usize {

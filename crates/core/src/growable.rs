@@ -18,7 +18,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use crate::bulk;
+use crate::bulk::{self, BatchTuning};
+use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ops;
 use crate::order::{splitmix64, HashOrder, IdOrder};
@@ -111,6 +112,11 @@ impl ParentStore for SegmentedStore {
         // parent-word loads and compare hashes directly.
         self.order.less(u, v)
     }
+
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        store::prefetch_read(self.cell(i) as *const AtomicUsize);
+    }
 }
 
 impl IdOrder for SegmentedStore {
@@ -200,6 +206,11 @@ impl ParentStore for PackedSegmentedStore {
     #[inline]
     fn priority(&self, _i: usize, w: u64) -> u64 {
         store::packed_id(w)
+    }
+
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        store::prefetch_read(self.cell(i) as *const AtomicU64);
     }
 }
 
@@ -482,6 +493,52 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
         })
     }
 
+    /// [`unite_batch`](GrowableDsu::unite_batch) with explicit
+    /// [`BatchTuning`] and an optional caller-owned hot-root cache — the
+    /// growable counterpart of
+    /// [`Dsu::unite_batch_tuned_with`](crate::Dsu::unite_batch_tuned_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint was not returned by a completed `make_set`.
+    pub fn unite_batch_tuned_with<Sk: StatsSink>(
+        &self,
+        edges: &[(usize, usize)],
+        tuning: BatchTuning,
+        cache: Option<&mut RootCache>,
+        stats: &mut Sk,
+    ) -> usize {
+        for &(x, y) in edges {
+            self.check(x);
+            self.check(y);
+        }
+        bulk::unite_batch_sink_tuned(
+            &self.store,
+            edges,
+            tuning,
+            cache,
+            stats,
+            |_, _| {
+                self.links.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, _| {},
+        )
+    }
+
+    /// Opens a hot-root cache session — the growable counterpart of
+    /// [`Dsu::cached`](crate::Dsu::cached). One handle per thread; results
+    /// are identical to the plain operations. Capacity follows
+    /// [`RootCache::default`] (honoring `DSU_CACHE_SLOTS`).
+    pub fn cached(&self) -> GrowableCachedHandle<'_, F, S> {
+        GrowableCachedHandle { dsu: self, cache: RootCache::default() }
+    }
+
+    /// [`cached`](GrowableDsu::cached) with an explicit cache capacity
+    /// (slots, rounded up to a power of two).
+    pub fn cached_with_capacity(&self, capacity: usize) -> GrowableCachedHandle<'_, F, S> {
+        GrowableCachedHandle { dsu: self, cache: RootCache::with_capacity(capacity) }
+    }
+
     /// Canonical labels for all current elements; call only at quiescence.
     pub fn labels_snapshot(&self) -> Vec<usize> {
         let mut labels: Vec<usize> = (0..self.len()).map(|i| self.find(i)).collect();
@@ -489,6 +546,92 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
             labels[i] = labels[labels[i]];
         }
         labels
+    }
+}
+
+/// A thread-private hot-root cache session over a [`GrowableDsu`] (from
+/// [`GrowableDsu::cached`]) — the growable counterpart of
+/// [`CachedHandle`](crate::CachedHandle), with the same
+/// verdicts-identical contract. Elements created by `make_set` *after*
+/// the handle was opened are usable through it immediately (the cache
+/// simply has no entries for them yet).
+pub struct GrowableCachedHandle<
+    'a,
+    F: FindPolicy = TwoTrySplit,
+    S: GrowableStore = crate::DefaultGrowableStore,
+> {
+    dsu: &'a GrowableDsu<F, S>,
+    cache: RootCache,
+}
+
+impl<F: FindPolicy, S: GrowableStore> std::fmt::Debug for GrowableCachedHandle<'_, F, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrowableCachedHandle")
+            .field("dsu", self.dsu)
+            .field("cache_capacity", &self.cache.capacity())
+            .finish()
+    }
+}
+
+impl<'a, F: FindPolicy, S: GrowableStore> GrowableCachedHandle<'a, F, S> {
+    /// The structure this session operates on.
+    pub fn dsu(&self) -> &'a GrowableDsu<F, S> {
+        self.dsu
+    }
+
+    /// Empties the session's cache. Never required for correctness.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Root of the tree containing `x` via the cache (same contract as
+    /// [`GrowableDsu::find`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` was not returned by a completed `make_set`.
+    pub fn find(&mut self, x: usize) -> usize {
+        self.dsu.check(x);
+        cache::find_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, &mut ()).0
+    }
+
+    /// [`GrowableDsu::same_set`] with cached finds — identical verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` was not returned by a completed `make_set`.
+    pub fn same_set(&mut self, x: usize, y: usize) -> bool {
+        self.dsu.check(x);
+        self.dsu.check(y);
+        cache::same_set_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, y, &mut ())
+    }
+
+    /// [`GrowableDsu::unite`] with cached finds — identical verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` was not returned by a completed `make_set`.
+    pub fn unite(&mut self, x: usize, y: usize) -> bool {
+        self.dsu.check(x);
+        self.dsu.check(y);
+        cache::unite_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, y, &mut (), |_, _| {
+            self.dsu.links.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    /// [`GrowableDsu::unite_batch`] with the session's cache carried
+    /// across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint was not returned by a completed `make_set`.
+    pub fn unite_batch(&mut self, edges: &[(usize, usize)]) -> usize {
+        self.dsu.unite_batch_tuned_with(
+            edges,
+            BatchTuning::default(),
+            Some(&mut self.cache),
+            &mut (),
+        )
     }
 }
 
@@ -507,6 +650,10 @@ impl<F: FindPolicy, S: GrowableStore> ConcurrentUnionFind for GrowableDsu<F, S> 
 
     fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
         GrowableDsu::unite_batch(self, edges)
+    }
+
+    fn unite_batch_cached(&self, edges: &[(usize, usize)], cache: &mut RootCache) -> usize {
+        self.unite_batch_tuned_with(edges, BatchTuning::default(), Some(cache), &mut ())
     }
 
     fn find(&self, x: usize) -> usize {

@@ -83,6 +83,34 @@
 //! assert_eq!(dsu.set_count(), 1);
 //! ```
 //!
+//! # Hot-root cache sessions
+//!
+//! Threads whose operations keep landing on the same few sets can open a
+//! [`cached`](Dsu::cached) session: a thread-private [`RootCache`] maps
+//! elements to their last observed roots, and each find validates the
+//! entry with one load instead of walking (falling back transparently
+//! when a concurrent link demoted the root). Verdicts are identical to
+//! the plain operations — the [`cache`] module docs give the argument —
+//! so sessions, plain calls, and batches mix freely:
+//!
+//! ```
+//! use concurrent_dsu::Dsu;
+//!
+//! let dsu: Dsu = Dsu::new(100);
+//! let mut session = dsu.cached();
+//! for i in 0..99 {
+//!     session.unite(i, i + 1);
+//! }
+//! assert!(session.same_set(0, 99));
+//! assert!(dsu.same_set(0, 99));
+//! ```
+//!
+//! Whether the cache *pays* is workload- and machine-dependent — see the
+//! "when does the root cache pay" section of the [`store`] module docs.
+//! On the bench box it lost on every measured Zipf regime (the saved
+//! loads were hardware-cache-hot), so treat a session as a hypothesis to
+//! A/B on your workload, not a default.
+//!
 //! # Growing universes
 //!
 //! [`GrowableDsu`] adds `make_set` (paper Section 3 remark): elements can be
@@ -97,6 +125,7 @@
 //! *work* exactly as the paper defines it without slowing the default path.
 
 pub mod bulk;
+pub mod cache;
 pub mod find;
 pub mod growable;
 pub mod ops;
@@ -107,9 +136,13 @@ pub mod viz;
 
 mod dsu;
 
-pub use dsu::Dsu;
+pub use bulk::{BatchTuning, WaveDepth};
+pub use cache::RootCache;
+pub use dsu::{CachedHandle, Dsu};
 pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
-pub use growable::{GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore};
+pub use growable::{
+    GrowableCachedHandle, GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore,
+};
 pub use order::{HashOrder, IdOrder, PermutationOrder};
 pub use stats::{OpStats, ShardSkew, StatsSink};
 pub use store::{
@@ -188,6 +221,26 @@ pub trait ConcurrentUnionFind: Send + Sync {
     /// on the structures that have one.
     fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
         edges.iter().filter(|&&(x, y)| self.unite(x, y)).count()
+    }
+
+    /// [`unite_batch`](ConcurrentUnionFind::unite_batch) reusing a
+    /// caller-owned (typically per-worker-thread) hot-root cache across
+    /// calls, so an ingestion loop's hot endpoints stay memoized from one
+    /// burst to the next — the [`cache`] module explains why acting on the
+    /// (validated) entries is sound. [`RootCache`] is layout-agnostic, so
+    /// the session state travels through this trait; structures without a
+    /// cached path ignore the cache and fall back to their plain batch
+    /// ingestion, which keeps generic pipelines (the graph crate's chunked
+    /// workers) writable against the trait.
+    ///
+    /// The cache must only ever be used with **one structure**: its
+    /// entries are observations of this instance's forest, and replaying
+    /// them against another instance yields wrong results or panics (see
+    /// the ownership note on [`RootCache`]). [`RootCache::clear`] resets a
+    /// cache for reuse elsewhere.
+    fn unite_batch_cached(&self, edges: &[(usize, usize)], cache: &mut RootCache) -> usize {
+        let _ = cache;
+        self.unite_batch(edges)
     }
 
     /// Returns the root of the tree currently containing `x`. The result

@@ -39,6 +39,19 @@ pub trait StatsSink {
     fn op_start(&mut self);
     /// A `find` traversal started.
     fn find_start(&mut self);
+    /// A hot-root cache entry validated: the cached root was still a root,
+    /// so a find started (and usually ended) at it instead of walking from
+    /// the element (see [`cache`](crate::cache)). Defaulted to a no-op so
+    /// sinks that predate the cache keep compiling.
+    fn cache_hit(&mut self) {}
+    /// A hot-root cache entry failed validation (the cached root was
+    /// demoted or re-parented since it was recorded): the entry is dropped
+    /// and the find falls back to the normal walk.
+    fn cache_stale(&mut self) {}
+    /// A batch gather wave issued software prefetches for the *next* wave's
+    /// endpoint words (only counted when the `prefetch` feature compiled
+    /// the intrinsics in; see [`bulk`](crate::bulk)).
+    fn prefetch_wave(&mut self) {}
 }
 
 impl StatsSink for () {
@@ -60,6 +73,12 @@ impl StatsSink for () {
     fn op_start(&mut self) {}
     #[inline(always)]
     fn find_start(&mut self) {}
+    #[inline(always)]
+    fn cache_hit(&mut self) {}
+    #[inline(always)]
+    fn cache_stale(&mut self) {}
+    #[inline(always)]
+    fn prefetch_wave(&mut self) {}
 }
 
 /// Plain counters for the events of [`StatsSink`]. Keep one per thread and
@@ -96,6 +115,15 @@ pub struct OpStats {
     pub links_ok: u64,
     /// Failed link CASes.
     pub links_fail: u64,
+    /// Hot-root cache validations that succeeded (the cached root was
+    /// still a root; the find started from it).
+    pub cache_hits: u64,
+    /// Hot-root cache validations that failed (the cached root had been
+    /// demoted; the entry was dropped and the walk fell back).
+    pub cache_stale: u64,
+    /// Gather waves that issued software prefetches for the next wave
+    /// (nonzero only under the `prefetch` feature).
+    pub prefetch_waves: u64,
 }
 
 impl OpStats {
@@ -121,6 +149,9 @@ impl OpStats {
         self.compact_cas_fail += other.compact_cas_fail;
         self.links_ok += other.links_ok;
         self.links_fail += other.links_fail;
+        self.cache_hits += other.cache_hits;
+        self.cache_stale += other.cache_stale;
+        self.prefetch_waves += other.prefetch_waves;
     }
 
     /// Mean find-loop iterations per operation (`NaN` if no ops ran).
@@ -165,6 +196,18 @@ impl StatsSink for OpStats {
     #[inline]
     fn find_start(&mut self) {
         self.finds += 1;
+    }
+    #[inline]
+    fn cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+    #[inline]
+    fn cache_stale(&mut self) {
+        self.cache_stale += 1;
+    }
+    #[inline]
+    fn prefetch_wave(&mut self) {
+        self.prefetch_waves += 1;
     }
 }
 
@@ -262,6 +305,28 @@ mod tests {
 
         assert!((ShardSkew::from_counts([]).imbalance - 1.0).abs() < 1e-12);
         assert!((ShardSkew::from_counts([0, 0]).imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_and_prefetch_counters_count_and_merge() {
+        let mut a = OpStats::default();
+        a.cache_hit();
+        a.cache_hit();
+        a.cache_stale();
+        a.prefetch_wave();
+        assert_eq!((a.cache_hits, a.cache_stale, a.prefetch_waves), (2, 1, 1));
+        // Cache probes are plain loads already counted via read(); they do
+        // not inflate the access totals on their own.
+        assert_eq!(a.memory_accesses(), 0);
+        let mut b = OpStats::default();
+        b.cache_stale();
+        b.merge(&a);
+        assert_eq!((b.cache_hits, b.cache_stale, b.prefetch_waves), (2, 2, 1));
+        // The unit sink accepts the new events too.
+        let mut unit = ();
+        unit.cache_hit();
+        unit.cache_stale();
+        unit.prefetch_wave();
     }
 
     #[test]

@@ -60,6 +60,30 @@
 //! [`ShardedSegmentedStore`] (sharded) make the same trades for universes
 //! that grow via `make_set`.
 //!
+//! **When does the root cache pay?** Orthogonal to the layout choice, the
+//! [`cache`](crate::cache) module can start finds at each element's last
+//! observed root ([`Dsu::cached`](crate::Dsu::cached) sessions,
+//! [`unite_batch_cached`](crate::ConcurrentUnionFind::unite_batch_cached)),
+//! validated by one load. It pays exactly when that validation load
+//! replaces walk loads that would have **missed in the hardware caches**
+//! — long paths over a DRAM-resident store whose hot set is *wider than
+//! the LLC but narrower than the table*. It does **not** pay when the
+//! hardware already absorbs the walk, which `BENCH_PR4.json` shows is the
+//! common case on a single busy box: Zipf-hot elements keep their own
+//! path nodes L1/L2-resident precisely because they are hot, so on the
+//! bench host the cached arms ran 0.22–0.68x the uncached ones at every
+//! size and thread count — the counters attribute it (12–18% fewer reads, yet
+//! slower: the saved loads were cache-hot, while every find paid the
+//! probe's bookkeeping plus a ~50/50 validation branch predictors cannot
+//! learn, the same lesson as PR 2's Algorithm-6 filter). Use a cached
+//! session when the hit branch is *predictable* (hit rates near 1: a
+//! Borůvka scan's few surviving roots, percolation's virtual top/bottom
+//! probes) or when path nodes genuinely miss (universe ≫ LLC with flat
+//! skew); skip it for wave-fed batch ingestion, whose gather waves
+//! already preload the levels a hit would skip. Cache-residency caveat
+//! applies as everywhere: measure at `n ≥ 2^22` before believing either
+//! direction.
+//!
 //! The default store behind [`Dsu`](crate::Dsu)'s `S` parameter follows the
 //! `default-store-flat` / `default-store-sharded` cargo features (see
 //! [`DefaultStore`](crate::DefaultStore)); CI runs the whole test suite
@@ -155,6 +179,36 @@ pub const fn strict_sc() -> bool {
     cfg!(feature = "strict-sc")
 }
 
+/// `true` when the `prefetch` feature compiled software-prefetch
+/// intrinsics into [`ParentStore::prefetch`] (x86-64 / AArch64 only; the
+/// method is a no-op everywhere else regardless of the feature).
+pub const fn prefetch_enabled() -> bool {
+    cfg!(all(feature = "prefetch", any(target_arch = "x86_64", target_arch = "aarch64")))
+}
+
+/// Read-intent software prefetch of the cache line holding `*p` — the
+/// primitive behind [`ParentStore::prefetch`]. Purely a hint: it never
+/// faults, never synchronizes, and compiles to nothing unless the
+/// `prefetch` feature is enabled on a target with an instruction for it
+/// (x86-64 `prefetcht0`, AArch64 `prfm pldl1keep`).
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(all(feature = "prefetch", target_arch = "x86_64"))]
+    // SAFETY: prefetch instructions are hints — they cannot fault even on
+    // invalid addresses (the pointer here is in-bounds regardless).
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    };
+    #[cfg(all(feature = "prefetch", target_arch = "aarch64"))]
+    // SAFETY: PRFM is a hint and cannot fault; the asm touches no state
+    // beyond issuing it.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags))
+    };
+    #[cfg(not(all(feature = "prefetch", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    let _ = p;
+}
+
 /// A table of atomic parent words indexed by element.
 ///
 /// The *word* ([`ParentStore::Word`]) is the store's unit of atomicity:
@@ -219,6 +273,16 @@ pub trait ParentStore: Send + Sync {
     fn precedes(&self, u: usize, v: usize) -> bool {
         (self.priority(u, self.load_word(u)), u) < (self.priority(v, self.load_word(v)), v)
     }
+
+    /// Hints the hardware to pull element `i`'s parent word toward the
+    /// cache with read intent. Purely a performance hint with no memory
+    /// effects — the batch path issues it for the *next* gather wave's
+    /// endpoints while the current wave is being filtered, so the next
+    /// wave's loads hit. A no-op unless the crate is built with the
+    /// `prefetch` feature on a target with a prefetch instruction (see
+    /// [`prefetch_enabled`]). Like every other access, `i` must exist.
+    #[inline]
+    fn prefetch(&self, _i: usize) {}
 }
 
 /// A [`ParentStore`] bundled with the random total order on its elements —

@@ -285,6 +285,11 @@ impl ParentStore for ShardedStore {
     fn priority(&self, _i: usize, w: u64) -> u64 {
         packed_id(w)
     }
+
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        crate::store::prefetch_read(self.cell(i) as *const AtomicU64);
+    }
 }
 
 impl IdOrder for ShardedStore {
@@ -413,6 +418,11 @@ impl ParentStore for ShardedSegmentedStore {
     #[inline]
     fn priority(&self, _i: usize, w: u64) -> u64 {
         packed_id(w)
+    }
+
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        crate::store::prefetch_read(self.cell(i) as *const AtomicU64);
     }
 }
 

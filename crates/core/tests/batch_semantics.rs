@@ -11,7 +11,7 @@
 //! per-access orderings and under `--features strict-sc` (CI runs both),
 //! the same dual configuration the packed-vs-flat cross-checks use.
 
-use concurrent_dsu::{Dsu, FlatStore, GrowableDsu, PackedStore, TwoTrySplit};
+use concurrent_dsu::{Dsu, FlatStore, GrowableDsu, PackedStore, ShardedStore, TwoTrySplit};
 use proptest::prelude::*;
 use sequential_dsu::{NaiveDsu, Partition};
 
@@ -24,32 +24,40 @@ proptest! {
 
     /// For arbitrary edge lists, batched ingestion produces the same
     /// per-edge verdicts and the same partition as sequential per-op
-    /// `unite`, on the packed and the flat layout.
+    /// `unite`, on all three layouts (packed, flat, sharded).
     #[test]
     fn batch_matches_sequential_unite(edges in edges_strategy(24, 200), seed in any::<u64>()) {
         let n = 24;
         let packed_batch: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, seed);
         let flat_batch: Dsu<TwoTrySplit, FlatStore> = Dsu::with_seed(n, seed);
+        let sharded_batch: Dsu<TwoTrySplit, ShardedStore> = Dsu::with_seed(n, seed);
         let per_op: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, seed);
         let mut oracle = NaiveDsu::new(n);
 
         let packed_results = packed_batch.unite_batch_results(&edges);
         let flat_results = flat_batch.unite_batch_results(&edges);
+        let sharded_results = sharded_batch.unite_batch_results(&edges);
         let expected: Vec<bool> = edges.iter().map(|&(x, y)| per_op.unite(x, y)).collect();
         let oracle_results: Vec<bool> = edges.iter().map(|&(x, y)| oracle.unite(x, y)).collect();
 
         prop_assert_eq!(&packed_results, &expected, "packed batch diverged from per-op");
         prop_assert_eq!(&flat_results, &expected, "flat batch diverged from per-op");
+        prop_assert_eq!(&sharded_results, &expected, "sharded batch diverged from per-op");
         prop_assert_eq!(&expected, &oracle_results, "per-op diverged from the naive oracle");
 
         prop_assert_eq!(packed_batch.set_count(), oracle.set_count());
         prop_assert_eq!(flat_batch.set_count(), oracle.set_count());
+        prop_assert_eq!(sharded_batch.set_count(), oracle.set_count());
         prop_assert_eq!(
             Partition::from_labels(&packed_batch.labels_snapshot()),
             oracle.partition()
         );
         prop_assert_eq!(
             Partition::from_labels(&flat_batch.labels_snapshot()),
+            oracle.partition()
+        );
+        prop_assert_eq!(
+            Partition::from_labels(&sharded_batch.labels_snapshot()),
             oracle.partition()
         );
         // Identical ids and the same deterministic batch schedule imply
@@ -59,6 +67,10 @@ proptest! {
         // Algorithm 7's "link under any larger-id node" case — which
         // changes the forest shape but never the partition.)
         prop_assert_eq!(packed_batch.union_forest_snapshot(), flat_batch.union_forest_snapshot());
+        prop_assert_eq!(
+            packed_batch.union_forest_snapshot(),
+            sharded_batch.union_forest_snapshot()
+        );
         // Ids still strictly increase along every batch-built parent path.
         let parents = packed_batch.parents_snapshot();
         for (x, &p) in parents.iter().enumerate() {

@@ -20,7 +20,14 @@
 //!   (`concurrent_dsu::bulk`) that overlaps parent-word loads in gather
 //!   waves, drops already-connected edges with a read-mostly same-set
 //!   filter, and links each survivor with a CAS seeded by the exact root
-//!   word the filter observed.
+//!   word the filter observed. [`unite_edges_parallel_cached`] is the
+//!   **opt-in** variant whose workers additionally carry a per-thread
+//!   hot-root [`RootCache`] across their chunks
+//!   ([`ConcurrentUnionFind::unite_batch_cached`]): on the PR 4 bench box
+//!   the cache was a measured loss for wave-fed ingestion
+//!   (`BENCH_PR4.json`; the waves already preload the levels a hit would
+//!   skip), so the default pipeline stays uncached — the variant exists
+//!   for re-evaluation on machines where walk loads genuinely miss.
 //!
 //! The cursor handles every degenerate shape for free: an empty edge list,
 //! more threads than edges, or a chunk size larger than the input just
@@ -28,7 +35,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use concurrent_dsu::{ConcurrentUnionFind, Dsu, TwoTrySplit};
+use concurrent_dsu::{ConcurrentUnionFind, Dsu, RootCache, TwoTrySplit};
 use sequential_dsu::{Compaction, Linking, SeqDsu};
 
 use crate::graph::EdgeList;
@@ -116,6 +123,53 @@ pub fn unite_edges_parallel_chunked<D: ConcurrentUnionFind>(
     });
 }
 
+/// [`unite_edges_parallel_chunked`], with every worker carrying a
+/// per-thread hot-root [`RootCache`] across its chunks
+/// ([`ConcurrentUnionFind::unite_batch_cached`]; structures without a
+/// cached path ignore the cache). **Opt-in, not the default pipeline**:
+/// on the PR 4 bench box this configuration measured 0.22–0.54x the
+/// uncached ingestion (`BENCH_PR4.json` — the gather waves already
+/// preload the levels a cache hit would skip), so reach for it only on
+/// hardware where the walk loads genuinely miss, and A/B it there first.
+/// The final partition is identical either way.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `chunk_size == 0`, or `dsu.len() < graph.n()`.
+pub fn unite_edges_parallel_cached<D: ConcurrentUnionFind>(
+    dsu: &D,
+    graph: &EdgeList,
+    threads: usize,
+    chunk_size: usize,
+) {
+    assert!(threads > 0, "need at least one thread");
+    assert!(chunk_size > 0, "chunk size must be positive");
+    assert!(dsu.len() >= graph.n(), "universe smaller than vertex set");
+    let edges = graph.edges();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            s.spawn(move || {
+                let mut batch: Vec<(usize, usize)> = Vec::with_capacity(chunk_size);
+                // Per-worker session state: hot endpoints stay memoized
+                // across every chunk this thread claims.
+                let mut cache = RootCache::default();
+                loop {
+                    let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
+                    if start >= edges.len() {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(edges.len());
+                    batch.clear();
+                    batch.extend(edges[start..end].iter().map(|e| (e.u, e.v)));
+                    dsu.unite_batch_cached(&batch, &mut cache);
+                }
+            });
+        }
+    });
+}
+
 /// Number of distinct components given idempotent labels (`labels[l] == l`
 /// for every label `l` in use).
 pub fn count_components(labels: &[usize]) -> usize {
@@ -168,6 +222,23 @@ mod tests {
         let ours = Partition::from_labels(&dsu.labels_snapshot());
         let oracle = Partition::from_labels(&g.to_csr().bfs_components());
         assert_eq!(ours, oracle);
+    }
+
+    /// The opt-in cached ingestion variant produces the identical
+    /// partition (the cache layer is verdict-preserving), including for
+    /// baseline structures that ignore the cache.
+    #[test]
+    fn cached_ingestion_variant_matches_oracle() {
+        let g = gen::rmat_standard(9, 4000, 11);
+        let oracle = Partition::from_labels(&g.to_csr().bfs_components());
+        for threads in [1, 4] {
+            let dsu: Dsu = Dsu::new(g.n());
+            unite_edges_parallel_cached(&dsu, &g, threads, 256);
+            assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle, "{threads} threads");
+        }
+        let growable = concurrent_dsu::GrowableDsu::<TwoTrySplit>::with_initial(g.n());
+        unite_edges_parallel_cached(&growable, &g, 2, DEFAULT_EDGE_CHUNK);
+        assert_eq!(Partition::from_labels(&growable.labels_snapshot()), oracle);
     }
 
     #[test]

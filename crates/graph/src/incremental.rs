@@ -3,7 +3,7 @@
 //! paper's introduction, plus cycle detection (an inserted edge closes a
 //! cycle iff its endpoints were already connected).
 
-use concurrent_dsu::{Dsu, TwoTrySplit};
+use concurrent_dsu::{CachedHandle, Dsu, TwoTrySplit};
 
 /// A connectivity index over `0..n` maintained under concurrent edge
 /// insertions and queries, backed by the Jayanti–Tarjan structure.
@@ -91,6 +91,65 @@ impl IncrementalConnectivity {
     pub fn component_count(&self) -> usize {
         self.dsu.set_count()
     }
+
+    /// Opens a per-thread session whose operations route through a
+    /// hot-root cache ([`Dsu::cached`]): a worker that repeatedly probes
+    /// or extends the same few components resolves them by one validated
+    /// load instead of a pointer chase. Results are identical to the
+    /// plain methods — sessions and plain calls mix freely across
+    /// threads.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dsu_graph::incremental::IncrementalConnectivity;
+    ///
+    /// let conn = IncrementalConnectivity::new(4);
+    /// let mut session = conn.session();
+    /// assert!(session.insert(0, 1));
+    /// assert!(session.connected(1, 0));
+    /// assert!(conn.connected(0, 1)); // visible to plain calls too
+    /// ```
+    pub fn session(&self) -> ConnectivitySession<'_> {
+        ConnectivitySession { inner: self.dsu.cached() }
+    }
+}
+
+/// A per-thread cached session over an [`IncrementalConnectivity`] (see
+/// [`IncrementalConnectivity::session`]).
+#[derive(Debug)]
+pub struct ConnectivitySession<'a> {
+    inner: CachedHandle<'a, TwoTrySplit>,
+}
+
+impl ConnectivitySession<'_> {
+    /// [`IncrementalConnectivity::insert`] through the session cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn insert(&mut self, x: usize, y: usize) -> bool {
+        self.inner.unite(x, y)
+    }
+
+    /// [`IncrementalConnectivity::insert_batch`] through the session
+    /// cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn insert_batch(&mut self, edges: &[(usize, usize)]) -> usize {
+        self.inner.unite_batch(edges)
+    }
+
+    /// [`IncrementalConnectivity::connected`] through the session cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn connected(&mut self, x: usize, y: usize) -> bool {
+        self.inner.same_set(x, y)
+    }
 }
 
 /// Streams `edges` into a fresh index as one batch and returns
@@ -158,6 +217,34 @@ mod tests {
             0,
             "re-inserting the same burst adds no forest edges"
         );
+    }
+
+    #[test]
+    fn sessions_agree_with_plain_calls() {
+        let with_sessions = IncrementalConnectivity::new(256);
+        let plain = IncrementalConnectivity::new(256);
+        let edges: Vec<(usize, usize)> =
+            (0..600).map(|i| ((i * 131) % 256, (i * 17 + 9) % 256)).collect();
+        // Four threads share the structure, each through its own session.
+        std::thread::scope(|s| {
+            for chunk in edges.chunks(150) {
+                let conn = &with_sessions;
+                s.spawn(move || {
+                    let mut session = conn.session();
+                    for pair in chunk.chunks(25) {
+                        session.insert_batch(pair);
+                    }
+                    session.connected(chunk[0].0, chunk[0].1)
+                });
+            }
+        });
+        for &(x, y) in &edges {
+            plain.insert(x, y);
+        }
+        assert_eq!(with_sessions.component_count(), plain.component_count());
+        for &(x, y) in &edges {
+            assert!(with_sessions.connected(x, y));
+        }
     }
 
     #[test]

@@ -87,6 +87,12 @@ pub fn boruvka_parallel(graph: &EdgeList, threads: usize) -> Msf {
                 let cheapest = &cheapest;
                 let cursor = &cursor;
                 s.spawn(move || loop {
+                    // Plain finds, deliberately: a hot-root cache here is
+                    // keyed by *element*, and a scan touches each edge's
+                    // endpoints once per round — hub re-hits are the only
+                    // hit source, the low-hit-rate regime BENCH_PR4
+                    // measured as a loss. ROADMAP queues a
+                    // predictable-hit variant to A/B on this scan first.
                     let start = cursor.fetch_add(SCAN_CHUNK, Ordering::Relaxed);
                     if start >= edges.len() {
                         break;

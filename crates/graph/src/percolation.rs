@@ -65,9 +65,15 @@ pub fn percolation_threshold(size: usize, seed: u64) -> f64 {
 }
 
 /// [`percolation_threshold`] with sites opened in bursts of `batch`,
-/// united through the batched ingestion path
-/// ([`Dsu::unite_batch`]), checking percolation once per burst — the
-/// batched-arrival shape the rest of the workspace ingests edges in.
+/// united through the batched ingestion path ([`Dsu::unite_batch`]),
+/// checking percolation once per burst — the batched-arrival shape the
+/// rest of the workspace ingests edges in. The per-burst percolation
+/// *probe* runs through a hot-root cache session ([`Dsu::cached`]): `top`
+/// and `bottom` are probed every burst and their roots change rarely, so
+/// the session's validation branch is nearly always taken — the
+/// predictable-hit shape the cache layer is for. Ingestion itself stays
+/// uncached (freshly opened sites have no entries to hit; see the
+/// measured negative in `BENCH_PR4.json`).
 ///
 /// With `batch == 1` this opens sites in the same seed-determined order
 /// and performs the same unites as [`percolation_threshold`], so the two
@@ -85,6 +91,7 @@ pub fn percolation_threshold_batched(size: usize, seed: u64, batch: usize) -> f6
     let top = n;
     let bottom = n + 1;
     let dsu: Dsu<TwoTrySplit> = Dsu::new(n + 2);
+    let mut session = dsu.cached();
     let mut open = vec![false; n];
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(&mut ChaCha12Rng::seed_from_u64(seed));
@@ -123,7 +130,7 @@ pub fn percolation_threshold_batched(size: usize, seed: u64, batch: usize) -> f6
         }
         dsu.unite_batch(&pairs);
         opened += burst.len();
-        if dsu.same_set(top, bottom) {
+        if session.same_set(top, bottom) {
             return opened as f64 / n as f64;
         }
     }

@@ -22,7 +22,7 @@
 
 use concurrent_dsu::{Dsu, OneTrySplit, ShardSpec, ShardedStore, TwoTrySplit};
 use dsu_baselines::{AwDsu, LockedDsu};
-use dsu_harness::{run_shards, table::f2, Args, Table};
+use dsu_harness::{run_shards, run_shards_cached, table::f2, Args, Table};
 use dsu_workloads::WorkloadSpec;
 use sequential_dsu::{Compaction, Linking};
 
@@ -85,6 +85,13 @@ fn main() {
         type Runner<'a> = Box<dyn Fn(usize) -> f64 + 'a>;
         let specs: Vec<(&str, Runner<'_>)> = vec![
             ("jt-two-try", Box::new(|p| run_shards(&make_jt2(prebuild), workload, p).mops())),
+            (
+                // Same structure, per-worker hot-root cache sessions: the
+                // row that shows what the cache layer buys (or costs) on
+                // the serial per-op path at each thread count.
+                "jt-two-try-cached",
+                Box::new(|p| run_shards_cached(&make_jt2(prebuild), workload, p).mops()),
+            ),
             (
                 "jt-two-try-sharded",
                 Box::new(|p| run_shards(&make_jt2_sharded(prebuild), workload, p).mops()),

@@ -8,7 +8,7 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use concurrent_dsu::{ConcurrentUnionFind, Dsu, FindPolicy, OpStats};
+use concurrent_dsu::{ConcurrentUnionFind, Dsu, DsuStore, FindPolicy, OpStats};
 use dsu_workloads::{Op, Workload};
 
 /// What one measured run produced.
@@ -72,6 +72,55 @@ pub fn run_shards<D: ConcurrentUnionFind + ?Sized>(
         // Timestamp before releasing the barrier: once it opens, this
         // thread may be descheduled while workers run (oversubscribed
         // hosts), which would deflate an after-the-wait timestamp.
+        let t0 = Instant::now();
+        barrier.wait();
+        t0
+    });
+    RunMetrics {
+        elapsed: started.elapsed(),
+        ops: workload.len() as u64,
+        stats: None,
+        max_op_iters: 0,
+    }
+}
+
+/// Like [`run_shards`], but every worker thread routes its operations
+/// through its own hot-root cache session ([`Dsu::cached`]) — the cached
+/// contender of the e04 speedup table. Results are identical to the plain
+/// run (the cache layer is verdict-preserving); only the work per find
+/// changes.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the workload universe exceeds `dsu.len()`.
+pub fn run_shards_cached<F: FindPolicy, S: DsuStore>(
+    dsu: &Dsu<F, S>,
+    workload: &Workload,
+    threads: usize,
+) -> RunMetrics {
+    assert!(threads > 0, "need at least one thread");
+    assert!(dsu.len() >= workload.n, "universe too small for workload");
+    let shards = workload.shard(threads);
+    let barrier = Barrier::new(threads + 1);
+    let started = std::thread::scope(|s| {
+        for shard in &shards {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut session = dsu.cached();
+                barrier.wait();
+                for &op in shard {
+                    match op {
+                        Op::Unite(x, y) => {
+                            session.unite(x, y);
+                        }
+                        Op::SameSet(x, y) => {
+                            session.same_set(x, y);
+                        }
+                    }
+                }
+            });
+        }
+        // Same pre-release timestamp rationale as run_shards.
         let t0 = Instant::now();
         barrier.wait();
         t0
@@ -163,6 +212,19 @@ mod tests {
         // 4000 random unites on 256 elements almost surely connect all.
         assert_eq!(dsu.set_count(), 1);
         assert!(m.mops() > 0.0);
+    }
+
+    #[test]
+    fn cached_run_matches_plain_results() {
+        let w = WorkloadSpec::new(256, 4000).unite_fraction(0.6).generate(5);
+        let plain: Dsu = Dsu::new(256);
+        run_shards(&plain, &w, 2);
+        let cached: Dsu = Dsu::new(256);
+        let m = run_shards_cached(&cached, &w, 2);
+        assert_eq!(m.ops, 4000);
+        assert!(m.elapsed > Duration::ZERO);
+        assert_eq!(cached.set_count(), plain.set_count());
+        assert_eq!(cached.labels_snapshot(), plain.labels_snapshot());
     }
 
     #[test]

@@ -2,20 +2,36 @@
 """Fail-soft bench regression gate for the CI bench-smoke job.
 
 Compares the current run's A/B bench JSON files against the previous run's
-(restored from the actions/cache baseline keyed on branch) and flags any
-`*_median_ns` that regressed by more than THRESHOLD. The gate is advisory
-by design: CI bench boxes are noisy shared VMs, so a regression prints a
-warning block into the GitHub job summary (and stdout) but never turns the
-job red. Treat a warning as "re-run / measure on real hardware before
-merging a perf-sensitive change", not as a verdict.
+(restored from the actions/cache baseline keyed on branch) and flags:
+
+* any `*_median_ns` that regressed by more than THRESHOLD (absolute time
+  per mode — catches "everything got slower"), and
+* any `*_speedup` A/B *ratio* that shrank by more than THRESHOLD (the
+  contender lost ground against its in-run baseline — catches "the
+  optimized arm regressed" even when host drift moves both arms, which is
+  why the ratio diff exists: medians from a shared CI box drift together,
+  ratios don't).
+
+Records carry a `machine` fingerprint (cpus, arch, os) stamped by the
+bench examples; when the baseline was produced on a different machine the
+comparison is skipped outright — cross-machine deltas are placement
+noise, not regressions, and the per-machine JSON archive (ROADMAP bench
+matrix) is the place they belong.
+
+The gate is advisory by design: CI bench boxes are noisy shared VMs, so a
+regression prints a warning block into the GitHub job summary (and
+stdout) but never turns the job red. Treat a warning as "re-run / measure
+on real hardware before merging a perf-sensitive change", not as a
+verdict.
 
 Usage:
     check_bench_regression.py BASELINE_DIR CURRENT_DIR FILE [FILE...]
 
 Each FILE is a JSON produced by one of the dsu-bench A/B examples
-(`--json` flag): {"example": ..., "results": [{"threads": N,
-"<mode>_median_ns": ...}, ...]}. Files missing from either directory are
-skipped with a note (first run on a branch has no baseline yet).
+(`--json` flag): {"example": ..., "machine": {...}, "results":
+[{"threads": N, "<mode>_median_ns": ..., "<mode>_speedup": ...}, ...]}.
+Files missing from either directory are skipped with a note (first run on
+a branch has no baseline yet).
 
 Exit status is always 0.
 """
@@ -24,11 +40,19 @@ import json
 import os
 import sys
 
-THRESHOLD = 1.15  # flag medians more than 15% slower than the baseline
+THRESHOLD = 1.15  # flag medians >15% slower, or ratios >15% smaller
 
 
 def rows_by_threads(doc):
     return {row.get("threads"): row for row in doc.get("results", []) if "threads" in row}
+
+
+def fingerprint(doc):
+    """(cpus, arch, os) of the machine that produced a record, or None."""
+    m = doc.get("machine")
+    if not isinstance(m, dict):
+        return None
+    return (m.get("cpus"), m.get("arch"), m.get("os"))
 
 
 def compare_file(baseline_dir, current_dir, name):
@@ -47,6 +71,16 @@ def compare_file(baseline_dir, current_dir, name):
     except (OSError, json.JSONDecodeError) as e:
         return ([f"- `{name}`: unreadable ({e}) — skipped"], 0)
 
+    b_fp, c_fp = fingerprint(base), fingerprint(cur)
+    if b_fp is not None and c_fp is not None and b_fp != c_fp:
+        return (
+            [
+                f"- `{name}`: baseline machine {b_fp} != current {c_fp} — "
+                f"cross-machine comparison skipped; current recorded as the new baseline"
+            ],
+            0,
+        )
+
     lines, regressions = [], 0
     base_rows = rows_by_threads(base)
     for threads, row in sorted(rows_by_threads(cur).items()):
@@ -54,21 +88,42 @@ def compare_file(baseline_dir, current_dir, name):
         if b_row is None:
             continue
         for key in sorted(row):
-            if not key.endswith("_median_ns"):
-                continue
             new, old = row.get(key), b_row.get(key)
-            if not isinstance(new, (int, float)) or not isinstance(old, (int, float)) or old <= 0:
+            # Both sides must be positive numbers: the median branch
+            # divides by old, the ratio branch by new, and a degenerate 0
+            # must degrade to "skipped", never to an exception (the gate
+            # promises exit 0).
+            if (
+                not isinstance(new, (int, float))
+                or not isinstance(old, (int, float))
+                or old <= 0
+                or new <= 0
+            ):
                 continue
-            ratio = new / old
-            mode = key[: -len("_median_ns")]
-            if ratio > THRESHOLD:
-                regressions += 1
-                lines.append(
-                    f"- :warning: `{name}` **{mode}** @ {threads} threads regressed: "
-                    f"{old:.0f} ns -> {new:.0f} ns ({ratio:.2f}x, threshold {THRESHOLD:.2f}x)"
-                )
-            else:
-                lines.append(f"- `{name}` {mode} @ {threads} threads: {ratio:.2f}x baseline")
+            if key.endswith("_median_ns"):
+                ratio = new / old
+                mode = key[: -len("_median_ns")]
+                if ratio > THRESHOLD:
+                    regressions += 1
+                    lines.append(
+                        f"- :warning: `{name}` **{mode}** @ {threads} threads regressed: "
+                        f"{old:.0f} ns -> {new:.0f} ns ({ratio:.2f}x, threshold {THRESHOLD:.2f}x)"
+                    )
+                else:
+                    lines.append(f"- `{name}` {mode} @ {threads} threads: {ratio:.2f}x baseline")
+            elif key.endswith("_speedup"):
+                shrink = old / new  # >1 means the A/B ratio got worse
+                mode = key[: -len("_speedup")]
+                if shrink > THRESHOLD:
+                    regressions += 1
+                    lines.append(
+                        f"- :warning: `{name}` **{mode} ratio** @ {threads} threads shrank: "
+                        f"{old:.3f}x -> {new:.3f}x ({shrink:.2f}x smaller, threshold {THRESHOLD:.2f}x)"
+                    )
+                else:
+                    lines.append(
+                        f"- `{name}` {mode} ratio @ {threads} threads: {old:.3f}x -> {new:.3f}x"
+                    )
     return (lines, regressions)
 
 
@@ -86,12 +141,15 @@ def main(argv):
 
     if total_regressions:
         verdict = (
-            f"**{total_regressions} median(s) regressed > {round((THRESHOLD - 1) * 100)}% "
+            f"**{total_regressions} median(s)/ratio(s) regressed > {round((THRESHOLD - 1) * 100)}% "
             f"vs the previous run.** Advisory only (shared CI hardware is noisy): "
             f"re-run, or confirm on dedicated hardware before trusting the number."
         )
     else:
-        verdict = f"No median regressed more than {round((THRESHOLD - 1) * 100)}% vs the previous run."
+        verdict = (
+            f"No median or A/B ratio regressed more than {round((THRESHOLD - 1) * 100)}% "
+            f"vs the previous run."
+        )
 
     report = "\n".join(["## Bench regression check (fail-soft)", "", verdict, ""] + body) + "\n"
     print(report)

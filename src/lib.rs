@@ -36,6 +36,34 @@
 //! assert_eq!(dsu.set_count(), 5);
 //! ```
 //!
+//! ## Hot-root cache sessions and the `prefetch` feature
+//!
+//! Per-thread loops that keep touching the same sets can route their
+//! operations through a hot-root cache session
+//! ([`concurrent_dsu::Dsu::cached`]): finds start at the element's last
+//! observed root, validated by a single load, with identical verdicts to
+//! the plain operations (see `concurrent_dsu::cache`):
+//!
+//! ```
+//! use jt_dsu::Dsu;
+//!
+//! let dsu: Dsu = Dsu::new(10);
+//! let mut session = dsu.cached();
+//! assert!(session.unite(0, 1));
+//! assert!(session.same_set(1, 0));
+//! assert_eq!(session.unite_batch(&[(1, 2), (0, 2)]), 1);
+//! ```
+//!
+//! The batch path's gather-wave depth is tunable
+//! (`concurrent_dsu::BatchTuning`, depths two/three), and building
+//! `concurrent-dsu` with `--features prefetch` compiles software-prefetch
+//! intrinsics (x86-64 `prefetcht0` / AArch64 `prfm pldl1keep`) that warm
+//! the *next* gather wave's endpoint words one wave ahead (a no-op
+//! elsewhere). Both knobs — and the cache — are measured by the
+//! `cache_ab` example (`BENCH_PR4.json`); on the CI box the cache pays
+//! only in predictable-hit loops, so it is opt-in, never the default
+//! (`concurrent_dsu::store` docs, "when does the root cache pay").
+//!
 //! ## Choosing a storage layout
 //!
 //! [`Dsu`] is also generic over its parent store: packed (default), flat
@@ -57,10 +85,13 @@
 //! rustdoc, all `-D warnings`); a `test` **matrix** over
 //! `{default, strict-sc}` orderings × `{packed, flat, sharded}` store
 //! layouts (the `default-store-*` cargo features retarget `Dsu`'s default
-//! store so the full suite exercises each layout); `bench-smoke`, which
-//! runs the three A/B examples in quick mode, archives their JSON, and
-//! fail-soft-compares medians against the previous run's cached baseline
-//! (>15% regression warns in the job summary, never turns red); and
+//! store so the full suite exercises each layout) plus a `prefetch`
+//! feature cell; `bench-smoke`, which
+//! runs the four A/B examples in quick mode, archives their JSON
+//! (machine-fingerprinted), and fail-soft-compares both medians *and* A/B
+//! ratios against the previous run's cached baseline
+//! (>15% regression warns in the job summary, never turns red; baselines
+//! from a different machine are skipped, not compared); and
 //! `harness-smoke` (one real experiment binary end to end). A weekly
 //! `schedule` (plus `workflow_dispatch`) triggers `bench-full`, the
 //! non-quick A/B runs. Runs on the same ref cancel their predecessors.
