@@ -18,8 +18,8 @@ use concurrent_dsu::{
 };
 use dsu_baselines::{AwDsu, LockedDsu};
 use dsu_bench::{
-    standard_edge_batches, standard_workload, timed_ingest_batched, timed_ingest_per_op,
-    timed_parallel_run, timed_parallel_run_cached,
+    standard_edge_batches, standard_workload, timed_ingest_batched, timed_ingest_batched_planned,
+    timed_ingest_per_op, timed_parallel_run, timed_parallel_run_cached, timed_parallel_run_planned,
 };
 use sequential_dsu::{Compaction, Linking};
 
@@ -98,6 +98,22 @@ fn bench_structures(c: &mut Criterion) {
                 total
             })
         });
+        group.bench_function(BenchmarkId::new("jt-two-try-planned", p), |b| {
+            // Same structure and workload as jt-two-try-packed, but every
+            // worker buffers its consecutive unites into bursts ingested
+            // through the ingestion planner (run_shards_planned): the row
+            // that shows what planner-routed ingestion buys (or costs) on
+            // the mixed workload (the number bucket_ab tracks in
+            // BENCH_PR5.json on the pure burst shape).
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(N);
+                    total += timed_parallel_run_planned(&dsu, &w, p);
+                }
+                total
+            })
+        });
         group.bench_function(BenchmarkId::new("jt-one-try", p), |b| {
             b.iter_custom(|iters| {
                 let mut total = std::time::Duration::ZERO;
@@ -167,6 +183,19 @@ fn bench_ingestion(c: &mut Criterion) {
                 for _ in 0..iters {
                     let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(N_INGEST);
                     total += timed_ingest_batched(&dsu, &arrivals.batches, p);
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("ingest-planned", p), |b| {
+            // Same bursts through the ingestion planner — the pair with
+            // ingest-batched isolates the planner exactly (the drift-free
+            // twin is the bucket_ab example).
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::new(N_INGEST);
+                    total += timed_ingest_batched_planned(&dsu, &arrivals.batches, p);
                 }
                 total
             })

@@ -1,0 +1,176 @@
+//! Interleaved A/B of the ingestion planner: planned vs unplanned batch
+//! ingestion vs per-op dispatch, on a clean Zipf trace *and* a dup-heavy
+//! twin.
+//!
+//! Six contenders, two workloads x three ingestion modes, all through the
+//! same burst-cursor scheduler:
+//!
+//! * `plain` / `dup_plain` — `unite_batch` per burst (the PR 2 bulk path,
+//!   wave depth 2, no planner): the baseline both A/B ratios divide by;
+//! * `planned` / `dup_planned` — `unite_batch_planned` per burst (the
+//!   ingestion planner: intra-batch dedup + block-local radix buckets +
+//!   spillover pass, then the same gather waves per bucket);
+//! * `perop` / `dup_perop` — a `unite` call per edge (the serial-find
+//!   baseline, for scale).
+//!
+//! The `dup_*` arms ingest the same spec with
+//! [`EdgeBatchSpec::duplicate_fraction`] > 0 (exact-copy injection), so
+//! the dedup win/loss is measurable independently of Zipf skew. Samples
+//! alternate round-robin so host drift cancels; per-thread-count medians
+//! and planned/plain speedups are printed and, with `--json PATH`,
+//! archived (`BENCH_PR5.json`) with the machine fingerprint and
+//! single-threaded `OpStats` attribution (`dup_edges_dropped` /
+//! `bucket_count` / `spill_edges` next to the read and CAS counters), so
+//! a win or a loss is traced to counters rather than guessed at.
+//!
+//! Size matters twice over here: run once DRAM-resident (`--n 4194304`,
+//! the default) and once cache-resident (`--n 262144`) — bucketing exists
+//! to shrink each wave's working set below the LLC, so a cache-resident
+//! store is exactly where it can only lose its planning overhead (see the
+//! ingestion-plan selection guide in `concurrent_dsu::ingest`).
+//!
+//! Run: `cargo run --release -p dsu-bench --example bucket_ab --
+//!       [--samples 11] [--n 4194304] [--batches 2048] [--batch-size 1024]
+//!       [--zipf 1.0] [--dup 0.25] [--threads 1,2,4,8] [--json out.json]
+//!       [--quick true]`
+//!
+//! [`EdgeBatchSpec::duplicate_fraction`]:
+//!     dsu_workloads::EdgeBatchSpec::duplicate_fraction
+
+use std::fmt::Write as _;
+
+use concurrent_dsu::{BatchTuning, Dsu, PlanTuning, TwoTrySplit};
+use dsu_bench::{
+    dup_edge_batches, ingest_stats_tuned, machine_fingerprint_json, median, standard_edge_batches,
+    stats_json, timed_ingest_batched, timed_ingest_batched_planned, timed_ingest_per_op,
+};
+use dsu_harness::Args;
+use dsu_workloads::EdgeBatches;
+
+/// Arm names in sample order: clean trace then dup-heavy trace, each
+/// plain / planned / per-op.
+const ARMS: [&str; 6] = ["plain", "planned", "perop", "dup_plain", "dup_planned", "dup_perop"];
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let samples = args.usize("samples", if quick { 5 } else { 11 });
+    let n = args.usize("n", if quick { 1 << 14 } else { 1 << 22 });
+    let batches = args.usize("batches", if quick { 1 << 6 } else { 1 << 11 });
+    let batch_size = args.usize("batch-size", 1 << 10);
+    let zipf = args.f64("zipf", 1.0);
+    let dup = args.f64("dup", 0.25);
+    let threads = args.thread_ladder();
+
+    let clean = standard_edge_batches(n, batches, batch_size, zipf);
+    let duppy = dup_edge_batches(n, batches, batch_size, zipf, dup);
+    let m = clean.total_edges();
+    println!(
+        "n = {n}, {batches} bursts x {batch_size} edges = {m} edges, zipf {zipf}, \
+         dup arm {dup}, {samples} interleaved samples per arm"
+    );
+
+    // Arm index -> one timed run at thread count p, on a fresh structure.
+    let run_arm = |arm: usize, p: usize| -> f64 {
+        let trace: &EdgeBatches = if arm < 3 { &clean } else { &duppy };
+        let dsu: Dsu<TwoTrySplit> = Dsu::new(n);
+        let d = match arm % 3 {
+            0 => timed_ingest_batched(&dsu, &trace.batches, p),
+            1 => timed_ingest_batched_planned(&dsu, &trace.batches, p),
+            _ => timed_ingest_per_op(&dsu, &trace.batches, p),
+        };
+        d.as_nanos() as f64
+    };
+
+    println!(
+        "{:>7} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "threads",
+        "plain",
+        "planned",
+        "perop",
+        "dup_plain",
+        "dup_planned",
+        "dup_perop",
+        "plan_x",
+        "dplan_x"
+    );
+
+    let mut rows = String::new();
+    for &p in &threads {
+        for arm in 0..ARMS.len() {
+            run_arm(arm, p); // warm-up
+        }
+        let mut ns: [Vec<f64>; 6] = Default::default();
+        for _ in 0..samples {
+            for (arm, samples_vec) in ns.iter_mut().enumerate() {
+                samples_vec.push(run_arm(arm, p));
+            }
+        }
+        let med: Vec<f64> = ns.iter_mut().map(|v| median(v)).collect();
+        let (plain, planned, perop) = (med[0], med[1], med[2]);
+        let (dplain, dplanned, dperop) = (med[3], med[4], med[5]);
+        println!(
+            "{:>7} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>9.3} {:>9.3}",
+            p,
+            plain,
+            planned,
+            perop,
+            dplain,
+            dplanned,
+            dperop,
+            plain / planned,
+            dplain / dplanned
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n    {{\"threads\":{p},\"n\":{n},\"plain_median_ns\":{plain:.0},\
+             \"planned_median_ns\":{planned:.0},\"perop_median_ns\":{perop:.0},\
+             \"dup_plain_median_ns\":{dplain:.0},\"dup_planned_median_ns\":{dplanned:.0},\
+             \"dup_perop_median_ns\":{dperop:.0},\"planned_speedup\":{:.4},\
+             \"dup_planned_speedup\":{:.4},\"batched_speedup\":{:.4}}}",
+            plain / planned,
+            dplain / dplanned,
+            perop / plain
+        );
+    }
+
+    // Single-threaded attribution: the counters that explain the deltas.
+    let mut attribution = String::new();
+    for (name, trace, planned) in [
+        ("plain", &clean, false),
+        ("planned", &clean, true),
+        ("dup_plain", &duppy, false),
+        ("dup_planned", &duppy, true),
+    ] {
+        let dsu: Dsu<TwoTrySplit> = Dsu::new(n);
+        let tuning = if planned {
+            BatchTuning::new().planned(PlanTuning::new())
+        } else {
+            BatchTuning::new()
+        };
+        let stats = ingest_stats_tuned(&dsu, &trace.batches, tuning, false);
+        println!(
+            "{name}: reads {} dup_dropped {} buckets {} spill {}",
+            stats.reads, stats.dup_edges_dropped, stats.bucket_count, stats.spill_edges
+        );
+        if !attribution.is_empty() {
+            attribution.push(',');
+        }
+        let _ = write!(attribution, "\n    \"{name}\": {}", stats_json(&stats));
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\n  \"example\": \"bucket_ab\",\n  \"machine\": {},\n  \"workload\": {{\"n\": {n}, \
+             \"batches\": {batches}, \"batch_size\": {batch_size}, \"zipf\": {zipf}, \
+             \"dup\": {dup}, \"seed\": \"0xBA7C\"}},\n  \"samples\": {samples},\n  \
+             \"results\": [{rows}\n  ],\n  \"attribution_1thread\": {{{attribution}\n  }}\n}}\n",
+            machine_fingerprint_json(),
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -6,14 +6,21 @@
 //! CAS outcomes — and, for the cached phase, cache hits/stale) must be
 //! *identical* — same ids, same decisions — so any timing difference is
 //! pure per-access cost, attributed separately to the mixed phase, a
-//! pure-find storm, and a hot-root-cached find storm (the storm repeated
+//! pure-find storm, a hot-root-cached find storm (the storm repeated
 //! through a `Dsu::cached` session: its hit/stale counters say exactly
-//! how much walk work the cache replaced with validation loads).
+//! how much walk work the cache replaced with validation loads), and a
+//! planned-ingestion phase (a dup-heavy burst trace through the ingestion
+//! planner vs the plain batch path: `dup_edges_dropped` / `bucket_count`
+//! / `spill_edges` next to the read delta say exactly what the planner
+//! thinned and how it carved the index space).
 //!
 //! Run: `cargo run --release -p dsu-bench --example store_diag [log2_n]`
 
-use concurrent_dsu::{Dsu, DsuStore, FlatStore, OpStats, PackedStore, ShardedStore, TwoTrySplit};
-use dsu_bench::standard_workload;
+use concurrent_dsu::{
+    BatchTuning, Dsu, DsuStore, FlatStore, OpStats, PackedStore, PlanTuning, ShardedStore,
+    TwoTrySplit,
+};
+use dsu_bench::{dup_edge_batches, standard_workload};
 use std::time::Instant;
 
 fn run<S: DsuStore>(label: &str) {
@@ -57,6 +64,26 @@ fn run<S: DsuStore>(label: &str) {
     }
     let cached_finds = t2.elapsed();
     std::hint::black_box(acc2);
+    // Planned-ingestion phase: a dup-heavy Zipf burst trace through the
+    // ingestion planner on a fresh structure, next to the plain batch
+    // path on another — work counters per arm, so every planner delta
+    // (reads saved by dedup, the bucket/spill split) is attributable.
+    let trace = dup_edge_batches(n, (m / 1024).max(1), 1024, 1.0, 0.25);
+    let plain_dsu: Dsu<TwoTrySplit, S> = Dsu::new(n);
+    let mut plain_batch = OpStats::default();
+    let t3 = Instant::now();
+    for burst in &trace.batches {
+        plain_dsu.unite_batch_with(burst, &mut plain_batch);
+    }
+    let plain_ingest = t3.elapsed();
+    let planned_dsu: Dsu<TwoTrySplit, S> = Dsu::new(n);
+    let mut planned_batch = OpStats::default();
+    let planned_tuning = BatchTuning::new().planned(PlanTuning::new());
+    let t4 = Instant::now();
+    for burst in &trace.batches {
+        planned_dsu.unite_batch_tuned_with(burst, planned_tuning, None, &mut planned_batch);
+    }
+    let planned_ingest = t4.elapsed();
     println!(
         "{label}: mixed {:>12?} finds {:>12?} cached-finds {:>12?} | iters {} reads {} cas_ok {} \
          cas_fail {} links_ok {} links_fail {} | cached: reads {} hits {} stale {}",
@@ -72,6 +99,17 @@ fn run<S: DsuStore>(label: &str) {
         cached_stats.reads,
         cached_stats.cache_hits,
         cached_stats.cache_stale
+    );
+    println!(
+        "{label}: ingest plain {:>12?} reads {} | planned {:>12?} reads {} dup_dropped {} \
+         buckets {} spill {}",
+        plain_ingest,
+        plain_batch.reads,
+        planned_ingest,
+        planned_batch.reads,
+        planned_batch.dup_edges_dropped,
+        planned_batch.bucket_count,
+        planned_batch.spill_edges
     );
 }
 

@@ -81,6 +81,24 @@ pub fn rehit_edge_batches(
         .generate(0xBA7C)
 }
 
+/// [`standard_edge_batches`] with an exact-duplicate injection
+/// probability ([`EdgeBatchSpec::duplicate_fraction`]) on top of the Zipf
+/// skew — the dup-heavy axis the `bucket_ab` example sweeps (the shape
+/// the ingestion planner's intra-batch dedup targets). `dup = 0.0`
+/// reproduces [`standard_edge_batches`] byte for byte.
+pub fn dup_edge_batches(
+    n: usize,
+    batches: usize,
+    batch_size: usize,
+    zipf: f64,
+    dup: f64,
+) -> EdgeBatches {
+    EdgeBatchSpec::new(n, batches, batch_size)
+        .element_dist(ElementDist::Zipf(zipf))
+        .duplicate_fraction(dup)
+        .generate(0xBA7C)
+}
+
 /// Median of a sample vector, sorting in place (upper middle for even
 /// lengths) — the statistic all the interleaved A/B examples report.
 ///
@@ -272,7 +290,8 @@ pub fn stats_json(stats: &OpStats) -> String {
     format!(
         "{{\"reads\": {}, \"loop_iters\": {}, \"compact_cas_ok\": {}, \"compact_cas_fail\": {}, \
          \"links_ok\": {}, \"links_fail\": {}, \"cache_hits\": {}, \"cache_stale\": {}, \
-         \"prefetch_waves\": {}}}",
+         \"prefetch_waves\": {}, \"dup_edges_dropped\": {}, \"bucket_count\": {}, \
+         \"spill_edges\": {}}}",
         stats.reads,
         stats.loop_iters,
         stats.compact_cas_ok,
@@ -281,7 +300,10 @@ pub fn stats_json(stats: &OpStats) -> String {
         stats.links_fail,
         stats.cache_hits,
         stats.cache_stale,
-        stats.prefetch_waves
+        stats.prefetch_waves,
+        stats.dup_edges_dropped,
+        stats.bucket_count,
+        stats.spill_edges
     )
 }
 
@@ -331,6 +353,34 @@ pub fn timed_ingest_batched<D: concurrent_dsu::ConcurrentUnionFind>(
     timed_ingest(dsu, batches, threads, |d, burst| {
         d.unite_batch(burst);
     })
+}
+
+/// Planned batched ingestion: each burst goes through one
+/// [`unite_batch_planned`](concurrent_dsu::ConcurrentUnionFind::unite_batch_planned)
+/// call (the ingestion planner in front of the bulk path — intra-batch
+/// dedup + block-local radix buckets + spillover; the `bucket_ab`
+/// contender).
+pub fn timed_ingest_batched_planned<D: concurrent_dsu::ConcurrentUnionFind>(
+    dsu: &D,
+    batches: &[Vec<(usize, usize)>],
+    threads: usize,
+) -> std::time::Duration {
+    timed_ingest(dsu, batches, threads, |d, burst| {
+        d.unite_batch_planned(burst);
+    })
+}
+
+/// [`timed_parallel_run`] where every worker accumulates its consecutive
+/// unites into planner-ingested bursts
+/// ([`dsu_harness::run_shards_planned`]) — the planned contender of the
+/// criterion throughput group, measuring the *same* burst-buffering
+/// harness as the e04 planned row.
+pub fn timed_parallel_run_planned<D: concurrent_dsu::ConcurrentUnionFind>(
+    dsu: &D,
+    workload: &Workload,
+    threads: usize,
+) -> std::time::Duration {
+    dsu_harness::run_shards_planned(dsu, workload, threads).elapsed
 }
 
 #[cfg(test)]
@@ -417,6 +467,49 @@ mod tests {
         let json = stats_json(&on);
         assert!(json.contains("\"cache_hits\""));
         assert!(json.contains("\"prefetch_waves\""));
+    }
+
+    #[test]
+    fn planned_ingest_matches_plain_partition() {
+        let arrivals = dup_edge_batches(256, 16, 32, 1.1, 0.4);
+        let plain: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(256);
+        let planned: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(256);
+        let a = timed_ingest_batched(&plain, &arrivals.batches, 2);
+        let b = timed_ingest_batched_planned(&planned, &arrivals.batches, 2);
+        assert!(a.as_nanos() > 0 && b.as_nanos() > 0);
+        assert_eq!(planned.set_count(), plain.set_count());
+        assert_eq!(planned.labels_snapshot(), plain.labels_snapshot());
+        // The planner's counters show up in the instrumented twin, and a
+        // dup-injected trace actually exercises the dedup.
+        let dsu: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(256);
+        let stats = ingest_stats_tuned(
+            &dsu,
+            &arrivals.batches,
+            BatchTuning::new().planned(concurrent_dsu::PlanTuning::new()),
+            false,
+        );
+        assert!(stats.dup_edges_dropped > 0, "dup-injected trace must dedup: {stats:?}");
+        assert!(stats.bucket_count > 0);
+        let json = stats_json(&stats);
+        assert!(json.contains("\"dup_edges_dropped\""));
+        assert!(json.contains("\"spill_edges\""));
+    }
+
+    #[test]
+    fn planned_parallel_run_matches_plain_partition() {
+        let w = standard_workload(128, 2000);
+        let plain: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(128);
+        timed_parallel_run(&plain, &w, 2);
+        let planned: concurrent_dsu::Dsu = concurrent_dsu::Dsu::new(128);
+        let d = timed_parallel_run_planned(&planned, &w, 2);
+        assert!(d.as_nanos() > 0);
+        assert_eq!(planned.set_count(), plain.set_count());
+        assert_eq!(planned.labels_snapshot(), plain.labels_snapshot());
+    }
+
+    #[test]
+    fn dup_batches_zero_matches_standard() {
+        assert_eq!(dup_edge_batches(512, 4, 16, 1.0, 0.0), standard_edge_batches(512, 4, 16, 1.0));
     }
 
     /// `ElementDist::ShardSkew` hardcodes the sharded store's 256-shard

@@ -36,6 +36,30 @@
 //! seeded CAS per survivor, falling back to the full retry loop only when
 //! another link moved the root first).
 //!
+//! # Ingestion-plan selection
+//!
+//! On top of the wave structure, [`BatchTuning::planned`] routes a batch
+//! through the **ingestion planner** ([`ingest`](crate::ingest)): dedup
+//! intra-batch duplicate edges, radix-partition the rest into power-of-two
+//! index buckets by endpoint high bits, and drain one bucket at a time
+//! through these gather waves — so each wave's loads land in a small,
+//! resident index range instead of sampling the whole universe — with
+//! cross-bucket edges deferred to a spillover pass. Pick it the way the
+//! [`store`](crate::store) docs pick layouts:
+//!
+//! * **plan when the store is much larger than the LLC** (`n ≥ 2^22`) and
+//!   batches are big enough that a bucket's edges re-touch its block, or
+//!   when the stream is duplicate-heavy (each drop saves two root walks);
+//! * **don't plan cache-resident stores or tiny batches** — the hash probe
+//!   and counting sort per edge buy no locality there
+//!   (`BENCH_PR5.json` records the measured verdict either way).
+//!
+//! Planning reorders execution, which reorders which edge of a cycle
+//! reports the link — the planner docs ([`ingest`](crate::ingest)) state
+//! the exact verdict contract. Count-only callers observe no difference;
+//! the `DSU_BATCH_PLAN` environment variable flips their default path to
+//! planned ([`runtime_default_tuning`]).
+//!
 //! # Why the seeded CAS is still linearizable
 //!
 //! A recorded survivor `(r, w, v)` has `id(r) < id(v)` (the filter walks
@@ -66,6 +90,7 @@
 //! splitting step is the one whose operands the filter already holds.
 
 use crate::cache::RootCache;
+use crate::ingest::{BatchPlan, PlanTuning};
 use crate::stats::StatsSink;
 use crate::store::ParentStore;
 
@@ -111,22 +136,32 @@ pub enum WaveDepth {
 ///
 /// ```
 /// use concurrent_dsu::bulk::{BatchTuning, WaveDepth};
+/// use concurrent_dsu::ingest::PlanTuning;
 ///
-/// let t = BatchTuning::new().wave_depth(WaveDepth::Three);
+/// let t = BatchTuning::new().wave_depth(WaveDepth::Three).planned(PlanTuning::new());
 /// assert_eq!(t.wave_depth, WaveDepth::Three);
+/// assert!(t.planner.is_some());
 /// assert_eq!(BatchTuning::default().wave_depth, WaveDepth::Two);
+/// assert!(BatchTuning::default().planner.is_none());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchTuning {
     /// Parent levels front-loaded per gather wave.
     pub wave_depth: WaveDepth,
+    /// Route the batch through the ingestion planner first
+    /// ([`ingest`](crate::ingest): intra-batch dedup + radix-bucketed
+    /// waves + spillover pass). `None` (the default) feeds the edges to
+    /// the gather waves in their original order; `Some` executes the
+    /// deterministic plan order instead — see the verdict-semantics
+    /// section of the [`ingest`](crate::ingest) module docs.
+    pub planner: Option<PlanTuning>,
 }
 
 impl BatchTuning {
     /// The default tuning (same as `Default::default()`, usable in const
     /// contexts).
     pub const fn new() -> Self {
-        BatchTuning { wave_depth: WaveDepth::Two }
+        BatchTuning { wave_depth: WaveDepth::Two, planner: None }
     }
 
     /// Replaces the wave depth.
@@ -134,6 +169,27 @@ impl BatchTuning {
         self.wave_depth = depth;
         self
     }
+
+    /// Routes the batch through the ingestion planner with `plan`.
+    pub fn planned(mut self, plan: PlanTuning) -> Self {
+        self.planner = Some(plan);
+        self
+    }
+}
+
+/// The tuning the count-only default entry points
+/// ([`Dsu::unite_batch`](crate::Dsu::unite_batch),
+/// [`GrowableDsu::unite_batch`](crate::GrowableDsu::unite_batch)) run
+/// with: wave depth two, and the planner switched by the `DSU_BATCH_PLAN`
+/// environment variable ([`ingest::env_planner`](crate::ingest::env_planner)).
+/// Planning changes none of what those entry points report — link counts
+/// and the final partition are order-invariant — so the env knob lets a
+/// deployment (or a CI matrix cell) flip the default ingestion path
+/// without a code change. Verdict-reporting entry points
+/// ([`Dsu::unite_batch_results`](crate::Dsu::unite_batch_results)) ignore
+/// it and keep the original-order contract.
+pub fn runtime_default_tuning() -> BatchTuning {
+    BatchTuning { wave_depth: WaveDepth::Two, planner: crate::ingest::env_planner() }
 }
 
 /// The climb at the heart of the filter: walk from `u` — whose word `wu`
@@ -329,15 +385,83 @@ where
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
-    // Two monomorphic loops rather than one cache-optional loop: threading
-    // `Option<&mut RootCache>` through every endpoint taxed the cache-off
-    // filter ~3x on the quick ingestion shape (per-endpoint Option checks,
-    // target bookkeeping, and an outlined resolve), and the cache-off path
-    // is the default everyone pays.
+    if tuning.planner.is_some() {
+        return batch_planned(store, edges, tuning, cache, stats, record_link, outcome);
+    }
+    batch_unplanned(store, edges, tuning, cache, stats, record_link, outcome)
+}
+
+/// The unplanned batch dispatcher — two monomorphic loops rather than one
+/// cache-optional loop: threading `Option<&mut RootCache>` through every
+/// endpoint taxed the cache-off filter ~3x on the quick ingestion shape
+/// (per-endpoint Option checks, target bookkeeping, and an outlined
+/// resolve), and the cache-off path is the default everyone pays.
+/// (Separate from [`unite_batch_sink_tuned`] so the planned loop can call
+/// it per segment without re-entering the planner dispatch, which would
+/// monomorphize without bound.)
+fn batch_unplanned<P, S>(
+    store: &P,
+    edges: &[(usize, usize)],
+    tuning: BatchTuning,
+    cache: Option<&mut RootCache>,
+    stats: &mut S,
+    record_link: impl Fn(usize, usize),
+    outcome: impl FnMut(usize, bool),
+) -> usize
+where
+    P: ParentStore + ?Sized,
+    S: StatsSink,
+{
     match cache {
         None => batch_plain(store, edges, tuning, stats, record_link, outcome),
         Some(cache) => batch_cached(store, edges, tuning, cache, stats, record_link, outcome),
     }
+}
+
+/// The planned batch loop: build the [`BatchPlan`] (dedup + radix
+/// partition — no parent word touched), then drain each planned segment —
+/// the block-local buckets in ascending order, the cross-bucket spillover
+/// last — through the unplanned gather-wave loop, so every segment's loads
+/// land in one small index range. Dropped duplicates report `false` after
+/// the segments drain (their first occurrence has executed by then, which
+/// is what justifies the verdict — see [`ingest`](crate::ingest)). Each
+/// dropped edge still counts as one operation, so `OpStats::ops` keeps
+/// meaning "edges ingested" across planned and unplanned runs.
+fn batch_planned<P, S>(
+    store: &P,
+    edges: &[(usize, usize)],
+    tuning: BatchTuning,
+    mut cache: Option<&mut RootCache>,
+    stats: &mut S,
+    record_link: impl Fn(usize, usize),
+    mut outcome: impl FnMut(usize, bool),
+) -> usize
+where
+    P: ParentStore + ?Sized,
+    S: StatsSink,
+{
+    let plan = BatchPlan::build(edges, tuning.planner.expect("routed here by Some planner"));
+    stats.dup_edges_dropped(plan.dup_edges());
+    stats.plan_buckets(plan.bucket_count());
+    stats.spill_edges(plan.spill_edges());
+    let inner = BatchTuning { planner: None, ..tuning };
+    let mut links = 0;
+    for (segment, orig) in plan.segments() {
+        links += batch_unplanned(
+            store,
+            segment,
+            inner,
+            cache.as_deref_mut(),
+            stats,
+            &record_link,
+            |local, linked| outcome(orig[local], linked),
+        );
+    }
+    for &i in plan.dropped() {
+        stats.op_start();
+        outcome(i, false);
+    }
+    links
 }
 
 /// Nominates the link direction for two distinct observed roots: the
@@ -749,9 +873,11 @@ mod tests {
         assert!(ops::same_set::<TwoTrySplit, _, _>(&store, 0, n - 1, &mut ()));
     }
 
-    /// Every `(wave depth, cache on/off)` tuning combination produces the
-    /// same links and the same final partition — tuning is performance
-    /// only.
+    /// Every `(wave depth, cache on/off, planner on/off)` tuning
+    /// combination produces the same link count and the same final
+    /// partition — tuning is performance only. (Per-edge verdicts under
+    /// the planner follow the plan order; the partition and the count are
+    /// the order-invariant quantities this test pins.)
     #[test]
     fn tunings_are_semantically_invisible() {
         use crate::find::FindPolicy;
@@ -761,26 +887,65 @@ mod tests {
         let mut snapshots = Vec::new();
         for depth in [WaveDepth::Two, WaveDepth::Three] {
             for cached in [false, true] {
-                let store = PackedStore::with_seed(n, 4);
-                let mut cache = RootCache::with_capacity(32);
-                let links = unite_batch_sink_tuned(
-                    &store,
-                    &edges,
-                    BatchTuning::new().wave_depth(depth),
-                    cached.then_some(&mut cache),
-                    &mut (),
-                    |_, _| {},
-                    |_, _| {},
-                );
-                let labels: Vec<usize> =
-                    (0..n).map(|i| TwoTrySplit::find(&store, i, &mut ()).0).collect();
-                snapshots.push((links, labels));
+                for planner in [None, Some(PlanTuning::new().bucket_elems_log2(6))] {
+                    let store = PackedStore::with_seed(n, 4);
+                    let mut cache = RootCache::with_capacity(32);
+                    let mut tuning = BatchTuning::new().wave_depth(depth);
+                    tuning.planner = planner;
+                    let links = unite_batch_sink_tuned(
+                        &store,
+                        &edges,
+                        tuning,
+                        cached.then_some(&mut cache),
+                        &mut (),
+                        |_, _| {},
+                        |_, _| {},
+                    );
+                    let labels: Vec<usize> =
+                        (0..n).map(|i| TwoTrySplit::find(&store, i, &mut ()).0).collect();
+                    snapshots.push((links, labels));
+                }
             }
         }
         for s in &snapshots[1..] {
             assert_eq!(s.0, snapshots[0].0, "link counts diverged across tunings");
             assert_eq!(s.1, snapshots[0].1, "partitions diverged across tunings");
         }
+    }
+
+    /// The planned loop reports every edge exactly once — bucketed,
+    /// spilled, and dropped-duplicate edges alike — and dropped
+    /// duplicates report `false`.
+    #[test]
+    fn planned_outcomes_cover_every_edge_once() {
+        let store = PackedStore::with_seed(64, 3);
+        // Blocks of 8: (0,1)/(1,2) in block 0, (40,41) in block 5,
+        // (3, 60) spills, (1,0) and (41,40) are duplicates.
+        let edges = [(0, 1), (1, 0), (40, 41), (3, 60), (41, 40), (1, 2), (9, 9)];
+        let mut stats = crate::OpStats::default();
+        let mut seen = vec![0u32; edges.len()];
+        let mut verdicts = vec![false; edges.len()];
+        let links = unite_batch_sink_tuned(
+            &store,
+            &edges,
+            BatchTuning::new().planned(PlanTuning::new().bucket_elems_log2(3)),
+            None,
+            &mut stats,
+            |_, _| {},
+            |i, linked| {
+                seen[i] += 1;
+                verdicts[i] = linked;
+            },
+        );
+        assert!(seen.iter().all(|&c| c == 1), "each edge reported once: {seen:?}");
+        assert_eq!(links, 4);
+        assert_eq!(verdicts, vec![true, false, true, true, false, true, false]);
+        assert_eq!(stats.ops, edges.len() as u64);
+        assert_eq!(stats.dup_edges_dropped, 2);
+        assert_eq!(stats.spill_edges, 1);
+        // Blocks 0 (with the self-loop's block 1) and 5 — self-loop (9,9)
+        // lands in block 1, so three non-empty buckets.
+        assert_eq!(stats.bucket_count, 3);
     }
 
     /// The intra-batch cache actually fires on hot-endpoint batches (and

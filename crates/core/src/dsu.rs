@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crate::bulk::{self, BatchTuning};
 use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
+use crate::ingest::PlanTuning;
 use crate::ops;
 use crate::stats::StatsSink;
 use crate::store::DsuStore;
@@ -249,9 +250,16 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     /// link pass CASes each survivor's root straight from the word the
     /// filter observed. Returns the number of successful links.
     ///
-    /// Single-threaded, the per-edge outcomes are exactly those of calling
-    /// [`unite`](Dsu::unite) one edge at a time; concurrent callers get the
-    /// usual linearizable semantics per edge.
+    /// Single-threaded, the final partition, the set count, and the
+    /// returned link count are exactly those of calling
+    /// [`unite`](Dsu::unite) one edge at a time; concurrent callers get
+    /// the usual linearizable semantics per edge. (Those quantities are
+    /// order-invariant, which is what lets the `DSU_BATCH_PLAN`
+    /// environment variable route this count-only entry point through the
+    /// ingestion planner — [`bulk::runtime_default_tuning`] — without any
+    /// observable change. Per-edge verdicts come from
+    /// [`unite_batch_results`](Dsu::unite_batch_results), which always
+    /// keeps the original-order contract.)
     ///
     /// # Panics
     ///
@@ -266,13 +274,71 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
         edges: &[(usize, usize)],
         stats: &mut Sk,
     ) -> usize {
+        self.unite_batch_tuned_with(edges, bulk::runtime_default_tuning(), None, stats)
+    }
+
+    /// [`unite_batch`](Dsu::unite_batch) routed through the ingestion
+    /// planner ([`ingest`](crate::ingest)) at the default [`PlanTuning`]:
+    /// intra-batch duplicates are dropped before touching the store, and
+    /// the remaining edges drain bucket by block-local bucket (spillover
+    /// pass last) so each gather wave's loads stay inside one resident
+    /// index range. Returns the number of successful links — identical to
+    /// the unplanned path (link counts and the final partition are
+    /// order-invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn unite_batch_planned(&self, edges: &[(usize, usize)]) -> usize {
+        self.unite_batch_planned_with(edges, &mut ())
+    }
+
+    /// [`unite_batch_planned`](Dsu::unite_batch_planned) reporting work —
+    /// including the planner's `dup_edges_dropped` / `bucket_count` /
+    /// `spill_edges` counters — into `stats`.
+    pub fn unite_batch_planned_with<Sk: StatsSink>(
+        &self,
+        edges: &[(usize, usize)],
+        stats: &mut Sk,
+    ) -> usize {
+        self.unite_batch_tuned_with(
+            edges,
+            BatchTuning::new().planned(PlanTuning::new()),
+            None,
+            stats,
+        )
+    }
+
+    /// [`unite_batch_planned`](Dsu::unite_batch_planned) that also
+    /// reports, per edge (indexed as in the input slice), whether this
+    /// batch performed the link. Unlike
+    /// [`unite_batch_results`](Dsu::unite_batch_results) the verdicts
+    /// follow the **plan order** — bit-identical, single-threaded, to a
+    /// per-op `unite` loop over
+    /// [`BatchPlan::execution_order`](crate::BatchPlan::execution_order),
+    /// with dropped duplicates reporting `false`; see the verdict
+    /// contract in [`ingest`](crate::ingest). Callers that need
+    /// original-arrival-order verdicts want the unplanned variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn unite_batch_planned_results(&self, edges: &[(usize, usize)]) -> Vec<bool> {
         for &(x, y) in edges {
             self.check(x);
             self.check(y);
         }
-        bulk::unite_batch(&self.store, edges, stats, |child, parent| {
-            self.record_link(child, parent)
-        })
+        let mut results = vec![false; edges.len()];
+        bulk::unite_batch_sink_tuned(
+            &self.store,
+            edges,
+            BatchTuning::new().planned(PlanTuning::new()),
+            None,
+            &mut (),
+            |child, parent| self.record_link(child, parent),
+            |i, linked| results[i] = linked,
+        );
+        results
     }
 
     /// [`unite_batch`](Dsu::unite_batch) with explicit [`BatchTuning`]
@@ -566,6 +632,10 @@ impl<F: FindPolicy, S: DsuStore> ConcurrentUnionFind for Dsu<F, S> {
         self.unite_batch_tuned_with(edges, BatchTuning::default(), Some(cache), &mut ())
     }
 
+    fn unite_batch_planned(&self, edges: &[(usize, usize)]) -> usize {
+        Dsu::unite_batch_planned(self, edges)
+    }
+
     fn find(&self, x: usize) -> usize {
         Dsu::find(self, x)
     }
@@ -853,6 +923,50 @@ mod tests {
     fn unite_batch_rejects_out_of_range() {
         let dsu: Dsu = Dsu::new(4);
         dsu.unite_batch(&[(0, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn planned_batch_matches_per_op_invariants() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(909);
+        let n = 64;
+        let edges: Vec<(usize, usize)> =
+            (0..400).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let planned: Dsu = Dsu::with_seed(n, 6);
+        let per_op: Dsu = Dsu::with_seed(n, 6);
+        let links = planned.unite_batch_planned(&edges);
+        let expected = edges.iter().filter(|&&(x, y)| per_op.unite(x, y)).count();
+        assert_eq!(links, expected, "link counts are order-invariant");
+        assert_eq!(planned.set_count(), per_op.set_count());
+        assert_eq!(
+            Partition::from_labels(&planned.labels_snapshot()),
+            Partition::from_labels(&per_op.labels_snapshot())
+        );
+        // The verdict-reporting planned variant agrees on the invariants
+        // too (per-edge assignment is covered by tests/batch_semantics.rs).
+        let again: Dsu = Dsu::with_seed(n, 6);
+        let results = again.unite_batch_planned_results(&edges);
+        assert_eq!(results.iter().filter(|&&b| b).count(), expected);
+        assert_eq!(again.set_count(), per_op.set_count());
+        // And through the trait.
+        let via_trait: Dsu = Dsu::with_seed(n, 6);
+        assert_eq!(ConcurrentUnionFind::unite_batch_planned(&via_trait, &edges), expected);
+    }
+
+    #[test]
+    fn planned_batch_reports_planner_counters() {
+        let dsu: Dsu = Dsu::new(1 << 20);
+        let mut stats = OpStats::default();
+        // A duplicate, a cross-block edge (the default bucket spans 2^18
+        // elements), and two block-local edges.
+        let edges = [(0, 1), (1, 0), (0, 1 << 19), (5, 6)];
+        let links = dsu.unite_batch_planned_with(&edges, &mut stats);
+        assert_eq!(links, 3);
+        assert_eq!(stats.ops, 4, "dropped duplicates still count as ops");
+        assert_eq!(stats.dup_edges_dropped, 1);
+        assert_eq!(stats.spill_edges, 1);
+        assert_eq!(stats.bucket_count, 1);
+        assert_eq!(stats.links_ok, 3);
     }
 
     #[test]

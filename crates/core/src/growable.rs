@@ -21,6 +21,7 @@ use std::sync::OnceLock;
 use crate::bulk::{self, BatchTuning};
 use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
+use crate::ingest::PlanTuning;
 use crate::ops;
 use crate::order::{splitmix64, HashOrder, IdOrder};
 use crate::stats::StatsSink;
@@ -430,19 +431,44 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
 
     /// Batched [`unite`](GrowableDsu::unite) over an edge slice (see the
     /// [`bulk`] module): filter pass, then word-seeded link
-    /// pass. Returns the number of successful links.
+    /// pass. Returns the number of successful links. Like
+    /// [`Dsu::unite_batch`](crate::Dsu::unite_batch), this count-only
+    /// entry point honors the `DSU_BATCH_PLAN` environment variable
+    /// ([`bulk::runtime_default_tuning`]) — planning never changes what it
+    /// reports.
     ///
     /// # Panics
     ///
     /// Panics if any endpoint was not returned by a completed `make_set`.
     pub fn unite_batch(&self, edges: &[(usize, usize)]) -> usize {
-        for &(x, y) in edges {
-            self.check(x);
-            self.check(y);
-        }
-        bulk::unite_batch(&self.store, edges, &mut (), |_, _| {
-            self.links.fetch_add(1, Ordering::Relaxed);
-        })
+        self.unite_batch_tuned_with(edges, bulk::runtime_default_tuning(), None, &mut ())
+    }
+
+    /// [`unite_batch`](GrowableDsu::unite_batch) routed through the
+    /// ingestion planner ([`ingest`](crate::ingest)) at the default
+    /// [`PlanTuning`] — the growable counterpart of
+    /// [`Dsu::unite_batch_planned`](crate::Dsu::unite_batch_planned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint was not returned by a completed `make_set`.
+    pub fn unite_batch_planned(&self, edges: &[(usize, usize)]) -> usize {
+        self.unite_batch_planned_with(edges, &mut ())
+    }
+
+    /// [`unite_batch_planned`](GrowableDsu::unite_batch_planned)
+    /// reporting work (including the planner counters) into `stats`.
+    pub fn unite_batch_planned_with<Sk: StatsSink>(
+        &self,
+        edges: &[(usize, usize)],
+        stats: &mut Sk,
+    ) -> usize {
+        self.unite_batch_tuned_with(
+            edges,
+            BatchTuning::new().planned(PlanTuning::new()),
+            None,
+            stats,
+        )
     }
 
     /// [`unite_batch`](GrowableDsu::unite_batch) that also reports each
@@ -656,6 +682,10 @@ impl<F: FindPolicy, S: GrowableStore> ConcurrentUnionFind for GrowableDsu<F, S> 
         self.unite_batch_tuned_with(edges, BatchTuning::default(), Some(cache), &mut ())
     }
 
+    fn unite_batch_planned(&self, edges: &[(usize, usize)]) -> usize {
+        GrowableDsu::unite_batch_planned(self, edges)
+    }
+
     fn find(&self, x: usize) -> usize {
         GrowableDsu::find(self, x)
     }
@@ -786,6 +816,29 @@ mod tests {
         assert_eq!(batched.set_count(), per_op.set_count());
         let recount: GrowableDsu = GrowableDsu::with_initial(32);
         assert_eq!(recount.unite_batch(&edges), expected.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn planned_batch_matches_per_op_invariants() {
+        let planned: GrowableDsu = GrowableDsu::with_initial(32);
+        let per_op: GrowableDsu = GrowableDsu::with_initial(32);
+        // Dup-heavy modular stream: the planner drops repeats, the
+        // invariants must not move.
+        let edges: Vec<(usize, usize)> =
+            (0..120).map(|i| ((i * 13) % 32, (i * 7 + 1) % 32)).collect();
+        let links = planned.unite_batch_planned(&edges);
+        let expected = edges.iter().filter(|&&(x, y)| per_op.unite(x, y)).count();
+        assert_eq!(links, expected);
+        assert_eq!(planned.set_count(), per_op.set_count());
+        assert_eq!(
+            Partition::from_labels(&planned.labels_snapshot()),
+            Partition::from_labels(&per_op.labels_snapshot())
+        );
+        let mut stats = crate::OpStats::default();
+        let rerun: GrowableDsu = GrowableDsu::with_initial(32);
+        rerun.unite_batch_planned_with(&edges, &mut stats);
+        assert_eq!(stats.ops, 120, "dropped duplicates still count as ops");
+        assert!(stats.dup_edges_dropped > 0, "modular stream repeats pairs: {stats:?}");
     }
 
     #[test]

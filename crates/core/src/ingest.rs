@@ -1,0 +1,547 @@
+//! The batch ingestion planner: reorder and thin an edge burst *before* it
+//! touches the forest.
+//!
+//! `BENCH_PR2`/`BENCH_PR4` locate the batch path's remaining cost
+//! precisely: once the parent store exceeds the last-level cache, each
+//! gather wave's loads are random-access DRAM misses spread over the whole
+//! universe — the waves overlap the misses, but nothing *removes* them.
+//! Two stream-side levers do, both pointed at by Fedorov et al.'s bucketed
+//! batch processing (*Provably-Efficient and Internally-Deterministic
+//! Parallel Union-Find*) and the Alistarh–Fedorov–Koval survey:
+//!
+//! 1. **Radix bucketing.** Partition the batch's edges into power-of-two
+//!    *index* buckets by their endpoints' high bits (the same contiguous
+//!    high-bit blocks [`ShardedStore`](crate::ShardedStore) shards the
+//!    universe into, so buckets can be sized to align with slab
+//!    boundaries) and drain one bucket at a time through the existing
+//!    gather waves. Every load a bucket issues then lands inside one small
+//!    index range — resident after the first touch — instead of sampling
+//!    the whole store.
+//! 2. **Intra-batch dedup.** Duplicate edges (same unordered endpoint
+//!    pair) are common in Zipf-hot streams and `repeat_within_burst` /
+//!    `duplicate_fraction` traces, and every duplicate currently pays two
+//!    full root walks just to discover what the batch already knows. A
+//!    seeded hash set on canonicalized `(min, max)` pairs drops them
+//!    before any parent word is read; their verdict is `false` by
+//!    construction (their first occurrence runs earlier in the same call,
+//!    after which the endpoints are connected for good).
+//!
+//! Edges whose endpoints fall in *different* buckets go to a **spillover
+//! pass** that runs after all buckets, in the edges' original relative
+//! order. The resulting execution order — bucket 0's edges (original
+//! relative order), bucket 1's, ..., then the spill — is a deterministic
+//! function of the batch and the [`PlanTuning`] alone, never of thread
+//! count or store layout.
+//!
+//! # Verdict semantics: the plan order is the contract
+//!
+//! Reordering a batch necessarily reorders which edge of a cycle gets the
+//! `true` verdict (process `(0,1), (1,2), (0,2)` in any order: always two
+//! `true`s and one `false`, but *which* edge reports `false` depends on
+//! the order). The planned path therefore guarantees, single-threaded:
+//!
+//! * per-edge verdicts **bit-identical to a per-op `unite` loop over the
+//!   plan's execution order** ([`BatchPlan::execution_order`]), with every
+//!   dropped duplicate reporting `false` — proptested on all three layouts
+//!   under both ordering modes in `tests/batch_semantics.rs`;
+//! * the final partition, the set count, and the *number* of links
+//!   identical to per-op execution in the **original** order (set union is
+//!   confluent — these are order-invariant).
+//!
+//! Count-only entry points ([`Dsu::unite_batch`](crate::Dsu::unite_batch),
+//! the graph pipeline's ingestion loops) observe nothing but the
+//! order-invariant quantities, so for them planning is semantically
+//! invisible; per-edge-verdict entry points
+//! ([`Dsu::unite_batch_results`](crate::Dsu::unite_batch_results)) keep
+//! the unplanned original-order path unless the caller explicitly asks for
+//! [`unite_batch_planned_results`](crate::Dsu::unite_batch_planned_results).
+//!
+//! # Ingestion-plan selection
+//!
+//! Mirroring the layout-selection guide in [`store`](crate::store):
+//!
+//! * **Bucketing pays when the parent store is much larger than the
+//!   last-level cache** (`n ≥ 2^22`, 32 MB packed) *and* batches are large
+//!   enough that a bucket's edges re-touch its index range (hundreds of
+//!   edges per resident bucket). That is exactly the regime where
+//!   `BENCH_PR2` measured the unplanned batch path's win topping out at
+//!   1.12–1.34x: the residual was the DRAM misses bucketing removes.
+//! * **Bucketing loses on cache-resident stores or tiny batches**: the
+//!   planning pass (a hash probe and a counting sort per edge) is pure
+//!   overhead when the store already fits in cache, and a batch with a
+//!   handful of edges per bucket gains no locality. `BENCH_PR5.json`
+//!   records the measured verdict on the bench host.
+//! * **Dedup pays in proportion to the duplicate rate** — each dropped
+//!   duplicate saves two root walks and costs one L1-resident hash probe —
+//!   and is harmless at zero duplicates. It stays on by default inside the
+//!   planner ([`PlanTuning::dedup`] turns it off for attribution runs).
+//!
+//! The planner is **opt-in**: [`Dsu::unite_batch_planned`] /
+//! [`BatchTuning::planned`](crate::BatchTuning::planned) select it
+//! explicitly, and the `DSU_BATCH_PLAN` environment variable (the same
+//! deployment escape hatch as `DSU_SHARDS` / `DSU_CACHE_SLOTS`) flips the
+//! count-only default paths to planned without a code change — CI runs the
+//! full workspace in that configuration.
+//!
+//! [`Dsu::unite_batch_planned`]: crate::Dsu::unite_batch_planned
+
+use std::sync::OnceLock;
+
+use crate::order::splitmix64;
+
+/// Seed of the dedup hash (mixed into every canonical pair before
+/// probing), fixed so plans are reproducible run to run.
+const DEDUP_SEED: u64 = 0x6275_636b_6574_2135; // "bucket!5"
+
+/// Hard cap on the number of radix buckets a plan may create (`2^12`):
+/// past a few thousand buckets the per-bucket batches get too small to
+/// amortize a gather wave and the plan's counting-sort scratch stops
+/// being L1-friendly. When a batch's endpoints span more blocks than
+/// this, the effective bucket width is raised until they fit.
+pub const MAX_BUCKETS_LOG2: u32 = 12;
+
+/// How a [`BatchPlan`] is built: bucket geometry and dedup.
+///
+/// `Default`/[`new`](PlanTuning::new) is the measured-general
+/// configuration: auto bucket width
+/// ([`DEFAULT_BUCKET_ELEMS_LOG2`](PlanTuning::DEFAULT_BUCKET_ELEMS_LOG2)),
+/// dedup on. Plans are a deterministic function of `(edges, tuning)` —
+/// nothing here consults the machine.
+///
+/// # Example
+///
+/// ```
+/// use concurrent_dsu::ingest::PlanTuning;
+///
+/// let t = PlanTuning::new().bucket_elems_log2(20).dedup(false);
+/// assert_eq!(t.bucket_elems_log2, Some(20));
+/// assert!(!t.dedup);
+/// assert_eq!(PlanTuning::default(), PlanTuning::new());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanTuning {
+    /// log2 of the elements each bucket spans (`bucket(i) = i >> bits`).
+    /// `None` (the default) uses
+    /// [`DEFAULT_BUCKET_ELEMS_LOG2`](PlanTuning::DEFAULT_BUCKET_ELEMS_LOG2).
+    /// Set it explicitly to align buckets with a
+    /// [`ShardedStore`](crate::ShardedStore)'s slabs: shard capacity is a
+    /// power of two, so any `bits ≤ log2(capacity)` keeps every bucket
+    /// inside one slab. Either way the effective width is raised as
+    /// needed to respect [`MAX_BUCKETS_LOG2`].
+    pub bucket_elems_log2: Option<u32>,
+    /// Drop intra-batch duplicate edges (canonicalized `(min, max)`
+    /// pairs) before they touch the store. On by default; turning it off
+    /// isolates the bucketing effect in A/B runs.
+    pub dedup: bool,
+}
+
+impl PlanTuning {
+    /// Default bucket width: `2^18` elements per bucket — 2 MB of packed
+    /// parent words, comfortably resident in a per-core L2 while a bucket
+    /// drains, and 16 buckets at the `n = 2^22` benchmark size.
+    pub const DEFAULT_BUCKET_ELEMS_LOG2: u32 = 18;
+
+    /// The default tuning (same as `Default::default()`, usable in const
+    /// contexts).
+    pub const fn new() -> Self {
+        PlanTuning { bucket_elems_log2: None, dedup: true }
+    }
+
+    /// Replaces the bucket width (log2 of elements per bucket).
+    pub fn bucket_elems_log2(mut self, bits: u32) -> Self {
+        self.bucket_elems_log2 = Some(bits);
+        self
+    }
+
+    /// Enables or disables intra-batch dedup.
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
+        self
+    }
+
+    /// The effective bucket shift for a batch whose largest endpoint is
+    /// `max_endpoint`: the requested (or default) width, raised until the
+    /// bucket count respects [`MAX_BUCKETS_LOG2`] and clamped below the
+    /// word width (a `>= usize::BITS` request would be a shift overflow;
+    /// `usize::BITS - 1` already puts every possible index in bucket 0).
+    /// Deterministic per batch — it depends on the batch's own endpoints,
+    /// not the universe.
+    fn resolve_bits(&self, max_endpoint: usize) -> u32 {
+        let bits = self.bucket_elems_log2.unwrap_or(Self::DEFAULT_BUCKET_ELEMS_LOG2);
+        // Smallest width whose bucket count for this batch is within the
+        // cap: indices go up to max_endpoint, so buckets = (max >> bits) + 1.
+        let needed = (usize::BITS - max_endpoint.leading_zeros()).saturating_sub(MAX_BUCKETS_LOG2);
+        bits.max(needed).min(usize::BITS - 1)
+    }
+}
+
+impl Default for PlanTuning {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The planner configuration the `DSU_BATCH_PLAN` environment variable
+/// selects for the count-only default batch paths: unset (or `0`/empty)
+/// means unplanned, anything else means [`PlanTuning::new`]. Read once
+/// per process.
+pub fn env_planner() -> Option<PlanTuning> {
+    static PLAN: OnceLock<Option<PlanTuning>> = OnceLock::new();
+    *PLAN.get_or_init(|| match std::env::var("DSU_BATCH_PLAN") {
+        Ok(v) if !v.is_empty() && v != "0" => Some(PlanTuning::new()),
+        _ => None,
+    })
+}
+
+/// Marker tag for edges whose endpoints land in different buckets.
+const SPILL: usize = usize::MAX;
+/// Marker tag for dropped duplicate edges.
+const DROPPED: usize = usize::MAX - 1;
+
+/// A built ingestion plan: the batch's edges reordered bucket-major (each
+/// bucket in original relative order), followed by the cross-bucket
+/// spillover, with intra-batch duplicates dropped. See the [module
+/// docs](self) for what the plan guarantees and when it pays.
+///
+/// # Example
+///
+/// ```
+/// use concurrent_dsu::ingest::{BatchPlan, PlanTuning};
+///
+/// // Two index blocks of 4: (0,1) and (5,6) are block-local, (1,6)
+/// // crosses, and the second (0,1) is a duplicate.
+/// let edges = [(0, 1), (5, 6), (1, 6), (1, 0)];
+/// let plan = BatchPlan::build(&edges, PlanTuning::new().bucket_elems_log2(2));
+/// assert_eq!(plan.bucket_count(), 2);
+/// assert_eq!(plan.spill_edges(), 1);
+/// assert_eq!(plan.dropped(), &[3]);
+/// let order: Vec<usize> = plan.execution_order().map(|(i, _)| i).collect();
+/// assert_eq!(order, vec![0, 1, 2]); // buckets ascending, spill last
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Kept edges, bucket-major then spill; each segment preserves the
+    /// batch's original relative order.
+    edges: Vec<(usize, usize)>,
+    /// Original batch index of each planned edge.
+    orig: Vec<usize>,
+    /// Half-open ranges into `edges`/`orig`: one per non-empty bucket in
+    /// ascending bucket order, then (if any) the spill segment last.
+    ranges: Vec<std::ops::Range<usize>>,
+    /// Original indices of dropped duplicates (ascending).
+    dups: Vec<usize>,
+    /// Number of non-empty buckets (excludes the spill segment).
+    buckets: usize,
+    /// Number of cross-bucket edges in the spill segment.
+    spill: usize,
+}
+
+impl BatchPlan {
+    /// Plans `edges`: dedups (if enabled), radix-partitions by endpoint
+    /// high bits, and lays the kept edges out bucket-major with the spill
+    /// segment last. `O(edges)` time and scratch; no parent word is
+    /// touched.
+    pub fn build(edges: &[(usize, usize)], tuning: PlanTuning) -> BatchPlan {
+        if edges.is_empty() {
+            return BatchPlan {
+                edges: Vec::new(),
+                orig: Vec::new(),
+                ranges: Vec::new(),
+                dups: Vec::new(),
+                buckets: 0,
+                spill: 0,
+            };
+        }
+        let max_endpoint = edges.iter().map(|&(x, y)| x.max(y)).max().unwrap_or(0);
+        let bits = tuning.resolve_bits(max_endpoint);
+        let nb = (max_endpoint >> bits) + 1;
+
+        // Pass 1: classify every edge — its bucket, SPILL, or DROPPED —
+        // and count per tag for the stable counting sort.
+        let mut dedup = tuning.dedup.then(|| DedupSet::with_capacity(edges.len()));
+        let mut tags: Vec<usize> = Vec::with_capacity(edges.len());
+        let mut counts = vec![0usize; nb + 1]; // last slot: spill
+        let mut dups = Vec::new();
+        for (i, &(x, y)) in edges.iter().enumerate() {
+            let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+            if let Some(set) = dedup.as_mut() {
+                if !set.insert(lo, hi) {
+                    tags.push(DROPPED);
+                    dups.push(i);
+                    continue;
+                }
+            }
+            let (bl, bh) = (lo >> bits, hi >> bits);
+            let tag = if bl == bh { bl } else { SPILL };
+            counts[if tag == SPILL { nb } else { tag }] += 1;
+            tags.push(tag);
+        }
+
+        // Prefix-sum the counts into segment offsets, remembering each
+        // non-empty segment's range.
+        let kept = edges.len() - dups.len();
+        let mut ranges = Vec::new();
+        let mut buckets = 0usize;
+        let mut offset = 0usize;
+        let mut starts = vec![0usize; nb + 1];
+        for (b, &c) in counts.iter().enumerate() {
+            starts[b] = offset;
+            if c > 0 {
+                ranges.push(offset..offset + c);
+                if b < nb {
+                    buckets += 1;
+                }
+            }
+            offset += c;
+        }
+        let spill = counts[nb];
+
+        // Pass 2: stable scatter into the planned layout.
+        let mut planned = vec![(0usize, 0usize); kept];
+        let mut orig = vec![0usize; kept];
+        for (i, (&tag, &edge)) in tags.iter().zip(edges).enumerate() {
+            if tag == DROPPED {
+                continue;
+            }
+            let slot = &mut starts[if tag == SPILL { nb } else { tag }];
+            planned[*slot] = edge;
+            orig[*slot] = i;
+            *slot += 1;
+        }
+
+        BatchPlan { edges: planned, orig, ranges, dups, buckets, spill }
+    }
+
+    /// Number of non-empty radix buckets (the spill segment not
+    /// included) — the per-plan value behind the `bucket_count` counter.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets
+    }
+
+    /// Number of cross-bucket edges deferred to the spillover pass.
+    pub fn spill_edges(&self) -> usize {
+        self.spill
+    }
+
+    /// Number of intra-batch duplicates dropped.
+    pub fn dup_edges(&self) -> usize {
+        self.dups.len()
+    }
+
+    /// Number of edges the plan will actually execute (batch minus drops).
+    pub fn planned_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Original indices of the dropped duplicate edges (each reports a
+    /// `false` verdict — its first occurrence executes earlier in the
+    /// same plan).
+    pub fn dropped(&self) -> &[usize] {
+        &self.dups
+    }
+
+    /// The kept edges in execution order, each with its original batch
+    /// index — the deterministic order the verdict contract is stated
+    /// against (see the [module docs](self)): buckets in ascending index
+    /// order, then the spillover, each segment in original relative
+    /// order.
+    pub fn execution_order(&self) -> impl Iterator<Item = (usize, (usize, usize))> + '_ {
+        self.orig.iter().copied().zip(self.edges.iter().copied())
+    }
+
+    /// The planned edge segments (`&[(x, y)]` slices) in execution order —
+    /// what the executor feeds, one at a time, to the gather-wave batch
+    /// loop — paired with the original indices of their edges.
+    pub(crate) fn segments(&self) -> impl Iterator<Item = (&[(usize, usize)], &[usize])> + '_ {
+        self.ranges.iter().map(move |r| (&self.edges[r.clone()], &self.orig[r.clone()]))
+    }
+}
+
+/// A tiny seeded open-addressing set of canonical endpoint pairs, sized
+/// for one batch (2x the edge count, power of two) and thrown away with
+/// the plan. Linear probing; a slot is free while it holds the sentinel.
+struct DedupSet {
+    slots: Vec<(usize, usize)>,
+    mask: usize,
+}
+
+/// Free-slot sentinel: no canonical pair can be it, because `lo <= hi`
+/// fails for `(MAX, MAX - 1)`.
+const FREE: (usize, usize) = (usize::MAX, usize::MAX - 1);
+
+impl DedupSet {
+    fn with_capacity(edges: usize) -> DedupSet {
+        let cap = (2 * edges.max(1)).next_power_of_two();
+        DedupSet { slots: vec![FREE; cap], mask: cap - 1 }
+    }
+
+    /// Inserts the canonical pair `(lo, hi)`; `false` if already present.
+    fn insert(&mut self, lo: usize, hi: usize) -> bool {
+        let h = splitmix64((lo as u64) ^ splitmix64((hi as u64) ^ DEDUP_SEED));
+        let mut i = (h as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == FREE {
+                self.slots[i] = (lo, hi);
+                return true;
+            }
+            if slot == (lo, hi) {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan() {
+        let plan = BatchPlan::build(&[], PlanTuning::new());
+        assert_eq!(plan.planned_len(), 0);
+        assert_eq!(plan.bucket_count(), 0);
+        assert_eq!(plan.spill_edges(), 0);
+        assert_eq!(plan.dup_edges(), 0);
+        assert!(plan.execution_order().next().is_none());
+    }
+
+    #[test]
+    fn every_edge_lands_exactly_once() {
+        let edges: Vec<(usize, usize)> =
+            (0..500).map(|i| ((i * 7919) % 300, (i * 104729 + 5) % 300)).collect();
+        let plan = BatchPlan::build(&edges, PlanTuning::new().bucket_elems_log2(6));
+        let mut seen = vec![0u32; edges.len()];
+        for (i, e) in plan.execution_order() {
+            assert_eq!(e, edges[i], "edge content preserved");
+            seen[i] += 1;
+        }
+        for &i in plan.dropped() {
+            seen[i] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1), "partition of indices: {seen:?}");
+        assert_eq!(plan.planned_len() + plan.dup_edges(), edges.len());
+    }
+
+    #[test]
+    fn buckets_are_block_local_and_ordered() {
+        let bits = 3; // blocks of 8
+        let edges = [(17, 18), (0, 1), (1, 2), (16, 23), (2, 9), (40, 41)];
+        let plan = BatchPlan::build(&edges, PlanTuning::new().bucket_elems_log2(bits));
+        assert_eq!(plan.bucket_count(), 3); // blocks 0, 2, 5
+        assert_eq!(plan.spill_edges(), 1); // (2, 9)
+        let order: Vec<usize> = plan.execution_order().map(|(i, _)| i).collect();
+        // Block 0: edges 1, 2 (original relative order); block 2: 0, 3;
+        // block 5: 5; spill last: 4.
+        assert_eq!(order, vec![1, 2, 0, 3, 5, 4]);
+        // Every same-bucket segment really is block-local.
+        for (seg, _) in plan.segments().take(plan.bucket_count()) {
+            let block = seg[0].0 >> bits;
+            for &(x, y) in seg {
+                assert_eq!(x >> bits, block);
+                assert_eq!(y >> bits, block);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_canonicalizes_and_keeps_first() {
+        let edges = [(3, 7), (7, 3), (3, 7), (7, 7), (7, 7), (5, 5)];
+        let plan = BatchPlan::build(&edges, PlanTuning::new());
+        assert_eq!(plan.dropped(), &[1, 2, 4]);
+        let kept: Vec<usize> = plan.execution_order().map(|(i, _)| i).collect();
+        assert_eq!(kept, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn dedup_off_keeps_everything() {
+        let edges = [(3, 7), (7, 3), (3, 7)];
+        let plan = BatchPlan::build(&edges, PlanTuning::new().dedup(false));
+        assert_eq!(plan.dup_edges(), 0);
+        assert_eq!(plan.planned_len(), 3);
+    }
+
+    #[test]
+    fn single_bucket_preserves_original_order() {
+        let edges: Vec<(usize, usize)> = (0..100).map(|i| (i % 40, (i * 13 + 1) % 40)).collect();
+        // Huge bucket: everything block-local, nothing spills.
+        let plan = BatchPlan::build(&edges, PlanTuning::new().bucket_elems_log2(32).dedup(false));
+        assert_eq!(plan.bucket_count(), 1);
+        assert_eq!(plan.spill_edges(), 0);
+        let order: Vec<usize> = plan.execution_order().map(|(i, _)| i).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn width_zero_spills_every_distinct_pair_in_order() {
+        let edges = [(0, 1), (2, 3), (1, 2)];
+        let plan = BatchPlan::build(&edges, PlanTuning::new().bucket_elems_log2(0));
+        assert_eq!(plan.bucket_count(), 0);
+        assert_eq!(plan.spill_edges(), 3);
+        let order: Vec<usize> = plan.execution_order().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![0, 1, 2], "spill preserves original relative order");
+    }
+
+    #[test]
+    fn bucket_cap_raises_the_width() {
+        // A width-0 request over endpoints up to 2^20 would want 2^20
+        // buckets; the cap forces the width up to 2^20 / 2^12 = 2^8.
+        let edges = [(0, 1), (1 << 20, (1 << 20) + 1)];
+        let t = PlanTuning::new().bucket_elems_log2(0);
+        assert_eq!(t.resolve_bits(1 << 20), 21 - MAX_BUCKETS_LOG2);
+        let plan = BatchPlan::build(&edges, t);
+        // Both edges are block-local at the raised width.
+        assert_eq!(plan.bucket_count(), 2);
+        assert_eq!(plan.spill_edges(), 0);
+    }
+
+    #[test]
+    fn oversized_width_requests_clamp_instead_of_overflowing() {
+        // A >= word-width request must not shift-overflow; it degrades to
+        // the widest representable bucket (everything block-local).
+        for bits in [usize::BITS - 1, usize::BITS, usize::BITS + 7] {
+            let t = PlanTuning::new().bucket_elems_log2(bits);
+            assert_eq!(t.resolve_bits(usize::MAX - 1), usize::BITS - 1, "requested {bits}");
+            let plan = BatchPlan::build(&[(0, 1), (2, 3)], t);
+            assert_eq!(plan.bucket_count(), 1, "requested {bits}");
+            assert_eq!(plan.spill_edges(), 0);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let edges: Vec<(usize, usize)> =
+            (0..300).map(|i| ((i * 31) % 1000, (i * 57 + 3) % 1000)).collect();
+        let a = BatchPlan::build(&edges, PlanTuning::new());
+        let b = BatchPlan::build(&edges, PlanTuning::new());
+        assert_eq!(
+            a.execution_order().collect::<Vec<_>>(),
+            b.execution_order().collect::<Vec<_>>()
+        );
+        assert_eq!(a.dropped(), b.dropped());
+    }
+
+    #[test]
+    fn dedup_set_survives_collision_chains() {
+        let mut set = DedupSet::with_capacity(4); // 8 slots, plenty of probing
+        for i in 0..6 {
+            assert!(set.insert(i, i + 100));
+        }
+        for i in 0..6 {
+            assert!(!set.insert(i, i + 100), "pair {i} must be found again");
+        }
+        assert!(set.insert(0, 101), "different pair is not a duplicate");
+    }
+
+    #[test]
+    fn env_planner_parses_like_the_other_knobs() {
+        // Can't mutate the environment of a parallel test run safely; just
+        // pin the parse contract on the value already in place.
+        let expect = match std::env::var("DSU_BATCH_PLAN") {
+            Ok(v) if !v.is_empty() && v != "0" => Some(PlanTuning::new()),
+            _ => None,
+        };
+        assert_eq!(env_planner(), expect);
+    }
+}

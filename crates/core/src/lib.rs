@@ -83,6 +83,14 @@
 //! assert_eq!(dsu.set_count(), 1);
 //! ```
 //!
+//! Bursts over a DRAM-resident store (or duplicate-heavy streams) can
+//! additionally be routed through the **ingestion planner**
+//! ([`Dsu::unite_batch_planned`], the [`ingest`] module): duplicates are
+//! dropped and the rest drains in block-local radix buckets, keeping each
+//! gather wave's loads inside a resident index range. The planner is
+//! opt-in (`DSU_BATCH_PLAN=1` flips the count-only default paths); see
+//! [`ingest`] for when it pays and the exact verdict contract.
+//!
 //! # Hot-root cache sessions
 //!
 //! Threads whose operations keep landing on the same few sets can open a
@@ -128,6 +136,7 @@ pub mod bulk;
 pub mod cache;
 pub mod find;
 pub mod growable;
+pub mod ingest;
 pub mod ops;
 pub mod order;
 pub mod stats;
@@ -143,6 +152,7 @@ pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTryS
 pub use growable::{
     GrowableCachedHandle, GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore,
 };
+pub use ingest::{BatchPlan, PlanTuning};
 pub use order::{HashOrder, IdOrder, PermutationOrder};
 pub use stats::{OpStats, ShardSkew, StatsSink};
 pub use store::{
@@ -240,6 +250,20 @@ pub trait ConcurrentUnionFind: Send + Sync {
     /// cache for reuse elsewhere.
     fn unite_batch_cached(&self, edges: &[(usize, usize)], cache: &mut RootCache) -> usize {
         let _ = cache;
+        self.unite_batch(edges)
+    }
+
+    /// [`unite_batch`](ConcurrentUnionFind::unite_batch) routed through
+    /// the ingestion planner ([`ingest`]): intra-batch duplicates dropped,
+    /// the rest drained bucket by block-local bucket so each gather
+    /// wave's loads stay index-local. Returns the number of successful
+    /// links — which, like the final partition, is identical to unplanned
+    /// ingestion (set union is confluent; see [`ingest`] for the per-edge
+    /// verdict contract planned execution follows). Structures without a
+    /// planner fall back to their plain batch path, so generic pipelines
+    /// (the graph crate's chunked workers) can offer a planned variant
+    /// against this trait.
+    fn unite_batch_planned(&self, edges: &[(usize, usize)]) -> usize {
         self.unite_batch(edges)
     }
 

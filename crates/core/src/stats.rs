@@ -52,6 +52,17 @@ pub trait StatsSink {
     /// endpoint words (only counted when the `prefetch` feature compiled
     /// the intrinsics in; see [`bulk`](crate::bulk)).
     fn prefetch_wave(&mut self) {}
+    /// The ingestion planner dropped `n` intra-batch duplicate edges
+    /// before any parent word was read (see [`ingest`](crate::ingest));
+    /// each dropped edge still starts one operation and reports a `false`
+    /// verdict.
+    fn dup_edges_dropped(&mut self, _n: usize) {}
+    /// The ingestion planner drained `n` non-empty radix buckets for one
+    /// batch (the spillover segment not included).
+    fn plan_buckets(&mut self, _n: usize) {}
+    /// The ingestion planner deferred `n` cross-bucket edges of one batch
+    /// to the spillover pass.
+    fn spill_edges(&mut self, _n: usize) {}
 }
 
 impl StatsSink for () {
@@ -79,6 +90,12 @@ impl StatsSink for () {
     fn cache_stale(&mut self) {}
     #[inline(always)]
     fn prefetch_wave(&mut self) {}
+    #[inline(always)]
+    fn dup_edges_dropped(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn plan_buckets(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn spill_edges(&mut self, _n: usize) {}
 }
 
 /// Plain counters for the events of [`StatsSink`]. Keep one per thread and
@@ -124,6 +141,16 @@ pub struct OpStats {
     /// Gather waves that issued software prefetches for the next wave
     /// (nonzero only under the `prefetch` feature).
     pub prefetch_waves: u64,
+    /// Intra-batch duplicate edges the ingestion planner dropped before
+    /// they touched the store (each still counted in `ops`, verdict
+    /// `false`).
+    pub dup_edges_dropped: u64,
+    /// Non-empty radix buckets the ingestion planner drained, summed over
+    /// all planned batches (the spillover segments not included).
+    pub bucket_count: u64,
+    /// Cross-bucket edges the ingestion planner deferred to spillover
+    /// passes.
+    pub spill_edges: u64,
 }
 
 impl OpStats {
@@ -152,6 +179,9 @@ impl OpStats {
         self.cache_hits += other.cache_hits;
         self.cache_stale += other.cache_stale;
         self.prefetch_waves += other.prefetch_waves;
+        self.dup_edges_dropped += other.dup_edges_dropped;
+        self.bucket_count += other.bucket_count;
+        self.spill_edges += other.spill_edges;
     }
 
     /// Mean find-loop iterations per operation (`NaN` if no ops ran).
@@ -208,6 +238,18 @@ impl StatsSink for OpStats {
     #[inline]
     fn prefetch_wave(&mut self) {
         self.prefetch_waves += 1;
+    }
+    #[inline]
+    fn dup_edges_dropped(&mut self, n: usize) {
+        self.dup_edges_dropped += n as u64;
+    }
+    #[inline]
+    fn plan_buckets(&mut self, n: usize) {
+        self.bucket_count += n as u64;
+    }
+    #[inline]
+    fn spill_edges(&mut self, n: usize) {
+        self.spill_edges += n as u64;
     }
 }
 
@@ -327,6 +369,27 @@ mod tests {
         unit.cache_hit();
         unit.cache_stale();
         unit.prefetch_wave();
+    }
+
+    #[test]
+    fn planner_counters_count_and_merge() {
+        let mut a = OpStats::default();
+        a.dup_edges_dropped(3);
+        a.plan_buckets(4);
+        a.spill_edges(2);
+        a.plan_buckets(1);
+        assert_eq!((a.dup_edges_dropped, a.bucket_count, a.spill_edges), (3, 5, 2));
+        // Planner events are bookkeeping, not shared-memory accesses.
+        assert_eq!(a.memory_accesses(), 0);
+        let mut b = OpStats::default();
+        b.spill_edges(1);
+        b.merge(&a);
+        assert_eq!((b.dup_edges_dropped, b.bucket_count, b.spill_edges), (3, 5, 3));
+        // The unit sink accepts the new events too.
+        let mut unit = ();
+        unit.dup_edges_dropped(1);
+        unit.plan_buckets(1);
+        unit.spill_edges(1);
     }
 
     #[test]

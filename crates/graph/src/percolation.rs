@@ -85,6 +85,27 @@ pub fn percolation_threshold(size: usize, seed: u64) -> f64 {
 ///
 /// Panics if `size == 0` or `batch == 0`.
 pub fn percolation_threshold_batched(size: usize, seed: u64, batch: usize) -> f64 {
+    percolation_batched_with(size, seed, batch, false)
+}
+
+/// [`percolation_threshold_batched`] with each burst routed through the
+/// ingestion planner ([`Dsu::unite_batch_planned`]) — the **opt-in**
+/// planned counterpart. Percolation bursts are a natural fit for the
+/// planner's dedup: adjacent sites opened in the same burst nominate the
+/// same lattice edge from both sides, so every such pair is an exact
+/// intra-batch duplicate the planner drops before it pays two root walks.
+/// The returned threshold is *identical* for every `(size, seed, batch)`:
+/// the per-burst probe only observes connectivity, which planning does
+/// not change (the tests pin the equality).
+///
+/// # Panics
+///
+/// Panics if `size == 0` or `batch == 0`.
+pub fn percolation_threshold_batched_planned(size: usize, seed: u64, batch: usize) -> f64 {
+    percolation_batched_with(size, seed, batch, true)
+}
+
+fn percolation_batched_with(size: usize, seed: u64, batch: usize, planned: bool) -> f64 {
     assert!(size > 0, "grid must be non-empty");
     assert!(batch > 0, "batch must be non-empty");
     let n = size * size;
@@ -128,7 +149,11 @@ pub fn percolation_threshold_batched(size: usize, seed: u64, batch: usize) -> f6
                 link(site + 1);
             }
         }
-        dsu.unite_batch(&pairs);
+        if planned {
+            dsu.unite_batch_planned(&pairs);
+        } else {
+            dsu.unite_batch(&pairs);
+        }
         opened += burst.len();
         if session.same_set(top, bottom) {
             return opened as f64 / n as f64;
@@ -228,6 +253,19 @@ mod tests {
                 assert!(
                     coarse - exact <= batch as f64 / 256.0,
                     "batch {batch}: {coarse} too far above {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_bursts_give_identical_thresholds() {
+        for seed in [2, 8] {
+            for batch in [1, 16, 64] {
+                assert_eq!(
+                    percolation_threshold_batched_planned(16, seed, batch),
+                    percolation_threshold_batched(16, seed, batch),
+                    "seed {seed} batch {batch}"
                 );
             }
         }

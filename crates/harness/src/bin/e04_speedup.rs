@@ -22,7 +22,7 @@
 
 use concurrent_dsu::{Dsu, OneTrySplit, ShardSpec, ShardedStore, TwoTrySplit};
 use dsu_baselines::{AwDsu, LockedDsu};
-use dsu_harness::{run_shards, run_shards_cached, table::f2, Args, Table};
+use dsu_harness::{run_shards, run_shards_cached, run_shards_planned, table::f2, Args, Table};
 use dsu_workloads::WorkloadSpec;
 use sequential_dsu::{Compaction, Linking};
 
@@ -91,6 +91,14 @@ fn main() {
                 // the serial per-op path at each thread count.
                 "jt-two-try-cached",
                 Box::new(|p| run_shards_cached(&make_jt2(prebuild), workload, p).mops()),
+            ),
+            (
+                // Same structure, consecutive unites buffered into bursts
+                // ingested through the ingestion planner: the row that
+                // shows what planner-routed ingestion buys (or costs) at
+                // each thread count.
+                "jt-two-try-planned",
+                Box::new(|p| run_shards_planned(&make_jt2(prebuild), workload, p).mops()),
             ),
             (
                 "jt-two-try-sharded",

@@ -14,8 +14,8 @@ use rand_chacha::ChaCha12Rng;
 use crate::gen::{ElementDist, PairSampler};
 
 /// A recipe for a batched edge-arrival trace: universe size, burst count,
-/// burst size, endpoint distribution, and intra-burst endpoint re-hits.
-/// Same spec + same seed = same trace.
+/// burst size, endpoint distribution, intra-burst endpoint re-hits, and
+/// exact-duplicate injection. Same spec + same seed = same trace.
 ///
 /// # Example
 ///
@@ -25,6 +25,7 @@ use crate::gen::{ElementDist, PairSampler};
 /// let arrivals = EdgeBatchSpec::new(1000, 16, 64)
 ///     .element_dist(ElementDist::Zipf(1.0))
 ///     .repeat_within_burst(0.3)
+///     .duplicate_fraction(0.2)
 ///     .generate(7);
 /// assert_eq!(arrivals.batches.len(), 16);
 /// assert_eq!(arrivals.total_edges(), 16 * 64);
@@ -36,6 +37,7 @@ pub struct EdgeBatchSpec {
     batch_size: usize,
     dist: ElementDist,
     repeat: f64,
+    duplicate: f64,
 }
 
 impl EdgeBatchSpec {
@@ -47,7 +49,14 @@ impl EdgeBatchSpec {
     /// Panics if `n == 0` while the spec would generate edges.
     pub fn new(n: usize, batches: usize, batch_size: usize) -> Self {
         assert!(n > 0 || batches * batch_size == 0, "cannot generate edges over an empty universe");
-        EdgeBatchSpec { n, batches, batch_size, dist: ElementDist::Uniform, repeat: 0.0 }
+        EdgeBatchSpec {
+            n,
+            batches,
+            batch_size,
+            dist: ElementDist::Uniform,
+            repeat: 0.0,
+            duplicate: 0.0,
+        }
     }
 
     /// Sets the endpoint distribution.
@@ -78,6 +87,28 @@ impl EdgeBatchSpec {
         self
     }
 
+    /// Sets the exact-duplicate injection probability: each edge after the
+    /// first of a burst is, with probability `p`, replaced *wholesale* by
+    /// a copy of a uniformly chosen earlier edge of the same burst. Where
+    /// [`repeat_within_burst`](EdgeBatchSpec::repeat_within_burst) re-hits
+    /// individual *endpoints* (temporal locality for the hot-root cache),
+    /// this knob manufactures byte-identical *pairs* — the shape the
+    /// ingestion planner's intra-batch dedup drops — so a dedup win or
+    /// loss can be measured independently of Zipf skew (Zipf streams
+    /// produce duplicates only as a side effect of endpoint popularity).
+    ///
+    /// `p = 0.0` (the default) leaves the generated stream byte-identical
+    /// to specs predating this knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn duplicate_fraction(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate fraction must be in [0, 1]");
+        self.duplicate = p;
+        self
+    }
+
     /// Universe size.
     pub fn n(&self) -> usize {
         self.n
@@ -99,9 +130,11 @@ impl EdgeBatchSpec {
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let sampler = PairSampler::new(self.n, self.dist);
         let mut seen: Vec<usize> = Vec::with_capacity(2 * self.batch_size);
+        let mut edges_so_far: Vec<(usize, usize)> = Vec::with_capacity(self.batch_size);
         let batches = (0..self.batches)
             .map(|_| {
                 seen.clear();
+                edges_so_far.clear();
                 (0..self.batch_size)
                     .map(|_| {
                         let (mut x, mut y) = sampler.draw(&mut rng);
@@ -116,8 +149,17 @@ impl EdgeBatchSpec {
                                 y = seen[rng.gen_range(0..seen.len())];
                             }
                         }
+                        // Exact-duplicate injection replaces the whole
+                        // edge; same `== 0.0` byte-identity guard.
+                        if self.duplicate > 0.0
+                            && !edges_so_far.is_empty()
+                            && rng.gen_bool(self.duplicate)
+                        {
+                            (x, y) = edges_so_far[rng.gen_range(0..edges_so_far.len())];
+                        }
                         seen.push(x);
                         seen.push(y);
+                        edges_so_far.push((x, y));
                         (x, y)
                     })
                     .collect()
@@ -215,6 +257,51 @@ mod tests {
     fn zero_repeat_is_byte_identical_to_unset() {
         let base = EdgeBatchSpec::new(500, 6, 40).element_dist(ElementDist::Zipf(1.1));
         assert_eq!(base.generate(9), base.repeat_within_burst(0.0).generate(9));
+    }
+
+    #[test]
+    fn duplicate_knob_injects_exact_copies_within_bursts() {
+        let spec = EdgeBatchSpec::new(100_000, 8, 150).duplicate_fraction(0.5);
+        let a = spec.generate(11);
+        assert_eq!(a, spec.generate(11), "deterministic under the knob");
+        let mut injected = 0usize;
+        for burst in &a.batches {
+            let mut seen_pairs: Vec<(usize, usize)> = Vec::new();
+            for &e in burst {
+                if seen_pairs.contains(&e) {
+                    injected += 1;
+                }
+                seen_pairs.push(e);
+            }
+        }
+        // p = 0.5 over 8 bursts x 149 eligible edges: duplicates abound
+        // (a fresh uniform pair over 10^5 elements colliding by chance is
+        // essentially impossible, so every duplicate is an injected one).
+        assert!(injected > 300, "only {injected} duplicates injected");
+    }
+
+    #[test]
+    fn duplicate_one_makes_each_burst_a_single_edge() {
+        let a = EdgeBatchSpec::new(100_000, 5, 60).duplicate_fraction(1.0).generate(3);
+        for burst in &a.batches {
+            assert!(burst.iter().all(|&e| e == burst[0]), "burst leaked a fresh edge: {burst:?}");
+        }
+        // Bursts are independent: consecutive bursts pick different edges.
+        assert_ne!(a.batches[0][0], a.batches[1][0]);
+    }
+
+    #[test]
+    fn zero_duplicate_is_byte_identical_to_unset() {
+        let base = EdgeBatchSpec::new(500, 6, 40)
+            .element_dist(ElementDist::Zipf(1.1))
+            .repeat_within_burst(0.25);
+        assert_eq!(base.generate(9), base.duplicate_fraction(0.0).generate(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn bad_duplicate_rejected() {
+        EdgeBatchSpec::new(10, 1, 1).duplicate_fraction(-0.1);
     }
 
     #[test]

@@ -44,7 +44,16 @@ THRESHOLD = 1.15  # flag medians >15% slower, or ratios >15% smaller
 
 
 def rows_by_threads(doc):
-    return {row.get("threads"): row for row in doc.get("results", []) if "threads" in row}
+    """Rows keyed by (threads, n). `n` defaults to None for the examples
+    that run a single size per invocation; examples that sweep sizes (e.g.
+    bucket_ab archives, whose BENCH_PR5 record carries two universes) tag
+    each row with its "n" so same-thread rows from different sizes don't
+    collide in this dict."""
+    return {
+        (row.get("threads"), row.get("n")): row
+        for row in doc.get("results", [])
+        if "threads" in row
+    }
 
 
 def fingerprint(doc):
@@ -83,8 +92,17 @@ def compare_file(baseline_dir, current_dir, name):
 
     lines, regressions = [], 0
     base_rows = rows_by_threads(base)
-    for threads, row in sorted(rows_by_threads(cur).items()):
-        b_row = base_rows.get(threads)
+    # Stringify the key for sorting: a (threads, None) key must not be
+    # compared against a (threads, int) one (mixed-shape docs).
+    for row_key, row in sorted(
+        rows_by_threads(cur).items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+    ):
+        b_row = base_rows.get(row_key)
+        threads = (
+            f"{row_key[0]} threads"
+            if row_key[1] is None
+            else f"{row_key[0]} threads, n={row_key[1]}"
+        )
         if b_row is None:
             continue
         for key in sorted(row):
@@ -106,23 +124,23 @@ def compare_file(baseline_dir, current_dir, name):
                 if ratio > THRESHOLD:
                     regressions += 1
                     lines.append(
-                        f"- :warning: `{name}` **{mode}** @ {threads} threads regressed: "
+                        f"- :warning: `{name}` **{mode}** @ {threads} regressed: "
                         f"{old:.0f} ns -> {new:.0f} ns ({ratio:.2f}x, threshold {THRESHOLD:.2f}x)"
                     )
                 else:
-                    lines.append(f"- `{name}` {mode} @ {threads} threads: {ratio:.2f}x baseline")
+                    lines.append(f"- `{name}` {mode} @ {threads}: {ratio:.2f}x baseline")
             elif key.endswith("_speedup"):
                 shrink = old / new  # >1 means the A/B ratio got worse
                 mode = key[: -len("_speedup")]
                 if shrink > THRESHOLD:
                     regressions += 1
                     lines.append(
-                        f"- :warning: `{name}` **{mode} ratio** @ {threads} threads shrank: "
+                        f"- :warning: `{name}` **{mode} ratio** @ {threads} shrank: "
                         f"{old:.3f}x -> {new:.3f}x ({shrink:.2f}x smaller, threshold {THRESHOLD:.2f}x)"
                     )
                 else:
                     lines.append(
-                        f"- `{name}` {mode} ratio @ {threads} threads: {old:.3f}x -> {new:.3f}x"
+                        f"- `{name}` {mode} ratio @ {threads}: {old:.3f}x -> {new:.3f}x"
                     )
     return (lines, regressions)
 

@@ -34,6 +34,11 @@
 //! // `concurrent_dsu::bulk`):
 //! assert_eq!(dsu.unite_batch(&[(1, 2), (2, 0), (3, 4)]), 2);
 //! assert_eq!(dsu.set_count(), 5);
+//!
+//! // Duplicate-heavy bursts over huge universes can opt into the
+//! // ingestion planner (intra-batch dedup + block-local radix buckets;
+//! // see `concurrent_dsu::ingest` for when it pays):
+//! assert_eq!(dsu.unite_batch_planned(&[(4, 5), (5, 4), (4, 5)]), 1);
 //! ```
 //!
 //! ## Hot-root cache sessions and the `prefetch` feature
@@ -86,8 +91,11 @@
 //! `{default, strict-sc}` orderings × `{packed, flat, sharded}` store
 //! layouts (the `default-store-*` cargo features retarget `Dsu`'s default
 //! store so the full suite exercises each layout) plus a `prefetch`
-//! feature cell; `bench-smoke`, which
-//! runs the four A/B examples in quick mode, archives their JSON
+//! feature cell and a `planned` cell that runs the full workspace with
+//! `DSU_BATCH_PLAN=1` (every count-only batch entry point routed through
+//! the ingestion planner — planning must be invisible to link counts and
+//! partitions); `bench-smoke`, which
+//! runs the five A/B examples in quick mode, archives their JSON
 //! (machine-fingerprinted), and fail-soft-compares both medians *and* A/B
 //! ratios against the previous run's cached baseline
 //! (>15% regression warns in the job summary, never turns red; baselines
