@@ -14,11 +14,18 @@
 //! / `spill_edges` next to the read delta say exactly what the planner
 //! thinned and how it carved the index space).
 //!
+//! A final fault-attribution phase re-runs the mixed workload through a
+//! `FaultyStore` wrapper at a fixed injection rate: `faults_injected` is
+//! what the plan charged, `cas_retries` is what the retry loops paid, and
+//! the unfaulted phases above assert both counters are **exactly zero** —
+//! retries on a clean single-threaded run would mean the store is
+//! contending with itself.
+//!
 //! Run: `cargo run --release -p dsu-bench --example store_diag [log2_n]`
 
 use concurrent_dsu::{
-    BatchTuning, Dsu, DsuStore, FlatStore, OpStats, PackedStore, PlanTuning, ShardedStore,
-    TwoTrySplit,
+    BatchTuning, Dsu, DsuStore, FaultPlan, FaultyStore, FlatStore, OpStats, PackedStore,
+    PlanTuning, ShardedStore, TwoTrySplit,
 };
 use dsu_bench::{dup_edge_batches, standard_workload};
 use std::time::Instant;
@@ -110,6 +117,66 @@ fn run<S: DsuStore>(label: &str) {
         planned_batch.dup_edges_dropped,
         planned_batch.bucket_count,
         planned_batch.spill_edges
+    );
+    // Unfaulted runs must attribute exactly zero injected faults, and the
+    // *per-op* phases zero retries too — single-threaded, a per-op retry
+    // loop only fires when someone else moved the root, and there is no
+    // one else. (The batch phases may retry legitimately: a wave-gathered
+    // root goes stale when an earlier link in the same burst moves it, so
+    // for those only the injection counter must be zero.)
+    for (phase, s) in [
+        ("mixed", &stats),
+        ("cached", &cached_stats),
+        ("plain", &plain_batch),
+        ("planned", &planned_batch),
+    ] {
+        assert_eq!(s.faults_injected, 0, "{label}/{phase}: phantom fault attribution");
+    }
+    for (phase, s) in [("mixed", &stats), ("cached", &cached_stats)] {
+        assert_eq!(
+            s.cas_retries, 0,
+            "{label}/{phase}: retries on an unfaulted single-threaded run"
+        );
+    }
+    // Fault attribution: the same mixed workload through a FaultyStore at
+    // a fixed rate. faults_injected (charged by the plan, folded in from
+    // the store's report) sits next to cas_retries (paid by the retry
+    // loops); single-threaded, every spurious CAS failure on the link CAS
+    // is exactly one retry, so the columns reconcile the injection.
+    let faulted: Dsu<TwoTrySplit, FaultyStore<S>> = Dsu::from_store(FaultyStore::with_plan(
+        S::with_seed(n, 0xD1A6),
+        FaultPlan::rate(0xD1A6, 0.2),
+    ));
+    let mut fault_stats = OpStats::default();
+    let t5 = Instant::now();
+    for op in &w.ops {
+        match *op {
+            dsu_workloads::Op::Unite(x, y) => {
+                faulted.unite_with(x, y, &mut fault_stats);
+            }
+            dsu_workloads::Op::SameSet(x, y) => {
+                faulted.same_set_with(x, y, &mut fault_stats);
+            }
+        }
+    }
+    let faulted_total = t5.elapsed();
+    let report = faulted.store().fault_report();
+    fault_stats.faults_injected += report.total();
+    println!(
+        "{label}: faulted mixed {:>12?} (rate 0.2) | faults_injected {} (cas {} load {} stall {}) \
+         cas_retries {} links_fail {}",
+        faulted_total,
+        fault_stats.faults_injected,
+        report.spurious_cas_failures,
+        report.delayed_loads,
+        report.stalls,
+        fault_stats.cas_retries,
+        fault_stats.links_fail
+    );
+    assert!(fault_stats.faults_injected > 0, "{label}: fault phase injected nothing");
+    assert_eq!(
+        fault_stats.cas_retries, fault_stats.links_fail,
+        "{label}: single-threaded, every failed link is exactly one retry"
     );
 }
 

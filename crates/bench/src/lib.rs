@@ -291,7 +291,7 @@ pub fn stats_json(stats: &OpStats) -> String {
         "{{\"reads\": {}, \"loop_iters\": {}, \"compact_cas_ok\": {}, \"compact_cas_fail\": {}, \
          \"links_ok\": {}, \"links_fail\": {}, \"cache_hits\": {}, \"cache_stale\": {}, \
          \"prefetch_waves\": {}, \"dup_edges_dropped\": {}, \"bucket_count\": {}, \
-         \"spill_edges\": {}}}",
+         \"spill_edges\": {}, \"cas_retries\": {}, \"faults_injected\": {}}}",
         stats.reads,
         stats.loop_iters,
         stats.compact_cas_ok,
@@ -303,7 +303,9 @@ pub fn stats_json(stats: &OpStats) -> String {
         stats.prefetch_waves,
         stats.dup_edges_dropped,
         stats.bucket_count,
-        stats.spill_edges
+        stats.spill_edges,
+        stats.cas_retries,
+        stats.faults_injected
     )
 }
 
@@ -493,6 +495,12 @@ mod tests {
         let json = stats_json(&stats);
         assert!(json.contains("\"dup_edges_dropped\""));
         assert!(json.contains("\"spill_edges\""));
+        // Retry hygiene counters render too. The batch path may retry even
+        // single-threaded (a wave-gathered root goes stale when an earlier
+        // link in the same burst moves it), but an unfaulted run must
+        // attribute exactly zero injected faults.
+        assert!(json.contains("\"cas_retries\""));
+        assert!(json.contains("\"faults_injected\": 0"));
     }
 
     #[test]

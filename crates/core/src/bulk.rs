@@ -350,6 +350,7 @@ where
             return true;
         }
         stats.link_fail();
+        stats.cas_retry();
         // The loser's root moved: restart the finds from the roots just
         // observed (they are ancestors of the originals, so nothing below
         // them needs re-walking).
@@ -510,6 +511,7 @@ where
             true
         } else {
             stats.link_fail();
+            stats.cas_retry();
             unite_from::<P, S>(store, root, under, stats, record_link)
         };
         links += linked as usize;

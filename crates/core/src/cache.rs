@@ -307,6 +307,7 @@ where
         }
         stats.link_fail();
         cache.evict(child);
+        stats.cas_retry();
     }
 }
 

@@ -149,6 +149,14 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
         S::NAME
     }
 
+    /// The underlying store — for layout-specific inspection (a sharded
+    /// store's [`ShardReport`](crate::ShardReport), a
+    /// [`FaultyStore`](crate::FaultyStore)'s fault report). Read-only: the
+    /// forest is only ever mutated through the operations.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
     fn check(&self, x: usize) {
         assert!(x < self.len(), "element {x} out of range (len {})", self.len());
     }

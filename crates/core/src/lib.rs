@@ -134,6 +134,7 @@
 
 pub mod bulk;
 pub mod cache;
+pub mod fault;
 pub mod find;
 pub mod growable;
 pub mod ingest;
@@ -148,6 +149,7 @@ mod dsu;
 pub use bulk::{BatchTuning, WaveDepth};
 pub use cache::RootCache;
 pub use dsu::{CachedHandle, Dsu};
+pub use fault::{BrokenStore, FaultPlan, FaultReport, FaultyStore, RetryBudget, TestWatchdog};
 pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
 pub use growable::{
     GrowableCachedHandle, GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore,

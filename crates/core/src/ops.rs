@@ -100,6 +100,7 @@ where
             }
             stats.link_fail();
         }
+        stats.cas_retry();
     }
 }
 

@@ -63,6 +63,21 @@ pub trait StatsSink {
     /// The ingestion planner deferred `n` cross-bucket edges of one batch
     /// to the spillover pass.
     fn spill_edges(&mut self, _n: usize) {}
+    /// An operation is about to re-run its find/link sequence because a
+    /// link CAS failed — the retry that follows every
+    /// [`link_fail`](StatsSink::link_fail) on a path that loops rather
+    /// than falls through. Counted separately from the failure itself so
+    /// retry-budget watchdogs ([`RetryBudget`](crate::RetryBudget)) can
+    /// bound *progress*, and so fault-attribution reports can compare
+    /// retries against injected faults.
+    fn cas_retry(&mut self) {}
+    /// A fault-injection layer ([`FaultyStore`](crate::FaultyStore))
+    /// reports `n` injected faults (spurious CAS failures, delayed loads,
+    /// stall windows). Fed from
+    /// [`fault_report`](crate::FaultyStore::fault_report) totals by
+    /// harness code at quiescence — the store itself never sees a sink.
+    /// Exactly zero on unfaulted runs.
+    fn faults_injected(&mut self, _n: usize) {}
 }
 
 impl StatsSink for () {
@@ -96,6 +111,10 @@ impl StatsSink for () {
     fn plan_buckets(&mut self, _n: usize) {}
     #[inline(always)]
     fn spill_edges(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn cas_retry(&mut self) {}
+    #[inline(always)]
+    fn faults_injected(&mut self, _n: usize) {}
 }
 
 /// Plain counters for the events of [`StatsSink`]. Keep one per thread and
@@ -151,6 +170,12 @@ pub struct OpStats {
     /// Cross-bucket edges the ingestion planner deferred to spillover
     /// passes.
     pub spill_edges: u64,
+    /// Find/link retries after failed link CASes (each follows a
+    /// `links_fail` on a looping path; bounded by retry-budget watchdogs).
+    pub cas_retries: u64,
+    /// Faults injected by a fault-injection layer, as reported at
+    /// quiescence by harness code. Exactly zero on unfaulted runs.
+    pub faults_injected: u64,
 }
 
 impl OpStats {
@@ -182,6 +207,8 @@ impl OpStats {
         self.dup_edges_dropped += other.dup_edges_dropped;
         self.bucket_count += other.bucket_count;
         self.spill_edges += other.spill_edges;
+        self.cas_retries += other.cas_retries;
+        self.faults_injected += other.faults_injected;
     }
 
     /// Mean find-loop iterations per operation (`NaN` if no ops ran).
@@ -250,6 +277,14 @@ impl StatsSink for OpStats {
     #[inline]
     fn spill_edges(&mut self, n: usize) {
         self.spill_edges += n as u64;
+    }
+    #[inline]
+    fn cas_retry(&mut self) {
+        self.cas_retries += 1;
+    }
+    #[inline]
+    fn faults_injected(&mut self, n: usize) {
+        self.faults_injected += n as u64;
     }
 }
 
@@ -390,6 +425,27 @@ mod tests {
         unit.dup_edges_dropped(1);
         unit.plan_buckets(1);
         unit.spill_edges(1);
+    }
+
+    #[test]
+    fn retry_and_fault_counters_count_and_merge() {
+        let mut a = OpStats::default();
+        a.link_fail();
+        a.cas_retry();
+        a.cas_retry();
+        a.faults_injected(5);
+        assert_eq!((a.cas_retries, a.faults_injected), (2, 5));
+        // Retries and injected-fault tallies are bookkeeping; the accesses
+        // they describe are already counted by link_fail/read.
+        assert_eq!(a.memory_accesses(), 1);
+        let mut b = OpStats::default();
+        b.cas_retry();
+        b.merge(&a);
+        assert_eq!((b.cas_retries, b.faults_injected), (3, 5));
+        // The unit sink accepts the new events too.
+        let mut unit = ();
+        unit.cas_retry();
+        unit.faults_injected(1);
     }
 
     #[test]

@@ -89,6 +89,28 @@
 //! [`DefaultStore`](crate::DefaultStore)); CI runs the whole test suite
 //! under every layout × ordering combination.
 //!
+//! **Testing under faults.** Any layout above wraps in
+//! [`FaultyStore`](crate::FaultyStore) (the [`fault`](crate::fault)
+//! module), a decorator that injects *legal* adversity from a seeded
+//! [`FaultPlan`](crate::FaultPlan): spurious CAS failures (a lost race),
+//! delayed loads (a preemption between load and CAS), and per-thread
+//! stall windows (a slow thread) — each indistinguishable from a schedule
+//! a real adversary could produce, so every invariant in this guide must
+//! survive them. Because it is a generic decorator, production
+//! monomorphizations over bare layouts compile with zero fault-check
+//! code; tests opt in per instance (or via the `DSU_FAULT_SEED` /
+//! `DSU_FAULT_RATE` env knobs through `FaultyStore::with_seed`). The
+//! injected retries surface through
+//! [`OpStats::cas_retries`](crate::OpStats) /
+//! [`OpStats::faults_injected`](crate::OpStats), a
+//! [`RetryBudget`](crate::RetryBudget) sink converts livelock into a fast
+//! panic with a counter dump, and
+//! [`BrokenStore`](crate::BrokenStore) (an intentionally unconditional
+//! CAS) is the regression canary proving the checkers still catch a
+//! lost-update bug. See `tests/fault_semantics.rs`, the repo-level
+//! `native_linearizability.rs`, and the `chaos_ab` /
+//! `e13_fault_injection` harnesses.
+//!
 //! # Memory orderings (and the `strict-sc` feature)
 //!
 //! The paper's APRAM model assumes sequentially consistent single-word

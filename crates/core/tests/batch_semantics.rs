@@ -225,6 +225,10 @@ proptest! {
 #[test]
 fn concurrent_batches_match_components_oracle() {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    let _wd = concurrent_dsu::TestWatchdog::arm(
+        "concurrent_batches_match_components_oracle",
+        std::time::Duration::from_secs(120),
+    );
     let n = 1 << 11;
     let edges: Vec<(usize, usize)> =
         (0..4 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 11) % n)).collect();
@@ -345,6 +349,10 @@ fn planned_degenerate_shapes() {
 /// the store sees only ordinary filter/link traffic).
 #[test]
 fn concurrent_planned_batches_match_components_oracle() {
+    let _wd = concurrent_dsu::TestWatchdog::arm(
+        "concurrent_planned_batches_match_components_oracle",
+        std::time::Duration::from_secs(120),
+    );
     let n = 1 << 10;
     let edges: Vec<(usize, usize)> =
         (0..4 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 11) % n)).collect();
@@ -374,6 +382,10 @@ fn concurrent_planned_batches_match_components_oracle() {
 /// still yield the oracle partition.
 #[test]
 fn mixed_per_op_and_batched_ingestion() {
+    let _wd = concurrent_dsu::TestWatchdog::arm(
+        "mixed_per_op_and_batched_ingestion",
+        std::time::Duration::from_secs(120),
+    );
     let n = 1 << 10;
     let edges: Vec<(usize, usize)> =
         (0..3 * n).map(|i| ((i * 7919) % n, (i * 104729 + 5) % n)).collect();

@@ -151,6 +151,10 @@ proptest! {
 /// must balance exactly.
 #[test]
 fn concurrent_unites_invalidate_cache_mid_batch() {
+    let _wd = concurrent_dsu::TestWatchdog::arm(
+        "concurrent_unites_invalidate_cache_mid_batch",
+        std::time::Duration::from_secs(120),
+    );
     let n = 1 << 10;
     // Zipf-flavored: low indices are hot, so the cached session and the
     // adversary threads keep fighting over the same roots.
@@ -228,6 +232,10 @@ fn concurrent_unites_invalidate_cache_mid_batch() {
 /// confluence must hold exactly as for plain operations.
 #[test]
 fn many_cached_sessions_stress() {
+    let _wd = concurrent_dsu::TestWatchdog::arm(
+        "many_cached_sessions_stress",
+        std::time::Duration::from_secs(120),
+    );
     let n = 1 << 11;
     let dsu: Dsu = Dsu::new(n);
     let edges: Vec<(usize, usize)> =

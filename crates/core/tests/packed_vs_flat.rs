@@ -18,10 +18,13 @@
 
 use concurrent_dsu::{
     Dsu, DsuStore, FindPolicy, FlatStore, GrowableDsu, PackedSegmentedStore, PackedStore,
-    SegmentedStore, ShardSpec, ShardedSegmentedStore, ShardedStore, TwoTrySplit,
+    SegmentedStore, ShardSpec, ShardedSegmentedStore, ShardedStore, TestWatchdog, TwoTrySplit,
 };
 use proptest::prelude::*;
 use sequential_dsu::{NaiveDsu, Partition};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -184,6 +187,17 @@ fn one_shard_dsu_is_bit_identical_to_packed() {
 fn concurrent_stress_matches_components_all_layouts() {
     let n = 1 << 12;
     let threads = 8;
+    // A progress bug (livelocked retry loop, lost wakeup) should hang for
+    // seconds and dump progress, not eat the CI job's whole time limit.
+    let progress = Arc::new(AtomicUsize::new(0));
+    let _wd = TestWatchdog::arm_with(
+        "concurrent_stress_matches_components_all_layouts",
+        Duration::from_secs(120),
+        {
+            let progress = Arc::clone(&progress);
+            move || format!("ops completed before hang: {}", progress.load(Ordering::Relaxed))
+        },
+    );
     let pairs: Vec<(usize, usize)> =
         (0..2 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 7) % n)).collect();
     let packed: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, 99);
@@ -197,11 +211,13 @@ fn concurrent_stress_matches_components_all_layouts() {
                 let flat = &flat;
                 let sharded = &sharded;
                 let pairs = &pairs;
+                let progress = &progress;
                 s.spawn(move || {
                     for (i, &(x, y)) in pairs.iter().enumerate() {
                         if i % threads != t {
                             continue;
                         }
+                        progress.fetch_add(1, Ordering::Relaxed);
                         // Mix queries in so compaction CASes race links.
                         match dsu_run {
                             0 => {
@@ -249,6 +265,7 @@ fn concurrent_stress_matches_components_all_layouts() {
 /// Concurrent growth + churn on both packed growable layouts.
 #[test]
 fn packed_growable_concurrent_stress() {
+    let _wd = TestWatchdog::arm("packed_growable_concurrent_stress", Duration::from_secs(120));
     let dsu: GrowableDsu<TwoTrySplit, PackedSegmentedStore> = GrowableDsu::new();
     let sharded: GrowableDsu<TwoTrySplit, ShardedSegmentedStore> =
         GrowableDsu::from_store(ShardedSegmentedStore::with_spec(

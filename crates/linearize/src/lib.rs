@@ -166,6 +166,60 @@ fn dfs<S: SeqSpec>(
 }
 
 // ---------------------------------------------------------------------------
+// Recording native histories.
+// ---------------------------------------------------------------------------
+
+/// A shared logical clock for recording [`CompletedOp`]s from *real*
+/// threaded executions (as opposed to the APRAM simulator's step counter).
+///
+/// Timestamps come from one atomic counter bumped with `SeqCst`, so the
+/// stamps form a single total order consistent with real time: if
+/// operation A's response stamp was drawn before operation B's invocation
+/// stamp, A really did return before B was invoked. That is exactly the
+/// happens-before relation [`check_linearizable`] consumes — no wall
+/// clock, no cross-core clock skew.
+///
+/// Each thread records into its own `Vec` and the harness concatenates at
+/// join time; the recorder itself is just the clock, so sharing it is one
+/// `&HistoryRecorder` capture:
+///
+/// ```
+/// use linearize::{check_linearizable, DsuOp, DsuSpec, HistoryRecorder};
+///
+/// let rec = HistoryRecorder::new();
+/// let a = rec.record(DsuOp::Unite(0, 1), || true);
+/// let b = rec.record(DsuOp::SameSet(0, 1), || true);
+/// assert!(a.returned_at < b.invoked_at);
+/// check_linearizable(&DsuSpec::new(2), &[a, b]).expect("linearizable");
+/// ```
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    clock: std::sync::atomic::AtomicU64,
+}
+
+impl HistoryRecorder {
+    /// A recorder whose clock starts at 0.
+    pub fn new() -> Self {
+        HistoryRecorder { clock: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Draws the next timestamp.
+    pub fn now(&self) -> u64 {
+        self.clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Runs `run` between two clock draws and packages the result: the
+    /// invocation stamp is drawn immediately before calling `run`, the
+    /// response stamp immediately after it returns.
+    pub fn record<O>(&self, op: O, run: impl FnOnce() -> bool) -> CompletedOp<O> {
+        let invoked_at = self.now();
+        let result = run();
+        let returned_at = self.now();
+        CompletedOp { op, result, invoked_at, returned_at }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The DSU specification.
 // ---------------------------------------------------------------------------
 
@@ -243,6 +297,44 @@ mod tests {
     #[test]
     fn empty_history_is_linearizable() {
         assert_eq!(check_linearizable(&DsuSpec::new(3), &[]), Ok(vec![]));
+    }
+
+    #[test]
+    fn recorder_stamps_respect_real_time_across_threads() {
+        // 4 threads × 8 recorded no-op "operations": every stamp is
+        // unique, every interval is well-formed, and ops recorded strictly
+        // after another thread's response got later invocation stamps.
+        let rec = HistoryRecorder::new();
+        let mut per_thread: Vec<Vec<CompletedOp<DsuOp>>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let rec = &rec;
+                    s.spawn(move || {
+                        (0..8)
+                            .map(|i| rec.record(DsuOp::SameSet(t, t), || i % 2 == 0))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().unwrap());
+            }
+        });
+        let mut stamps = Vec::new();
+        for ops in &per_thread {
+            for w in ops.windows(2) {
+                assert!(w[0].returned_at < w[1].invoked_at, "program order preserved");
+            }
+            for o in ops {
+                assert!(o.invoked_at < o.returned_at);
+                stamps.push(o.invoked_at);
+                stamps.push(o.returned_at);
+            }
+        }
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 4 * 8 * 2, "stamps are globally unique");
     }
 
     #[test]
