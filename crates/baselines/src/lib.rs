@@ -16,6 +16,10 @@
 //!   mutex: the trivially correct baseline every concurrent design must
 //!   beat, and the zero-scalability yardstick for the speedup experiment
 //!   (E4).
+//! * [`LockedKeyedDsu`] — the **keyed** deployment shape real systems use
+//!   (an `RwLock<HashMap>` facade over a sequential forest, as in optd's
+//!   query-plan memo): the baseline the `keyed_ab` experiment measures
+//!   [`KeyedDsu`](concurrent_dsu::KeyedDsu) against.
 //!
 //! # Example
 //!
@@ -30,7 +34,9 @@
 //! ```
 
 pub mod aw;
+pub mod keyed;
 pub mod locked;
 
 pub use aw::AwDsu;
+pub use keyed::LockedKeyedDsu;
 pub use locked::LockedDsu;

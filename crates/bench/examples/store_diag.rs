@@ -24,10 +24,12 @@
 //! Run: `cargo run --release -p dsu-bench --example store_diag [log2_n]`
 
 use concurrent_dsu::{
-    BatchTuning, Dsu, DsuStore, FaultPlan, FaultyStore, FlatStore, OpStats, PackedStore,
-    PlanTuning, ShardedStore, TwoTrySplit,
+    BatchTuning, Dsu, DsuStore, FaultPlan, FaultyStore, FlatStore, GrowableStore, KeyedDsu,
+    OpStats, PackedSegmentedStore, PackedStore, PlanTuning, SegmentedStore, ShardSpec,
+    ShardedSegmentedStore, ShardedStore, TwoTrySplit,
 };
 use dsu_bench::{dup_edge_batches, standard_workload};
+use dsu_workloads::{KeyedOp, KeyedSpec};
 use std::time::Instant;
 
 fn run<S: DsuStore>(label: &str) {
@@ -180,10 +182,75 @@ fn run<S: DsuStore>(label: &str) {
     );
 }
 
+/// Keyed attribution: a sparse-u64 entity-resolution trace through the
+/// lock-free id table, with the keyed counters splitting key-table work
+/// (probes, claims, segment growth) from the set operations underneath.
+/// Every insert is charged exactly once, every probe step is attributed,
+/// the structure's own resize count reconciles with the stats stream, and
+/// the unfaulted invariants of the dense phases hold here too.
+fn keyed<S: GrowableStore>(label: &str) {
+    let spec = KeyedSpec::new(1 << 15).merge_fraction(0.7).fresh_fraction(0.5);
+    let trace = spec.generate(0xD1A6).into_sparse_u64(0xD1A6);
+    let dsu: KeyedDsu<u64, TwoTrySplit, S> =
+        KeyedDsu::from_store(S::with_seed(0xD1A6), 0xD1A6, ShardSpec::with_shards(4));
+    let mut stats = OpStats::default();
+    let t0 = Instant::now();
+    for op in &trace.ops {
+        match op {
+            KeyedOp::Merge(a, b) => {
+                dsu.merge_keys_with(a, b, &mut stats);
+            }
+            KeyedOp::SameSet(a, b) => {
+                dsu.same_set_with(a, b, &mut stats);
+            }
+        }
+    }
+    let keyed_t = t0.elapsed();
+    println!(
+        "{label}: keyed {:>12?} | keys {} probe_steps {} resizes {} | iters {} reads {} \
+         links_ok {}",
+        keyed_t,
+        stats.keys_inserted,
+        stats.key_probe_steps,
+        stats.id_table_resizes,
+        stats.loop_iters,
+        stats.reads,
+        stats.links_ok
+    );
+    // Queries never insert, so the claim count is exactly the distinct
+    // keys that appeared as a merge operand — not `trace.distinct_keys`.
+    let merged: std::collections::HashSet<u64> = trace
+        .ops
+        .iter()
+        .filter(|op| op.is_merge())
+        .flat_map(|op| {
+            let (a, b) = op.keys();
+            [*a, *b]
+        })
+        .collect();
+    assert_eq!(stats.keys_inserted, merged.len() as u64, "{label}: every merged key claims once");
+    assert_eq!(stats.keys_inserted, dsu.key_count() as u64, "{label}: stats vs table key count");
+    assert_eq!(
+        stats.id_table_resizes,
+        dsu.id_table_resizes() as u64,
+        "{label}: stats vs table resizes"
+    );
+    assert!(stats.id_table_resizes > 0, "{label}: this trace must outgrow the base segments");
+    assert!(
+        stats.key_probe_steps >= 2 * trace.ops.len() as u64,
+        "{label}: two key resolutions per op minimum"
+    );
+    assert_eq!(stats.faults_injected, 0, "{label}/keyed: phantom fault attribution");
+    assert_eq!(stats.cas_retries, 0, "{label}/keyed: retries on an unfaulted single-threaded run");
+}
+
 fn main() {
     for _ in 0..3 {
         run::<PackedStore>("packed ");
         run::<FlatStore>("flat   ");
         run::<ShardedStore>("sharded");
     }
+    keyed::<PackedSegmentedStore>("packed ");
+    keyed::<SegmentedStore>("flat   ");
+    keyed::<ShardedSegmentedStore>("sharded");
 }

@@ -125,12 +125,62 @@
 //! created concurrently with other operations, ids are generated on the fly
 //! (Section 7 remark), and operations stay lock-free.
 //!
+//! # Keyed entity resolution
+//!
+//! Real consumers rarely have dense `0..n` elements — they have row keys,
+//! strings, sparse 64-bit ids. [`KeyedDsu`] maps arbitrary
+//! `K: Hash + Eq` keys to dense ids through a **lock-free sharded id
+//! table** (CAS-claimed slots in doubling segments; entries never move)
+//! and runs all set operations on a [`GrowableDsu`] underneath, replacing
+//! the `RwLock<HashMap>` facade such systems usually deploy:
+//!
+//! ```
+//! use concurrent_dsu::KeyedDsu;
+//!
+//! let dsu: KeyedDsu<String> = KeyedDsu::new();
+//! dsu.merge_keys(&"alice@a.example".into(), &"al@b.example".into());
+//! assert!(dsu.same_set(&"al@b.example".into(), &"alice@a.example".into()));
+//! // Unseen keys are implicit singletons; queries never insert.
+//! assert!(!dsu.same_set(&"alice@a.example".into(), &"mallory@c.example".into()));
+//!
+//! // Bursts resolve keys in one gather pass, then ride `unite_batch`:
+//! let pairs = vec![("a".to_string(), "b".to_string()), ("b".into(), "c".into())];
+//! assert_eq!(dsu.merge_keys_batch(&pairs), 2);
+//! assert_eq!(dsu.key_count(), 5);
+//! ```
+//!
+//! See the [`keyed`] module docs for the id-table protocol and the
+//! layer-selection table (dense fixed → [`Dsu`], dense growing →
+//! [`GrowableDsu`], keyed → [`KeyedDsu`]), and `docs/benchmarks.md` for
+//! its measured cost against the lock-based facade.
+//!
 //! # Instrumentation
 //!
 //! Every operation has a `*_with` twin taking an [`OpStats`] sink that
 //! counts loop iterations, reads, and CAS successes/failures into
 //! caller-owned (typically thread-local) storage, so experiments can measure
 //! *work* exactly as the paper defines it without slowing the default path.
+//!
+//! # Environment variables
+//!
+//! Every runtime knob in the crate, in one place. All are optional; unset
+//! means the documented default. They are read at structure construction
+//! (or first use), never per operation.
+//!
+//! | variable | read by | meaning |
+//! |---|---|---|
+//! | `DSU_SHARDS` | [`ShardSpec::auto`] (used by [`ShardedStore`] / [`ShardedSegmentedStore`]) | shard count for the sharded parent stores; rounded to a power of two, clamped to 256. Default: `available_parallelism` |
+//! | `DSU_KEY_SHARDS` | [`KeyedDsu::new`] / [`KeyedDsu::with_seed`] | shard count for the keyed id table (same rounding). More shards shorten probe paths and spread claim traffic at the cost of base-segment memory. Default: `available_parallelism` |
+//! | `DSU_CACHE_SLOTS` | `RootCache::default` | slot count of a hot-root cache session's direct-mapped table. Default: [`RootCache::DEFAULT_CAPACITY`] (512, 8 KB — L1-resident) |
+//! | `DSU_BATCH_PLAN` | [`bulk::runtime_default_tuning`] | set to `1`/`true` to route count-only batch entry points through the ingestion planner ([`ingest`]); verdict-returning paths are unaffected. Default: off |
+//! | `DSU_FAULT_SEED` | [`FaultPlan::from_env`] | seed for the fault-injection plan a [`FaultyStore`] runs; only consulted by fault-test binaries that opt in. Default: 0 |
+//! | `DSU_FAULT_RATE` | [`FaultPlan::from_env`] | probability in `[0, 1]` of injecting a fault at each eligible store access. Default: 0.0 |
+//!
+//! The `strict-sc` cargo feature (not an env var) restores the paper's
+//! sequentially consistent orderings crate-wide; the `default-store-flat`
+//! / `default-store-sharded` features retarget [`DefaultStore`] /
+//! [`DefaultGrowableStore`]; `prefetch` compiles software-prefetch
+//! intrinsics into the gather waves.
 
 pub mod bulk;
 pub mod cache;
@@ -138,6 +188,7 @@ pub mod fault;
 pub mod find;
 pub mod growable;
 pub mod ingest;
+pub mod keyed;
 pub mod ops;
 pub mod order;
 pub mod stats;
@@ -155,6 +206,7 @@ pub use growable::{
     GrowableCachedHandle, GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore,
 };
 pub use ingest::{BatchPlan, PlanTuning};
+pub use keyed::KeyedDsu;
 pub use order::{HashOrder, IdOrder, PermutationOrder};
 pub use stats::{OpStats, ShardSkew, StatsSink};
 pub use store::{

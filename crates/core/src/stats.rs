@@ -78,6 +78,20 @@ pub trait StatsSink {
     /// harness code at quiescence — the store itself never sees a sink.
     /// Exactly zero on unfaulted runs.
     fn faults_injected(&mut self, _n: usize) {}
+    /// A [`KeyedDsu`](crate::KeyedDsu) insert claimed a slot and allocated
+    /// a fresh dense id for a previously unseen key (the losing side of a
+    /// same-key race does *not* report this — exactly one per distinct
+    /// key ever).
+    fn key_inserted(&mut self) {}
+    /// A keyed resolution (insert or lookup) examined `n` id-table slots
+    /// before finding its key, claiming a slot, or concluding a miss —
+    /// the keyed layer's analogue of find-loop iterations.
+    fn key_probe_steps(&mut self, _n: usize) {}
+    /// A [`KeyedDsu`](crate::KeyedDsu) shard allocated a fresh
+    /// open-addressing segment because every probe window in the existing
+    /// ones was occupied — the keyed id table's growth event (doubling
+    /// segments; existing entries never move or rehash).
+    fn id_table_resize(&mut self) {}
 }
 
 impl StatsSink for () {
@@ -115,6 +129,12 @@ impl StatsSink for () {
     fn cas_retry(&mut self) {}
     #[inline(always)]
     fn faults_injected(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn key_inserted(&mut self) {}
+    #[inline(always)]
+    fn key_probe_steps(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn id_table_resize(&mut self) {}
 }
 
 /// Plain counters for the events of [`StatsSink`]. Keep one per thread and
@@ -176,6 +196,16 @@ pub struct OpStats {
     /// Faults injected by a fault-injection layer, as reported at
     /// quiescence by harness code. Exactly zero on unfaulted runs.
     pub faults_injected: u64,
+    /// Distinct keys inserted into a keyed id table (one per claim-winning
+    /// insert; same-key races count once).
+    pub keys_inserted: u64,
+    /// Id-table slots examined by keyed resolutions (the keyed layer's
+    /// walk cost; compare against `reads` to see where a keyed workload
+    /// spends its memory traffic).
+    pub key_probe_steps: u64,
+    /// Open-addressing segments allocated by keyed id-table shards after
+    /// construction (doubling growth events; entries never move).
+    pub id_table_resizes: u64,
 }
 
 impl OpStats {
@@ -209,6 +239,9 @@ impl OpStats {
         self.spill_edges += other.spill_edges;
         self.cas_retries += other.cas_retries;
         self.faults_injected += other.faults_injected;
+        self.keys_inserted += other.keys_inserted;
+        self.key_probe_steps += other.key_probe_steps;
+        self.id_table_resizes += other.id_table_resizes;
     }
 
     /// Mean find-loop iterations per operation (`NaN` if no ops ran).
@@ -285,6 +318,18 @@ impl StatsSink for OpStats {
     #[inline]
     fn faults_injected(&mut self, n: usize) {
         self.faults_injected += n as u64;
+    }
+    #[inline]
+    fn key_inserted(&mut self) {
+        self.keys_inserted += 1;
+    }
+    #[inline]
+    fn key_probe_steps(&mut self, n: usize) {
+        self.key_probe_steps += n as u64;
+    }
+    #[inline]
+    fn id_table_resize(&mut self) {
+        self.id_table_resizes += 1;
     }
 }
 
@@ -446,6 +491,28 @@ mod tests {
         let mut unit = ();
         unit.cas_retry();
         unit.faults_injected(1);
+    }
+
+    #[test]
+    fn keyed_counters_count_and_merge() {
+        let mut a = OpStats::default();
+        a.key_inserted();
+        a.key_inserted();
+        a.key_probe_steps(5);
+        a.id_table_resize();
+        assert_eq!((a.keys_inserted, a.key_probe_steps, a.id_table_resizes), (2, 5, 1));
+        // Keyed-table probes are bookkeeping here; the slot loads they
+        // describe live outside the parent store's access totals.
+        assert_eq!(a.memory_accesses(), 0);
+        let mut b = OpStats::default();
+        b.key_probe_steps(2);
+        b.merge(&a);
+        assert_eq!((b.keys_inserted, b.key_probe_steps, b.id_table_resizes), (2, 7, 1));
+        // The unit sink accepts the new events too.
+        let mut unit = ();
+        unit.key_inserted();
+        unit.key_probe_steps(1);
+        unit.id_table_resize();
     }
 
     #[test]

@@ -60,6 +60,16 @@
 //! [`ShardedSegmentedStore`] (sharded) make the same trades for universes
 //! that grow via `make_set`.
 //!
+//! **Keys instead of indices.** If your elements are strings, sparse
+//! 64-bit ids, or any other hashable keys rather than dense `0..n`,
+//! don't build your own map in front of these layouts —
+//! [`KeyedDsu`](crate::KeyedDsu) (the [`keyed`](crate::keyed) module) is
+//! that map, done lock-free: a sharded CAS-claimed id table assigns dense
+//! ids on first touch and every set operation runs on the growable twin
+//! of your chosen layout. Its shard count has its own knob
+//! (`DSU_KEY_SHARDS`) because id-table sharding is a hash-capacity
+//! question, not a placement one.
+//!
 //! **When does the root cache pay?** Orthogonal to the layout choice, the
 //! [`cache`](crate::cache) module can start finds at each element's last
 //! observed root ([`Dsu::cached`](crate::Dsu::cached) sessions,

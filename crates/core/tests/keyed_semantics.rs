@@ -1,0 +1,404 @@
+//! Keyed-layer semantics: `KeyedDsu` agrees with a sequential
+//! `HashMap<K, usize>` + union-find oracle, on every growable layout.
+//!
+//! The keyed layer adds exactly one thing to the core — a lock-free
+//! key → dense-id table — so its contract is exactly one thing: every
+//! operation behaves as if the key were first looked up in a sequential
+//! map and the operation then ran on the dense core. Single-threaded,
+//! verdicts must match the oracle op for op on all three growable layouts
+//! (packed-seg, flat-seg, sharded-seg; CI re-runs the suite under
+//! `--features strict-sc` for the SeqCst translation). Under concurrency,
+//! the table's one hard promise — **at most one id per distinct key, no
+//! matter how many threads race the first insert** — is stress-tested
+//! directly, including the insert-vs-merge race on the same unseen key.
+
+use concurrent_dsu::growable::GrowableStore;
+use concurrent_dsu::{
+    KeyedDsu, PackedSegmentedStore, SegmentedStore, ShardSpec, ShardedSegmentedStore, TestWatchdog,
+    TwoTrySplit,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+/// The sequential reference: a plain map in front of a plain forest —
+/// the structure every keyed operation must be indistinguishable from.
+#[derive(Default)]
+struct Oracle {
+    ids: HashMap<String, usize>,
+    parent: Vec<usize>,
+}
+
+impl Oracle {
+    fn id_of(&mut self, key: &str) -> usize {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.ids.insert(key.to_owned(), id);
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn merge(&mut self, a: &str, b: &str) -> bool {
+        let (ia, ib) = (self.id_of(a), self.id_of(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+
+    fn same_set(&mut self, a: &str, b: &str) -> bool {
+        match (self.ids.get(a).copied(), self.ids.get(b).copied()) {
+            (Some(ia), Some(ib)) => self.find(ia) == self.find(ib),
+            _ => a == b,
+        }
+    }
+
+    fn set_count(&mut self) -> usize {
+        let n = self.parent.len();
+        (0..n).filter(|&i| self.find(i) == i).count()
+    }
+}
+
+/// `(a, b, kind)` triples over a small key universe: kind 0 = merge,
+/// 1 = same-set query, 2 = plain insert of `a`. Small universes maximize
+/// revisits (the id table's lookup path) while fresh keys keep arriving
+/// (the claim path).
+fn ops_strategy(keys: usize, max_len: usize) -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    prop::collection::vec((0..keys, 0..keys, 0..3usize), 0..max_len)
+}
+
+fn key(i: usize) -> String {
+    format!("key-{i:04}")
+}
+
+/// One layout's single-threaded run against the oracle, op for op, plus
+/// the id-table invariants (dense ids, stable `get`, exact `key_count`).
+fn exercise_layout<S: GrowableStore>(ops: &[(usize, usize, usize)], seed: u64) {
+    let dsu: KeyedDsu<String, TwoTrySplit, S> = KeyedDsu::with_seed(seed);
+    let mut oracle = Oracle::default();
+    for (i, &(a, b, kind)) in ops.iter().enumerate() {
+        let (ka, kb) = (key(a), key(b));
+        match kind {
+            0 => assert_eq!(dsu.merge_keys(&ka, &kb), oracle.merge(&ka, &kb), "merge #{i}"),
+            1 => assert_eq!(dsu.same_set(&ka, &kb), oracle.same_set(&ka, &kb), "query #{i}"),
+            _ => {
+                dsu.insert(&ka);
+                oracle.id_of(&ka);
+            }
+        }
+    }
+    // Same key population, and every oracle verdict reproducible post hoc.
+    assert_eq!(dsu.key_count(), oracle.ids.len());
+    assert_eq!(dsu.set_count(), oracle.set_count());
+    let entries: Vec<(String, usize)> = oracle.ids.iter().map(|(k, &id)| (k.clone(), id)).collect();
+    for (k, _) in &entries {
+        let id = dsu.get(k).expect("every oracle key is present");
+        assert!(id < entries.len(), "ids must be dense 0..key_count");
+    }
+    // The keyed ids and the oracle ids name the same entities: their
+    // same-set relations agree for every key pair.
+    for (ka, ia) in &entries {
+        for (kb, ib) in &entries {
+            assert_eq!(
+                dsu.same_set(ka, kb),
+                oracle.find(*ia) == oracle.find(*ib),
+                "post-hoc disagreement on ({ka}, {kb})"
+            );
+        }
+    }
+    // Unseen keys stayed unseen.
+    assert_eq!(dsu.get(&"never-inserted".to_string()), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Oracle equivalence on all three growable layouts — arbitrary op
+    /// mixes, arbitrary seeds.
+    #[test]
+    fn keyed_matches_oracle_all_layouts(ops in ops_strategy(24, 120), seed in any::<u64>()) {
+        exercise_layout::<PackedSegmentedStore>(&ops, seed);
+        exercise_layout::<SegmentedStore>(&ops, seed);
+        exercise_layout::<ShardedSegmentedStore>(&ops, seed);
+    }
+
+    /// The batch entry points are observationally identical to per-op
+    /// loops: same link count, same query verdicts, same final structure.
+    #[test]
+    fn keyed_batch_matches_per_op(pairs in prop::collection::vec((0..32usize, 0..32usize), 0..160), seed in any::<u64>()) {
+        let edges: Vec<(String, String)> = pairs.iter().map(|&(a, b)| (key(a), key(b))).collect();
+        let batched: KeyedDsu<String> = KeyedDsu::with_seed(seed);
+        let per_op: KeyedDsu<String> = KeyedDsu::with_seed(seed);
+        let links = batched.merge_keys_batch(&edges);
+        let expected = edges.iter().filter(|(a, b)| per_op.merge_keys(a, b)).count();
+        prop_assert_eq!(links, expected, "link counts diverged");
+        prop_assert_eq!(batched.key_count(), per_op.key_count());
+        prop_assert_eq!(batched.set_count(), per_op.set_count());
+        let queries: Vec<(String, String)> =
+            (0..40).map(|i| (key(i % 36), key((i * 7 + 3) % 36))).collect();
+        let lhs = batched.same_set_batch(&queries);
+        let rhs: Vec<bool> = queries.iter().map(|(a, b)| per_op.same_set(a, b)).collect();
+        prop_assert_eq!(lhs, rhs, "query verdicts diverged");
+    }
+
+    /// Keyed operations through the sparse-u64 window: ids assigned over a
+    /// universe scattered across the whole word range still resolve
+    /// consistently (the table never assumes key locality).
+    #[test]
+    fn sparse_u64_keys_resolve_consistently(pairs in prop::collection::vec((0..40u64, 0..40u64), 0..120)) {
+        let scatter = |k: u64| k.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+        let dsu: KeyedDsu<u64> = KeyedDsu::new();
+        let mut oracle = Oracle::default();
+        for &(a, b) in &pairs {
+            let (sa, sb) = (scatter(a), scatter(b));
+            prop_assert_eq!(
+                dsu.merge_keys(&sa, &sb),
+                oracle.merge(&format!("{sa}"), &format!("{sb}"))
+            );
+        }
+        prop_assert_eq!(dsu.key_count(), oracle.ids.len());
+        prop_assert_eq!(dsu.set_count(), oracle.set_count());
+    }
+}
+
+/// The table's core concurrent promise, attacked directly: many threads
+/// insert the **same unseen key** through a barrier, every round. All
+/// must observe one id, and the table must allocate exactly one dense id
+/// per round.
+#[test]
+fn racing_inserts_of_the_same_key_agree_on_one_id() {
+    let _wd = TestWatchdog::arm(
+        "racing_inserts_of_the_same_key_agree_on_one_id",
+        Duration::from_secs(120),
+    );
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 500;
+    // A single shard concentrates every race on one probe path — the
+    // worst case for the claim CAS.
+    for shards in [1, 4] {
+        let dsu: KeyedDsu<String> = KeyedDsu::with_spec(11, ShardSpec::with_shards(shards));
+        let barrier = Barrier::new(THREADS);
+        let disagreements = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let dsu = &dsu;
+                let barrier = &barrier;
+                let disagreements = &disagreements;
+                s.spawn(move || {
+                    for r in 0..ROUNDS {
+                        let k = format!("round-{r}");
+                        barrier.wait();
+                        let id = dsu.insert(&k);
+                        // Everyone re-reads after the race: get must agree
+                        // with what insert returned, forever.
+                        if dsu.get(&k) != Some(id) {
+                            disagreements.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert_eq!(disagreements.load(Ordering::Relaxed), 0, "insert/get id disagreement");
+        assert_eq!(
+            dsu.key_count(),
+            ROUNDS,
+            "{shards}-shard table allocated duplicate ids for a racing key"
+        );
+        // Dense: every id in 0..ROUNDS is some round's id, exactly once.
+        let mut seen = vec![false; ROUNDS];
+        for r in 0..ROUNDS {
+            let id = dsu.get(&format!("round-{r}")).expect("inserted");
+            assert!(!seen[id], "id {id} assigned twice");
+            seen[id] = true;
+        }
+    }
+}
+
+/// The insert-vs-merge race on the same unseen key: while one thread
+/// inserts `fresh-r`, another simultaneously merges it with an anchor.
+/// Whatever the interleaving, afterwards both name the same entity: the
+/// insert's id must be in the anchor's set.
+#[test]
+fn concurrent_insert_vs_merge_of_same_unseen_key() {
+    let _wd = TestWatchdog::arm(
+        "concurrent_insert_vs_merge_of_same_unseen_key",
+        Duration::from_secs(120),
+    );
+    const ROUNDS: usize = 800;
+    let dsu: KeyedDsu<String> = KeyedDsu::new();
+    let anchor = "anchor".to_string();
+    dsu.insert(&anchor);
+    let barrier = Barrier::new(2);
+    let inserted_ids: Vec<AtomicUsize> =
+        (0..ROUNDS).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    std::thread::scope(|s| {
+        {
+            let dsu = &dsu;
+            let barrier = &barrier;
+            let inserted_ids = &inserted_ids;
+            s.spawn(move || {
+                for (r, slot) in inserted_ids.iter().enumerate() {
+                    let k = format!("fresh-{r}");
+                    barrier.wait();
+                    slot.store(dsu.insert(&k), Ordering::Relaxed);
+                }
+            });
+        }
+        {
+            let dsu = &dsu;
+            let barrier = &barrier;
+            let anchor = &anchor;
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let k = format!("fresh-{r}");
+                    barrier.wait();
+                    dsu.merge_keys(&k, anchor);
+                }
+            });
+        }
+    });
+    // One id per key (the insert's and the merge's resolutions converged),
+    // and every round's key ended up united with the anchor.
+    assert_eq!(dsu.key_count(), ROUNDS + 1);
+    for (r, slot) in inserted_ids.iter().enumerate() {
+        let k = format!("fresh-{r}");
+        let id = slot.load(Ordering::Relaxed);
+        assert_eq!(dsu.get(&k), Some(id), "round {r}: merge minted a second id");
+        assert!(dsu.same_set(&k, &anchor), "round {r}: merge lost");
+    }
+    assert_eq!(dsu.set_count(), 1);
+}
+
+/// Full-mix stress on every layout: threads share one keyed structure and
+/// race inserts, merges, queries, and batches over an overlapping key
+/// range; the final partition must equal a sequential replay's.
+#[test]
+fn threaded_keyed_stress_matches_sequential_replay() {
+    let _wd = TestWatchdog::arm(
+        "threaded_keyed_stress_matches_sequential_replay",
+        Duration::from_secs(120),
+    );
+    fn run<S: GrowableStore>() {
+        const THREADS: usize = 4;
+        let keys = 96usize;
+        let per_thread: Vec<Vec<(String, String)>> = (0..THREADS)
+            .map(|t| {
+                (0..800)
+                    .map(|i| {
+                        let a = (i * 7919 + t * 131) % keys;
+                        let b = (i * 104729 + t * 17 + 5) % keys;
+                        (key(a), key(b))
+                    })
+                    .collect()
+            })
+            .collect();
+        let dsu: KeyedDsu<String, TwoTrySplit, S> = KeyedDsu::with_seed(23);
+        std::thread::scope(|s| {
+            for (t, ops) in per_thread.iter().enumerate() {
+                let dsu = &dsu;
+                s.spawn(move || {
+                    for (i, (a, b)) in ops.iter().enumerate() {
+                        match i % 4 {
+                            0 => {
+                                dsu.merge_keys(a, b);
+                            }
+                            1 => {
+                                dsu.same_set(a, b);
+                            }
+                            2 => {
+                                dsu.insert(a);
+                            }
+                            // One thread per stripe drives the batch path.
+                            _ if t % 2 == 0 => {
+                                dsu.merge_keys_batch(std::slice::from_ref(&(a.clone(), b.clone())));
+                            }
+                            _ => {
+                                dsu.merge_keys(b, a);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut oracle = Oracle::default();
+        for ops in &per_thread {
+            for (i, (a, b)) in ops.iter().enumerate() {
+                match i % 4 {
+                    1 => {}
+                    2 => {
+                        oracle.id_of(a);
+                    }
+                    _ => {
+                        oracle.merge(a, b);
+                    }
+                }
+            }
+        }
+        assert_eq!(dsu.key_count(), oracle.ids.len());
+        assert_eq!(dsu.set_count(), oracle.set_count());
+        let all_keys: Vec<String> = oracle.ids.keys().cloned().collect();
+        for ka in &all_keys {
+            for kb in &all_keys {
+                assert_eq!(dsu.same_set(ka, kb), oracle.same_set(ka, kb), "({ka}, {kb})");
+            }
+        }
+    }
+    run::<PackedSegmentedStore>();
+    run::<SegmentedStore>();
+    run::<ShardedSegmentedStore>();
+}
+
+/// Growth under contention: enough racing fresh keys to force segment
+/// allocation in every shard while other threads read — ids stay unique
+/// and the resize counter reconciles with the structure's own count.
+#[test]
+fn concurrent_growth_keeps_ids_unique() {
+    let _wd = TestWatchdog::arm("concurrent_growth_keeps_ids_unique", Duration::from_secs(120));
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 4_000;
+    let dsu: KeyedDsu<u64> = KeyedDsu::with_spec(5, ShardSpec::with_shards(2));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let dsu = &dsu;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Half the keys are thread-private, half contended.
+                    let k = if i % 2 == 0 { (t * PER_THREAD + i) as u64 } else { i as u64 };
+                    dsu.insert(&k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                }
+            });
+        }
+    });
+    let distinct: std::collections::HashSet<u64> = (0..THREADS)
+        .flat_map(|t| {
+            (0..PER_THREAD).map(move |i| {
+                let k = if i % 2 == 0 { (t * PER_THREAD + i) as u64 } else { i as u64 };
+                k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            })
+        })
+        .collect();
+    assert_eq!(dsu.key_count(), distinct.len());
+    assert_eq!(dsu.dsu().len(), distinct.len(), "make_set ran once per distinct key");
+    let mut seen = vec![false; distinct.len()];
+    for k in &distinct {
+        let id = dsu.get(k).expect("present");
+        assert!(!seen[id], "duplicate id {id}");
+        seen[id] = true;
+    }
+    assert!(dsu.id_table_resizes() > 0, "this volume must have grown the table");
+}

@@ -12,6 +12,10 @@
 //! * [`EdgeBatchSpec`] — batched edge arrivals (bursts of endpoint pairs,
 //!   optionally Zipf-skewed): the input shape of the batch-ingestion
 //!   experiments;
+//! * [`KeyedSpec`] / [`KeyedWorkload`] — keyed entity-resolution traces
+//!   (string keys, sparse u64 universes, insert-heavy churn): the input
+//!   shape of the `KeyedDsu` experiments, which no dense `0..n` generator
+//!   can express;
 //! * [`binomial`] — the adversarial workload of paper Lemma 5.3 /
 //!   Theorem 5.4: a binomial-tree-style union schedule whose resulting
 //!   forest has Ω(log k) average depth, followed by a `SameSet` storm that
@@ -34,11 +38,13 @@
 pub mod batched;
 pub mod binomial;
 pub mod gen;
+pub mod keyed;
 pub mod op;
 pub mod zipf;
 
 pub use batched::{EdgeBatchSpec, EdgeBatches};
 pub use binomial::{binomial_build_ops, lower_bound_workload, LowerBoundWorkload};
 pub use gen::{ElementDist, WorkloadSpec};
+pub use keyed::{KeyedOp, KeyedSpec, KeyedWorkload};
 pub use op::{Op, Workload};
 pub use zipf::Zipf;

@@ -6,6 +6,17 @@
 //! do all the work.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Where to go next:
+//! - `ARCHITECTURE.md` — the crate map and how the layers stack
+//!   (stores → decorators → `Dsu`/`GrowableDsu` → batch/keyed), plus the
+//!   "where to add X" guide.
+//! - `docs/benchmarks.md` — every measured claim (the wins *and* the
+//!   honest negatives) with its archived JSON artifact.
+//! - `examples/keyed_dedup.rs` — string keys instead of dense indices:
+//!   the `KeyedDsu` entity-resolution layer (see below).
+//! - All `DSU_*` environment knobs are documented in one table in the
+//!   `concurrent_dsu` crate docs (`crates/core/src/lib.rs`).
 
 use jt_dsu::{Dsu, OpStats};
 use std::thread;
@@ -57,6 +68,15 @@ fn main() {
         stats.reads,
         stats.cas_attempts(),
     );
+
+    // Elements that aren't dense integers? `jt_dsu::KeyedDsu` maps any
+    // hashable key (strings, sparse u64s, row keys) to dense ids through
+    // a lock-free sharded id table over the same core:
+    let keyed: jt_dsu::KeyedDsu<String> = jt_dsu::KeyedDsu::new();
+    keyed.merge_keys(&"user:42".to_string(), &"email:x@example.com".to_string());
+    assert!(keyed.same_set(&"email:x@example.com".to_string(), &"user:42".to_string()));
+    // (`cargo run --release --example keyed_dedup` for the full story;
+    // `DSU_KEY_SHARDS` tunes the id-table shard count.)
 
     // Want to see the same run survive an adversary? Wrap any store in
     // `jt_dsu::concurrent_dsu::FaultyStore` to inject spurious CAS

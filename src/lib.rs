@@ -17,7 +17,7 @@
 //!   components, MST, percolation, incremental connectivity);
 //! * [`dsu_workloads`] — seeded workload generation, including the
 //!   Lemma 5.3 lower-bound construction;
-//! * [`dsu_harness`] — the experiment driver behind the `e01`–`e12`
+//! * [`dsu_harness`] — the experiment driver behind the `e01`–`e14`
 //!   binaries.
 //!
 //! ## Quick start
@@ -69,6 +69,22 @@
 //! only in predictable-hit loops, so it is opt-in, never the default
 //! (`concurrent_dsu::store` docs, "when does the root cache pay").
 //!
+//! ## Keyed entity resolution
+//!
+//! Elements that are strings, sparse u64s, or any hashable keys go
+//! through [`KeyedDsu`] — a lock-free sharded id table in front of the
+//! growable core, replacing the `RwLock<HashMap>` facade real systems
+//! deploy (measured against exactly that baseline in `keyed_ab`):
+//!
+//! ```
+//! use jt_dsu::KeyedDsu;
+//!
+//! let dsu: KeyedDsu<String> = KeyedDsu::new();
+//! dsu.merge_keys(&"alice".to_string(), &"al".to_string());
+//! assert!(dsu.same_set(&"al".to_string(), &"alice".to_string()));
+//! assert_eq!(dsu.key_count(), 2);
+//! ```
+//!
 //! ## Choosing a storage layout
 //!
 //! [`Dsu`] is also generic over its parent store: packed (default), flat
@@ -87,25 +103,28 @@
 //! ## CI
 //!
 //! `.github/workflows/ci.yml` runs, on every push/PR: `lint` (fmt, clippy,
-//! rustdoc, all `-D warnings`); a `test` **matrix** over
-//! `{default, strict-sc}` orderings × `{packed, flat, sharded}` store
-//! layouts (the `default-store-*` cargo features retarget `Dsu`'s default
-//! store so the full suite exercises each layout) plus a `prefetch`
-//! feature cell and a `planned` cell that runs the full workspace with
-//! `DSU_BATCH_PLAN=1` (every count-only batch entry point routed through
-//! the ingestion planner — planning must be invisible to link counts and
-//! partitions); `bench-smoke`, which
-//! runs the five A/B examples in quick mode, archives their JSON
+//! rustdoc, all `-D warnings`, plus the workspace doc-tests); a `test`
+//! **matrix** over `{default, strict-sc}` orderings × `{packed, flat,
+//! sharded}` store layouts (the `default-store-*` cargo features retarget
+//! `Dsu`'s default store so the full suite exercises each layout) plus a
+//! `prefetch` feature cell, a `planned` cell that runs the full workspace
+//! with `DSU_BATCH_PLAN=1` (every count-only batch entry point routed
+//! through the ingestion planner — planning must be invisible to link
+//! counts and partitions), and a `keyed` cell that re-runs the keyed-layer
+//! suite under both orderings with `DSU_KEY_SHARDS=2`; `bench-smoke`,
+//! which runs the six A/B examples in quick mode, archives their JSON
 //! (machine-fingerprinted), and fail-soft-compares both medians *and* A/B
 //! ratios against the previous run's cached baseline
 //! (>15% regression warns in the job summary, never turns red; baselines
 //! from a different machine are skipped, not compared); and
-//! `harness-smoke` (one real experiment binary end to end). A weekly
-//! `schedule` (plus `workflow_dispatch`) triggers `bench-full`, the
+//! `harness-smoke` (real experiment binaries end to end, e09 + e14). A
+//! weekly `schedule` (plus `workflow_dispatch`) triggers `bench-full`, the
 //! non-quick A/B runs. Runs on the same ref cancel their predecessors.
 //!
-//! See `README.md` for the tour, `DESIGN.md` for the system inventory and
-//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for the tour, `ARCHITECTURE.md` for the crate map and
+//! layer diagram, `docs/benchmarks.md` for every measured claim and its
+//! artifact, `DESIGN.md` for the system inventory and experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use apram;
 pub use apram_dsu;
@@ -119,6 +138,6 @@ pub use sequential_dsu;
 
 pub use concurrent_dsu::{
     ConcurrentUnionFind, Dsu, DsuHalving, DsuNoCompaction, DsuOneTry, DsuTwoTry, GrowableDsu,
-    Halving, NoCompaction, OneTrySplit, OpStats, ShardSpec, ShardedStore, TwoTrySplit,
+    Halving, KeyedDsu, NoCompaction, OneTrySplit, OpStats, ShardSpec, ShardedStore, TwoTrySplit,
 };
 pub use sequential_dsu::{Compaction, Linking, Partition, SeqDsu};
