@@ -1,0 +1,252 @@
+//! The (find × link) × workload variant matrix, with the auto-tuner's
+//! decision cross-checked against the measured winners.
+//!
+//! Every variant of the plane (five find policies × three link policies,
+//! rank paired with `RankedStore` — the same fifteen points `VariantDsu`
+//! dispatches over) runs the same two probe workloads the tuner's
+//! [`DecisionTable`] distinguishes at its extremes:
+//!
+//! * **cache-uniform** — a universe whose parent array fits in cache,
+//!   uniform endpoints (the regime where variant differences drown in
+//!   core-local noise and the default should simply not lose), and
+//! * **dram-zipf** — a DRAM-resident universe with Zipf-skewed endpoints
+//!   (hot roots, long cold tails — the regime where path length is
+//!   measured in cache misses and compaction strategy matters).
+//!
+//! Samples interleave across variants round-robin so host drift lands on
+//! every arm equally; per-(workload, threads) medians and each variant's
+//! speedup over the paper default (`two-try/random`, same run) are
+//! printed and, with `--json PATH`, archived with the machine fingerprint
+//! (`BENCH_PR8.json`) in the row shape `check_bench_regression.py` gates.
+//!
+//! The tuner cross-check then runs `TunedDsu` (auto mode, builtin table)
+//! once per probe and reports whether its post-sampling choice matches
+//! the matrix winner at the highest thread count — the acceptance probe
+//! for the shipped decision table. "Matches" is tie-tolerant: when the
+//! tuner's variant is within `TIE_TOLERANCE` of the winner's median it is
+//! a statistical tie, reported as `MATCH (tie)` — on a shared box several
+//! variants routinely land within run-to-run noise of first place, and
+//! demanding an exact argmin would make the check a coin flip. A choice
+//! that nominally misses the band is re-measured **head-to-head** against
+//! the winner (tightly interleaved, so host drift cancels — the matrix
+//! medians it replaces were taken a full round-robin apart) before the
+//! verdict is final. A gap that survives that prints an honest `MISMATCH`
+//! line (and lands in the JSON), not a panic: on a differently shaped
+//! host the measured winner can legitimately disagree with a table
+//! measured on the reference machine.
+//!
+//! Run: `cargo run --release -p dsu-bench --example variants_ab --
+//!       [--samples 5] [--threads 1,2,4,8] [--json out.json]
+//!       [--quick true]`
+
+use std::fmt::Write as _;
+
+use concurrent_dsu::tune::DEFAULT_VARIANT;
+use concurrent_dsu::{TunedDsu, TunerMode, Variant, VariantDsu};
+use dsu_bench::{machine_fingerprint_json, median, timed_parallel_run};
+use dsu_harness::Args;
+use dsu_workloads::{ElementDist, Workload, WorkloadSpec};
+
+/// The tuner's choice counts as matching the winner when its median is
+/// within this factor of the winner's — variants inside this band are
+/// statistically tied on a shared box. The width is calibrated to the
+/// measured noise floor of the reference machine, not picked for
+/// comfort: across back-to-back full runs the *same variant's* DRAM
+/// median moved 10–22% and the nominal winner rotated through three
+/// different variants, while within one run the tied cluster spread
+/// under ~10%. A band narrower than the drift would make the verdict a
+/// coin flip; a real regime signal (cache-resident `halving/index` at
+/// ~1.15x, `compress` losing 2-2.8x) clears it with margin.
+const TIE_TOLERANCE: f64 = 1.10;
+
+struct Probe {
+    label: &'static str,
+    n: usize,
+    workload: Workload,
+}
+
+fn probes(quick: bool) -> Vec<Probe> {
+    // Cache-resident: 2^14 × 8 B = 128 KB (quick) / 2^16 × 8 B = 512 KB —
+    // both well under the tuner's 8 MB budget. DRAM-resident: 2^21 × 8 B
+    // = 16 MB (quick) / 2^23 × 8 B = 64 MB — both over it, so the quick
+    // run exercises the same decision-table rows as the full one.
+    let (n_cache, n_dram) = if quick { (1 << 14, 1 << 21) } else { (1 << 16, 1 << 23) };
+    let (m_cache, m_dram) = (2 * n_cache, n_dram / 2);
+    vec![
+        Probe {
+            label: "cache-uniform",
+            n: n_cache,
+            workload: WorkloadSpec::new(n_cache, m_cache).unite_fraction(0.5).generate(0xAB_2016),
+        },
+        Probe {
+            label: "dram-zipf",
+            n: n_dram,
+            workload: WorkloadSpec::new(n_dram, m_dram)
+                .unite_fraction(0.5)
+                .element_dist(ElementDist::Zipf(1.1))
+                .generate(0xAB_2016),
+        },
+    ]
+}
+
+/// One interleaved sampling round: every variant gets one timed run on a
+/// fresh structure, in plane order, so slow host phases hit all arms.
+fn sample_round(probe: &Probe, threads: usize, medians: &mut [Vec<f64>]) {
+    for (i, v) in Variant::all().enumerate() {
+        let dsu = VariantDsu::build(v, probe.n, 0xAB);
+        let t = timed_parallel_run(&dsu, &probe.workload, threads);
+        medians[i].push(t.as_nanos() as f64);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let samples = args.usize("samples", if quick { 3 } else { 5 });
+    let threads = args.thread_ladder();
+    let variants: Vec<Variant> = Variant::all().collect();
+
+    let mut rows = String::new();
+    let mut checks = String::new();
+    for probe in &probes(quick) {
+        println!(
+            "\n== {} (n = {}, m = {}, {} interleaved samples) ==",
+            probe.label,
+            probe.n,
+            probe.workload.len(),
+            samples
+        );
+        println!("{:>7} {:>22} {:>14} {:>8}", "threads", "find/link", "median ns", "vs dflt");
+        let mut winner_at_max: Option<Variant> = None;
+        let mut medians_at_max: Vec<f64> = Vec::new();
+        for &p in &threads {
+            let mut buckets: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); variants.len()];
+            // Warm-up round (uncounted), then the counted rounds.
+            sample_round(probe, p, &mut buckets);
+            for b in &mut buckets {
+                b.clear();
+            }
+            for _ in 0..samples {
+                sample_round(probe, p, &mut buckets);
+            }
+            let meds: Vec<f64> = buckets.iter_mut().map(|b| median(b)).collect();
+            let default_med = meds[variants
+                .iter()
+                .position(|&v| v == DEFAULT_VARIANT)
+                .expect("default variant is in the plane")];
+            let best = meds
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| variants[i])
+                .expect("non-empty plane");
+            if p == *threads.last().unwrap() {
+                winner_at_max = Some(best);
+                medians_at_max = meds.clone();
+            }
+            if !rows.is_empty() {
+                rows.push(',');
+            }
+            let _ = write!(rows, "\n    {{\"threads\":{p},\"n\":{}", probe.n);
+            for (i, v) in variants.iter().enumerate() {
+                let tag = v.tag();
+                let marker = if *v == best { " <- best" } else { "" };
+                println!(
+                    "{:>7} {:>22} {:>14.0} {:>8.3}{marker}",
+                    p,
+                    tag,
+                    meds[i],
+                    default_med / meds[i]
+                );
+                let _ = write!(
+                    rows,
+                    ",\"{tag}_median_ns\":{:.0},\"{tag}_speedup\":{:.4}",
+                    meds[i],
+                    default_med / meds[i]
+                );
+            }
+            rows.push('}');
+        }
+        // Tuner cross-check at this probe: does the builtin table's
+        // choice match the measured winner at the top of the ladder?
+        let p_max = *threads.last().unwrap();
+        let tuned = TunedDsu::with_mode(probe.n, 0xAB, TunerMode::Auto);
+        timed_parallel_run(&tuned, &probe.workload, p_max);
+        let choice = tuned.chosen_variant();
+        let winner = winner_at_max.expect("ladder is non-empty");
+        let mut choice_med = medians_at_max
+            [variants.iter().position(|&v| v == choice).expect("choice is in the plane")];
+        let mut winner_med = medians_at_max
+            [variants.iter().position(|&v| v == winner).expect("winner is in the plane")];
+        // Head-to-head refinement: the matrix argmin compares medians
+        // measured a full round-robin apart, so slow host phases land
+        // between the arms and a nominal gap can be pure drift (observed
+        // here: the same variant's DRAM median moves 10-25% across runs).
+        // When the choice nominally misses the band, re-measure just
+        // {choice, winner} back-to-back interleaved — the drift-cancelling
+        // arrangement every A/B in this repo trusts — and let that pair
+        // decide the verdict.
+        let mut refined = false;
+        if choice != winner && choice_med > TIE_TOLERANCE * winner_med {
+            let mut cm = Vec::with_capacity(2 * samples);
+            let mut wm = Vec::with_capacity(2 * samples);
+            for _ in 0..2 * samples {
+                let d = VariantDsu::build(choice, probe.n, 0xAB);
+                cm.push(timed_parallel_run(&d, &probe.workload, p_max).as_nanos() as f64);
+                let d = VariantDsu::build(winner, probe.n, 0xAB);
+                wm.push(timed_parallel_run(&d, &probe.workload, p_max).as_nanos() as f64);
+            }
+            choice_med = median(&mut cm);
+            winner_med = median(&mut wm);
+            refined = true;
+        }
+        let matches = choice == winner || choice_med <= TIE_TOLERANCE * winner_med;
+        let verdict = if choice == winner {
+            "MATCH"
+        } else if matches && refined {
+            "MATCH (tie, head-to-head)"
+        } else if matches {
+            "MATCH (tie)"
+        } else {
+            "MISMATCH"
+        };
+        println!(
+            "tuner cross-check [{}]: sampled {} ops, switched {}, chose {} ({:.0} ns) | matrix \
+             winner {} ({:.0} ns) -> {verdict}",
+            probe.label,
+            tuned.tuner_samples(),
+            tuned.tuner_switches(),
+            choice.tag(),
+            choice_med,
+            winner.tag(),
+            winner_med
+        );
+        if !checks.is_empty() {
+            checks.push(',');
+        }
+        let _ = write!(
+            checks,
+            "\n    {{\"probe\":\"{}\",\"n\":{},\"tuner_choice\":\"{}\",\"matrix_winner\":\"{}\",\
+             \"tuner_matches_winner\":{},\"head_to_head_refined\":{},\"tuner_samples\":{},\
+             \"tuner_switches\":{}}}",
+            probe.label,
+            probe.n,
+            choice.tag(),
+            winner.tag(),
+            matches,
+            refined,
+            tuned.tuner_samples(),
+            tuned.tuner_switches()
+        );
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\n  \"example\": \"variants_ab\",\n  \"machine\": {},\n  \"samples\": {samples},\n  \
+             \"results\": [{rows}\n  ],\n  \"tuner_checks\": [{checks}\n  ]\n}}\n",
+            machine_fingerprint_json()
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("wrote {path}");
+    }
+}

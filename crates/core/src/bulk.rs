@@ -62,12 +62,17 @@
 //!
 //! # Why the seeded CAS is still linearizable
 //!
-//! A recorded survivor `(r, w, v)` has `id(r) < id(v)` (the filter walks
-//! from the smaller node; ids are immutable). If the link CAS succeeds, `r`
-//! was still a root — and a root has the largest id of its tree
-//! (Lemma 3.1), so `v`, with its larger id, cannot be inside `r`'s tree:
-//! the two sets were distinct at the CAS, which is therefore a correct link
-//! at its linearization point, exactly the argument behind Algorithm 7.
+//! A recorded survivor `(r, w, v)` has `key(r) < key(v)` under the batch's
+//! [`LinkPolicy`](crate::LinkPolicy), with `r`'s key computed from the very
+//! word `w` the CAS expects (immutable outright for random/index linking;
+//! frozen by the word-exact CAS for rank linking — a concurrent rank bump
+//! changes the word and fails the CAS). If the link CAS succeeds, `r` was
+//! still a root — and a root has the largest observed key of its tree
+//! (Lemma 3.1's invariant, which every policy preserves; see
+//! [`order`](crate::order)), so `v`, with its larger key, cannot be inside
+//! `r`'s tree: the two sets were distinct at the CAS, which is therefore a
+//! correct link at its linearization point, exactly the argument behind
+//! Algorithm 7.
 //! Any staleness (the root moved, the sets merged meanwhile) makes the CAS
 //! fail, and the fallback loop re-establishes the answer from fresh reads.
 //! A hot-root cache entry adds no new kind of staleness: it is only an
@@ -91,6 +96,7 @@
 
 use crate::cache::RootCache;
 use crate::ingest::{BatchPlan, PlanTuning};
+use crate::order::LinkPolicy;
 use crate::stats::StatsSink;
 use crate::store::ParentStore;
 
@@ -318,7 +324,7 @@ where
 /// Algorithm 3's loop (re-find both roots, link the smaller, retry on CAS
 /// failure), built on the word-carrying climb. No `op_start` — the edge
 /// was already counted by its filter.
-fn unite_from<P, S>(
+fn unite_from<L, P, S>(
     store: &P,
     mut u: usize,
     mut v: usize,
@@ -326,6 +332,7 @@ fn unite_from<P, S>(
     record_link: impl Fn(usize, usize),
 ) -> bool
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
@@ -339,7 +346,7 @@ where
         if ru == rv {
             return false;
         }
-        let (child, wc, parent) = if (store.priority(ru, wru), ru) < (store.priority(rv, wrv), rv) {
+        let (child, wc, parent) = if L::key(store, ru, wru) < L::key(store, rv, wrv) {
             (ru, wru, rv)
         } else {
             (rv, wrv, ru)
@@ -347,6 +354,7 @@ where
         if store.cas_from(child, wc, parent) {
             stats.link_ok();
             record_link(child, parent);
+            L::on_linked(store, wc, parent);
             return true;
         }
         stats.link_fail();
@@ -373,7 +381,7 @@ where
 /// CAS), then link the group's survivors from their recorded observations.
 /// Outcomes are reported exactly once per edge but *not* in index order
 /// (same-set edges report during the filter step of their wave).
-pub fn unite_batch_sink_tuned<P, S>(
+pub fn unite_batch_sink_tuned<L, P, S>(
     store: &P,
     edges: &[(usize, usize)],
     tuning: BatchTuning,
@@ -383,13 +391,14 @@ pub fn unite_batch_sink_tuned<P, S>(
     outcome: impl FnMut(usize, bool),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
     if tuning.planner.is_some() {
-        return batch_planned(store, edges, tuning, cache, stats, record_link, outcome);
+        return batch_planned::<L, P, S>(store, edges, tuning, cache, stats, record_link, outcome);
     }
-    batch_unplanned(store, edges, tuning, cache, stats, record_link, outcome)
+    batch_unplanned::<L, P, S>(store, edges, tuning, cache, stats, record_link, outcome)
 }
 
 /// The unplanned batch dispatcher — two monomorphic loops rather than one
@@ -400,7 +409,7 @@ where
 /// (Separate from [`unite_batch_sink_tuned`] so the planned loop can call
 /// it per segment without re-entering the planner dispatch, which would
 /// monomorphize without bound.)
-fn batch_unplanned<P, S>(
+fn batch_unplanned<L, P, S>(
     store: &P,
     edges: &[(usize, usize)],
     tuning: BatchTuning,
@@ -410,12 +419,15 @@ fn batch_unplanned<P, S>(
     outcome: impl FnMut(usize, bool),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
     match cache {
-        None => batch_plain(store, edges, tuning, stats, record_link, outcome),
-        Some(cache) => batch_cached(store, edges, tuning, cache, stats, record_link, outcome),
+        None => batch_plain::<L, P, S>(store, edges, tuning, stats, record_link, outcome),
+        Some(cache) => {
+            batch_cached::<L, P, S>(store, edges, tuning, cache, stats, record_link, outcome)
+        }
     }
 }
 
@@ -428,7 +440,7 @@ where
 /// is what justifies the verdict — see [`ingest`](crate::ingest)). Each
 /// dropped edge still counts as one operation, so `OpStats::ops` keeps
 /// meaning "edges ingested" across planned and unplanned runs.
-fn batch_planned<P, S>(
+fn batch_planned<L, P, S>(
     store: &P,
     edges: &[(usize, usize)],
     tuning: BatchTuning,
@@ -438,6 +450,7 @@ fn batch_planned<P, S>(
     mut outcome: impl FnMut(usize, bool),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
@@ -448,7 +461,7 @@ where
     let inner = BatchTuning { planner: None, ..tuning };
     let mut links = 0;
     for (segment, orig) in plan.segments() {
-        links += batch_unplanned(
+        links += batch_unplanned::<L, P, _>(
             store,
             segment,
             inner,
@@ -466,14 +479,14 @@ where
 }
 
 /// Nominates the link direction for two distinct observed roots: the
-/// smaller-priority root goes under the other, the same choice `Unite`
-/// makes (index breaks ties per the store contract). Unlike `SameSet`
-/// (paper Algorithm 2), no validation re-read happens at nomination: the
-/// filter does not claim the sets are distinct, it only nominates a link
-/// for the link pass, whose CAS against the recorded word is the
-/// validation (see the module docs).
+/// smaller-key root (under the batch's [`LinkPolicy`]) goes under the
+/// other, the same choice `Unite` makes (index breaks ties). Unlike
+/// `SameSet` (paper Algorithm 2), no validation re-read happens at
+/// nomination: the filter does not claim the sets are distinct, it only
+/// nominates a link for the link pass, whose CAS against the recorded word
+/// is the validation (see the module docs).
 #[inline]
-fn nominate<P>(
+fn nominate<L, P>(
     store: &P,
     ru: usize,
     wru: P::Word,
@@ -481,9 +494,10 @@ fn nominate<P>(
     wrv: P::Word,
 ) -> (usize, P::Word, usize)
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
 {
-    if (store.priority(ru, wru), ru) < (store.priority(rv, wrv), rv) {
+    if L::key(store, ru, wru) < L::key(store, rv, wrv) {
         (ru, wru, rv)
     } else {
         (rv, wrv, ru)
@@ -492,7 +506,7 @@ where
 
 /// The link pass over one group's survivors: one seeded CAS per survivor
 /// on the common path, the full retry loop on a lost race.
-fn link_survivors<P, S>(
+fn link_survivors<L, P, S>(
     store: &P,
     survivors: &[(usize, usize, P::Word, usize)],
     stats: &mut S,
@@ -500,6 +514,7 @@ fn link_survivors<P, S>(
     outcome: &mut impl FnMut(usize, bool),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
@@ -508,11 +523,12 @@ where
         let linked = if store.cas_from(root, word, under) {
             stats.link_ok();
             record_link(root, under);
+            L::on_linked(store, word, under);
             true
         } else {
             stats.link_fail();
             stats.cas_retry();
-            unite_from::<P, S>(store, root, under, stats, record_link)
+            unite_from::<L, P, S>(store, root, under, stats, record_link)
         };
         links += linked as usize;
         outcome(i, linked);
@@ -550,7 +566,7 @@ fn prefetch_next_group<P, S>(
 
 /// The cache-less batch loop (the default path): gather waves straight
 /// from the endpoints, unrolled resolves, link pass.
-fn batch_plain<P, S>(
+fn batch_plain<L, P, S>(
     store: &P,
     edges: &[(usize, usize)],
     tuning: BatchTuning,
@@ -559,6 +575,7 @@ fn batch_plain<P, S>(
     mut outcome: impl FnMut(usize, bool),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
@@ -612,10 +629,10 @@ where
                 outcome(base + k, false);
                 continue;
             }
-            let (root, word, under) = nominate(store, ru, wru, rv, wrv);
+            let (root, word, under) = nominate::<L, P>(store, ru, wru, rv, wrv);
             survivors.push((base + k, root, word, under));
         }
-        links += link_survivors(store, &survivors, stats, &record_link, &mut outcome);
+        links += link_survivors::<L, P, S>(store, &survivors, stats, &record_link, &mut outcome);
     }
     links
 }
@@ -624,7 +641,7 @@ where
 /// cached root's word when an entry exists (the validation load rides the
 /// overlapped wave), resolutions are memoized, and the cache persists for
 /// whatever scope the caller gave it (per-batch, per-thread session, ...).
-fn batch_cached<P, S>(
+fn batch_cached<L, P, S>(
     store: &P,
     edges: &[(usize, usize)],
     tuning: BatchTuning,
@@ -634,6 +651,7 @@ fn batch_cached<P, S>(
     mut outcome: impl FnMut(usize, bool),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
@@ -724,10 +742,10 @@ where
                 outcome(base + k, false);
                 continue;
             }
-            let (root, word, under) = nominate(store, ru, wru, rv, wrv);
+            let (root, word, under) = nominate::<L, P>(store, ru, wru, rv, wrv);
             survivors.push((base + k, root, word, under));
         }
-        links += link_survivors(store, &survivors, stats, &record_link, &mut outcome);
+        links += link_survivors::<L, P, S>(store, &survivors, stats, &record_link, &mut outcome);
     }
     links
 }
@@ -744,7 +762,7 @@ where
 /// [`Dsu::cached`](crate::Dsu::cached) or
 /// [`unite_batch_cached`](crate::ConcurrentUnionFind::unite_batch_cached).
 /// Returns the number of successful links.
-pub fn unite_batch_sink<P, S>(
+pub fn unite_batch_sink<L, P, S>(
     store: &P,
     edges: &[(usize, usize)],
     stats: &mut S,
@@ -752,10 +770,11 @@ pub fn unite_batch_sink<P, S>(
     outcome: impl FnMut(usize, bool),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
-    unite_batch_sink_tuned::<P, S>(
+    unite_batch_sink_tuned::<L, P, S>(
         store,
         edges,
         BatchTuning::default(),
@@ -768,17 +787,18 @@ where
 
 /// Batched `unite` over `edges`; returns the number of successful links.
 /// See [`unite_batch_sink`] for the two-pass structure.
-pub fn unite_batch<P, S>(
+pub fn unite_batch<L, P, S>(
     store: &P,
     edges: &[(usize, usize)],
     stats: &mut S,
     record_link: impl Fn(usize, usize),
 ) -> usize
 where
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
-    unite_batch_sink::<P, S>(store, edges, stats, record_link, |_, _| {})
+    unite_batch_sink::<L, P, S>(store, edges, stats, record_link, |_, _| {})
 }
 
 #[cfg(test)]
@@ -786,10 +806,11 @@ mod tests {
     use super::*;
     use crate::find::TwoTrySplit;
     use crate::ops;
+    use crate::order::RandomLink;
     use crate::store::{DsuStore, FlatStore, PackedStore};
 
     fn batch_on<P: ParentStore + DsuStore>(store: &P, edges: &[(usize, usize)]) -> usize {
-        unite_batch(store, edges, &mut (), |_, _| {})
+        unite_batch::<RandomLink, _, _>(store, edges, &mut (), |_, _| {})
     }
 
     #[test]
@@ -826,7 +847,7 @@ mod tests {
         let edges = [(0, 1), (1, 0), (2, 3), (4, 4), (3, 2), (0, 5)];
         let mut seen = vec![0u32; edges.len()];
         let mut bools = vec![false; edges.len()];
-        let links = unite_batch_sink(
+        let links = unite_batch_sink::<RandomLink, _, _>(
             &store,
             &edges,
             &mut (),
@@ -847,7 +868,7 @@ mod tests {
         let store = PackedStore::with_seed(16, 5);
         let count = AtomicUsize::new(0);
         let edges: Vec<(usize, usize)> = (0..15).map(|i| (i, i + 1)).collect();
-        let links = unite_batch(&store, &edges, &mut (), |child, parent| {
+        let links = unite_batch::<RandomLink, _, _>(&store, &edges, &mut (), |child, parent| {
             assert!(DsuStore::id_of(&store, child) < DsuStore::id_of(&store, parent));
             count.fetch_add(1, Ordering::Relaxed);
         });
@@ -859,7 +880,7 @@ mod tests {
     fn stats_count_each_edge_as_one_op() {
         let store = FlatStore::with_seed(8, 2);
         let mut stats = crate::OpStats::default();
-        unite_batch(&store, &[(0, 1), (0, 1), (2, 2)], &mut stats, |_, _| {});
+        unite_batch::<RandomLink, _, _>(&store, &[(0, 1), (0, 1), (2, 2)], &mut stats, |_, _| {});
         assert_eq!(stats.ops, 3);
         assert_eq!(stats.links_ok, 1);
     }
@@ -894,7 +915,7 @@ mod tests {
                     let mut cache = RootCache::with_capacity(32);
                     let mut tuning = BatchTuning::new().wave_depth(depth);
                     tuning.planner = planner;
-                    let links = unite_batch_sink_tuned(
+                    let links = unite_batch_sink_tuned::<RandomLink, _, _>(
                         &store,
                         &edges,
                         tuning,
@@ -927,7 +948,7 @@ mod tests {
         let mut stats = crate::OpStats::default();
         let mut seen = vec![0u32; edges.len()];
         let mut verdicts = vec![false; edges.len()];
-        let links = unite_batch_sink_tuned(
+        let links = unite_batch_sink_tuned::<RandomLink, _, _>(
             &store,
             &edges,
             BatchTuning::new().planned(PlanTuning::new().bucket_elems_log2(3)),
@@ -962,7 +983,7 @@ mod tests {
         let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
         let mut stats = crate::OpStats::default();
         let mut cache = RootCache::default();
-        let links = unite_batch_sink_tuned(
+        let links = unite_batch_sink_tuned::<RandomLink, _, _>(
             &store,
             &edges,
             BatchTuning::default(),
@@ -980,7 +1001,7 @@ mod tests {
         // The cache-less default path reports no cache traffic at all.
         let store = PackedStore::with_seed(n, 77);
         let mut plain = crate::OpStats::default();
-        unite_batch(&store, &edges, &mut plain, |_, _| {});
+        unite_batch::<RandomLink, _, _>(&store, &edges, &mut plain, |_, _| {});
         assert_eq!(plain.cache_hits + plain.cache_stale, 0);
     }
 
@@ -990,7 +1011,7 @@ mod tests {
         let store = PackedStore::with_seed(n, 1);
         let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         let mut stats = crate::OpStats::default();
-        unite_batch(&store, &edges, &mut stats, |_, _| {});
+        unite_batch::<RandomLink, _, _>(&store, &edges, &mut stats, |_, _| {});
         if crate::store::prefetch_enabled() {
             // One prefetch wave per group except the last.
             assert_eq!(stats.prefetch_waves, 2);

@@ -73,6 +73,7 @@
 //! [`StatsSink::cache_stale`]: crate::stats::StatsSink::cache_stale
 
 use crate::find::FindPolicy;
+use crate::order::LinkPolicy;
 use crate::stats::StatsSink;
 use crate::store::ParentStore;
 
@@ -266,8 +267,10 @@ where
 /// [`CachedHandle::unite`](crate::dsu::CachedHandle::unite). The link CAS
 /// expects the exact word the cached find's validation load returned, so a
 /// stale entry can fail a CAS (and retry with fresh finds) but never
-/// corrupt a link.
-pub fn unite_cached<F, P, S>(
+/// corrupt a link. Link direction follows the handle's [`LinkPolicy`],
+/// keyed off those validated words — the same word-exactness the uncached
+/// [`ops::unite`](crate::ops::unite) relies on.
+pub fn unite_cached<F, L, P, S>(
     store: &P,
     cache: &mut RootCache,
     x: usize,
@@ -277,6 +280,7 @@ pub fn unite_cached<F, P, S>(
 ) -> bool
 where
     F: FindPolicy,
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
@@ -291,14 +295,12 @@ where
         if u == v {
             return false;
         }
-        let (child, wc, parent) = if (store.priority(u, wu), u) < (store.priority(v, wv), v) {
-            (u, wu, v)
-        } else {
-            (v, wv, u)
-        };
+        let (child, wc, parent) =
+            if L::key(store, u, wu) < L::key(store, v, wv) { (u, wu, v) } else { (v, wv, u) };
         if store.cas_from(child, wc, parent) {
             stats.link_ok();
             record_link(child, parent);
+            L::on_linked(store, wc, parent);
             // The loser of the link is no longer a root; keep the cache
             // from offering it for validation again (validation would
             // catch it, but the evict saves that wasted load).
@@ -315,6 +317,7 @@ where
 mod tests {
     use super::*;
     use crate::find::TwoTrySplit;
+    use crate::order::RandomLink;
     use crate::store::{DsuStore, FlatStore, PackedStore};
     use crate::OpStats;
     use std::sync::atomic::Ordering;
@@ -404,7 +407,7 @@ mod tests {
             let x = (i * 37) % n;
             let y = (i * 101 + 3) % n;
             if i % 3 == 0 {
-                let a = unite_cached::<TwoTrySplit, _, _>(
+                let a = unite_cached::<TwoTrySplit, RandomLink, _, _>(
                     &cached_store,
                     &mut cache,
                     x,
@@ -412,7 +415,13 @@ mod tests {
                     &mut s,
                     |_, _| {},
                 );
-                let b = ops::unite::<TwoTrySplit, _, _>(&plain_store, x, y, &mut s, |_, _| {});
+                let b = ops::unite::<TwoTrySplit, RandomLink, _, _>(
+                    &plain_store,
+                    x,
+                    y,
+                    &mut s,
+                    |_, _| {},
+                );
                 assert_eq!(a, b, "unite diverged at step {i}");
             } else {
                 let a =
@@ -440,9 +449,16 @@ mod tests {
         let mut cache = RootCache::default();
         let mut s = ();
         for i in 0..n - 1 {
-            unite_cached::<TwoTrySplit, _, _>(&store, &mut cache, i, i + 1, &mut s, |c, p| {
-                assert!(DsuStore::id_of(&store, c) < DsuStore::id_of(&store, p));
-            });
+            unite_cached::<TwoTrySplit, RandomLink, _, _>(
+                &store,
+                &mut cache,
+                i,
+                i + 1,
+                &mut s,
+                |c, p| {
+                    assert!(DsuStore::id_of(&store, c) < DsuStore::id_of(&store, p));
+                },
+            );
         }
         for x in 0..n {
             let p = store.load_parent(x);

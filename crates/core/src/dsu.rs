@@ -7,18 +7,23 @@ use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ingest::PlanTuning;
 use crate::ops;
+use crate::order::LinkPolicy;
 use crate::stats::StatsSink;
 use crate::store::DsuStore;
 use crate::ConcurrentUnionFind;
 
 /// A wait-free concurrent disjoint-set union over the fixed universe
 /// `0..n`, parameterized by the find compaction policy `F` (default:
-/// [`TwoTrySplit`], the paper's best variant) and the parent storage layout
+/// [`TwoTrySplit`], the paper's best variant), the parent storage layout
 /// `S` (default: [`DefaultStore`](crate::DefaultStore) —
 /// [`PackedStore`](crate::PackedStore) unless a `default-store-*` feature
 /// retargets it; see the layout-selection guide in the
 /// [`store`](crate::store) module docs; universes larger than `2^32` must
-/// pick [`FlatStore`](crate::store::FlatStore) explicitly).
+/// pick [`FlatStore`](crate::store::FlatStore) explicitly), and the link
+/// policy `L` (default: [`DefaultLink`](crate::DefaultLink) —
+/// [`RandomLink`](crate::RandomLink), the paper's randomized linking,
+/// unless the `default-link-index` feature retargets it; the axis and its
+/// acyclicity contract live in the [`order`](crate::order) module docs).
 ///
 /// All operations take `&self` and may be called from any number of threads
 /// simultaneously; results are linearizable (paper Lemma 3.2 — on
@@ -43,7 +48,11 @@ use crate::ConcurrentUnionFind;
 /// assert!(flat.unite(3, 4));
 /// assert_eq!(flat.set_count(), 9);
 /// ```
-pub struct Dsu<F: FindPolicy = TwoTrySplit, S: DsuStore = crate::DefaultStore> {
+pub struct Dsu<
+    F: FindPolicy = TwoTrySplit,
+    S: DsuStore = crate::DefaultStore,
+    L: LinkPolicy = crate::DefaultLink,
+> {
     store: S,
     /// Parent in the *union forest*: written exactly once per element, when
     /// its link CAS succeeds. Read for offline analysis (heights, depths) at
@@ -51,21 +60,22 @@ pub struct Dsu<F: FindPolicy = TwoTrySplit, S: DsuStore = crate::DefaultStore> {
     union_parent: Box<[AtomicUsize]>,
     /// Number of successful links ever; `set_count = n - links`.
     links: AtomicUsize,
-    _policy: std::marker::PhantomData<F>,
+    _policy: std::marker::PhantomData<(F, L)>,
 }
 
-impl<F: FindPolicy, S: DsuStore> std::fmt::Debug for Dsu<F, S> {
+impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> std::fmt::Debug for Dsu<F, S, L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dsu")
             .field("len", &self.len())
             .field("set_count", &self.set_count())
             .field("policy", &F::NAME)
             .field("store", &S::NAME)
+            .field("link", &L::NAME)
             .finish()
     }
 }
 
-impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
+impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> Dsu<F, S, L> {
     /// Default seed for the random node order; fixed so runs are
     /// reproducible unless a seed is supplied via [`Dsu::with_seed`].
     pub const DEFAULT_SEED: u64 = 0x7461_726a_616e_2016; // "tarjan 2016"
@@ -149,6 +159,11 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
         S::NAME
     }
 
+    /// The name of the link policy (e.g. `"random"`), for reports.
+    pub fn link_name(&self) -> &'static str {
+        L::NAME
+    }
+
     /// The underlying store — for layout-specific inspection (a sharded
     /// store's [`ShardReport`](crate::ShardReport), a
     /// [`FaultyStore`](crate::FaultyStore)'s fault report). Read-only: the
@@ -210,7 +225,7 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     pub fn unite_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite::<F, _, _>(&self.store, x, y, stats, |child, parent| {
+        ops::unite::<F, L, _, _>(&self.store, x, y, stats, |child, parent| {
             self.record_link(child, parent)
         })
     }
@@ -230,7 +245,7 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     pub fn same_set_early_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::same_set_early::<F, _, _>(&self.store, x, y, stats)
+        ops::same_set_early::<F, L, _, _>(&self.store, x, y, stats)
     }
 
     /// `Unite` with early termination (paper Algorithm 7). Same semantics
@@ -247,7 +262,7 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     pub fn unite_early_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite_early::<F, _, _>(&self.store, x, y, stats, |child, parent| {
+        ops::unite_early::<F, L, _, _>(&self.store, x, y, stats, |child, parent| {
             self.record_link(child, parent)
         })
     }
@@ -337,7 +352,7 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
             self.check(y);
         }
         let mut results = vec![false; edges.len()];
-        bulk::unite_batch_sink_tuned(
+        bulk::unite_batch_sink_tuned::<L, _, _>(
             &self.store,
             edges,
             BatchTuning::new().planned(PlanTuning::new()),
@@ -371,7 +386,7 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
             self.check(x);
             self.check(y);
         }
-        bulk::unite_batch_sink_tuned(
+        bulk::unite_batch_sink_tuned::<L, _, _>(
             &self.store,
             edges,
             tuning,
@@ -405,14 +420,14 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
     /// assert!(session.same_set(0, 99));
     /// assert!(dsu.same_set(0, 99)); // plain ops see the same sets
     /// ```
-    pub fn cached(&self) -> CachedHandle<'_, F, S> {
+    pub fn cached(&self) -> CachedHandle<'_, F, S, L> {
         CachedHandle { dsu: self, cache: RootCache::default() }
     }
 
     /// [`cached`](Dsu::cached) with an explicit cache capacity (slots,
     /// rounded up to a power of two). Capacity trades hit rate against
     /// footprint and never affects results.
-    pub fn cached_with_capacity(&self, capacity: usize) -> CachedHandle<'_, F, S> {
+    pub fn cached_with_capacity(&self, capacity: usize) -> CachedHandle<'_, F, S, L> {
         CachedHandle { dsu: self, cache: RootCache::with_capacity(capacity) }
     }
 
@@ -429,7 +444,7 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
             self.check(y);
         }
         let mut results = vec![false; edges.len()];
-        bulk::unite_batch_sink(
+        bulk::unite_batch_sink::<L, _, _>(
             &self.store,
             edges,
             &mut (),
@@ -493,12 +508,17 @@ impl<F: FindPolicy, S: DsuStore> Dsu<F, S> {
 /// Methods take `&mut self` (the cache is the handle's private state), so
 /// a handle serves one thread at a time; share the underlying [`Dsu`]
 /// across threads and give each thread its own handle.
-pub struct CachedHandle<'a, F: FindPolicy = TwoTrySplit, S: DsuStore = crate::DefaultStore> {
-    dsu: &'a Dsu<F, S>,
+pub struct CachedHandle<
+    'a,
+    F: FindPolicy = TwoTrySplit,
+    S: DsuStore = crate::DefaultStore,
+    L: LinkPolicy = crate::DefaultLink,
+> {
+    dsu: &'a Dsu<F, S, L>,
     cache: RootCache,
 }
 
-impl<F: FindPolicy, S: DsuStore> std::fmt::Debug for CachedHandle<'_, F, S> {
+impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> std::fmt::Debug for CachedHandle<'_, F, S, L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CachedHandle")
             .field("dsu", self.dsu)
@@ -507,9 +527,9 @@ impl<F: FindPolicy, S: DsuStore> std::fmt::Debug for CachedHandle<'_, F, S> {
     }
 }
 
-impl<'a, F: FindPolicy, S: DsuStore> CachedHandle<'a, F, S> {
+impl<'a, F: FindPolicy, S: DsuStore, L: LinkPolicy> CachedHandle<'a, F, S, L> {
     /// The structure this session operates on.
-    pub fn dsu(&self) -> &'a Dsu<F, S> {
+    pub fn dsu(&self) -> &'a Dsu<F, S, L> {
         self.dsu
     }
 
@@ -567,7 +587,7 @@ impl<'a, F: FindPolicy, S: DsuStore> CachedHandle<'a, F, S> {
     pub fn unite_with<Sk: StatsSink>(&mut self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.dsu.check(x);
         self.dsu.check(y);
-        cache::unite_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, y, stats, |c, p| {
+        cache::unite_cached::<F, L, _, _>(&self.dsu.store, &mut self.cache, x, y, stats, |c, p| {
             self.dsu.record_link(c, p)
         })
     }
@@ -619,7 +639,7 @@ pub(crate) fn forest_height(parent: &[usize]) -> usize {
     tallest
 }
 
-impl<F: FindPolicy, S: DsuStore> ConcurrentUnionFind for Dsu<F, S> {
+impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> ConcurrentUnionFind for Dsu<F, S, L> {
     fn len(&self) -> usize {
         Dsu::len(self)
     }
@@ -653,8 +673,15 @@ impl<F: FindPolicy, S: DsuStore> ConcurrentUnionFind for Dsu<F, S> {
 mod tests {
     use super::*;
     use crate::find::{Halving, NoCompaction, OneTrySplit};
+    use crate::order::{IndexLink, RandomLink, RankLink};
+    use crate::store::RankedStore;
     use crate::OpStats;
     use sequential_dsu::{NaiveDsu, Partition};
+
+    /// The paper's linking, pinned explicitly: tests that assert *random-id*
+    /// semantics (Lemma 3.1 on ids, the log-height theorem) must not float
+    /// with the `default-link-index` feature the CI variants cell flips.
+    type RandomDsu<F = TwoTrySplit> = Dsu<F, crate::DefaultStore, RandomLink>;
 
     fn exercise_basic<F: FindPolicy>() {
         let dsu: Dsu<F> = Dsu::new(10);
@@ -681,10 +708,12 @@ mod tests {
 
     #[test]
     fn debug_is_informative() {
-        let dsu: Dsu = Dsu::new(3);
+        let dsu: RandomDsu = Dsu::new(3);
         let s = format!("{dsu:?}");
         assert!(s.contains("two-try"), "{s}");
         assert!(s.contains("len"), "{s}");
+        assert!(s.contains("random"), "{s}");
+        assert_eq!(dsu.link_name(), "random");
     }
 
     #[test]
@@ -773,7 +802,7 @@ mod tests {
     fn parent_ids_strictly_increase_along_paths() {
         // Lemma 3.1 under real concurrency.
         let n = 2048;
-        let dsu: Dsu = Dsu::new(n);
+        let dsu: RandomDsu = Dsu::new(n);
         std::thread::scope(|s| {
             for t in 0..8usize {
                 let dsu = &dsu;
@@ -813,7 +842,7 @@ mod tests {
         // generous constant so the test never flakes: c = 6 over 3 seeds.
         for seed in [1, 2, 3] {
             let n = 1 << 14;
-            let dsu: Dsu = Dsu::with_seed(n, seed);
+            let dsu: RandomDsu = Dsu::with_seed(n, seed);
             use rand::{Rng, SeedableRng};
             let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0xABCD);
             for _ in 0..2 * n {
@@ -975,6 +1004,91 @@ mod tests {
         assert_eq!(stats.spill_edges, 1);
         assert_eq!(stats.bucket_count, 1);
         assert_eq!(stats.links_ok, 3);
+    }
+
+    #[test]
+    fn link_axis_variants_match_oracle_and_each_other() {
+        // Every link policy is a different tree shape, never a different
+        // partition: index linking on the default layout and rank linking
+        // on the ranked layout must return the oracle's verdicts and agree
+        // on the final sets — single-threaded, per-op AND batched.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(2025);
+        let n = 96;
+        let random: RandomDsu = Dsu::with_seed(n, 12);
+        let index: Dsu<TwoTrySplit, crate::DefaultStore, IndexLink> = Dsu::with_seed(n, 12);
+        let rank: Dsu<TwoTrySplit, RankedStore, RankLink> = Dsu::with_seed(n, 12);
+        let mut oracle = NaiveDsu::new(n);
+        for i in 0..600 {
+            let x = rng.gen_range(0..n);
+            let y = rng.gen_range(0..n);
+            match i % 3 {
+                0 => {
+                    let want = oracle.unite(x, y);
+                    assert_eq!(random.unite(x, y), want);
+                    assert_eq!(index.unite(x, y), want);
+                    assert_eq!(rank.unite(x, y), want);
+                }
+                1 => {
+                    let want = oracle.same_set(x, y);
+                    assert_eq!(random.same_set(x, y), want);
+                    assert_eq!(index.same_set_early(x, y), want);
+                    assert_eq!(rank.same_set_early(x, y), want);
+                }
+                _ => {
+                    let batch = [(x, y), (y, x)];
+                    let want = oracle.unite(x, y) as usize;
+                    assert_eq!(random.unite_batch(&batch), want);
+                    assert_eq!(index.unite_batch(&batch), want);
+                    assert_eq!(rank.unite_batch(&batch), want);
+                }
+            }
+        }
+        let want = oracle.partition();
+        assert_eq!(Partition::from_labels(&random.labels_snapshot()), want);
+        assert_eq!(Partition::from_labels(&index.labels_snapshot()), want);
+        assert_eq!(Partition::from_labels(&rank.labels_snapshot()), want);
+        // Index linking's invariant: parents are index-upward.
+        for (x, &p) in index.parents_snapshot().iter().enumerate() {
+            assert!(p == x || x < p, "index linking let {x} point down at {p}");
+        }
+    }
+
+    #[test]
+    fn link_axis_concurrent_partitions_match_oracle() {
+        // Lemma 3.1's acyclicity (and hence termination + correct sets)
+        // must survive real concurrency on the non-default policies too —
+        // rank linking's mutable keys are exactly the risky case.
+        fn hammer<S: DsuStore + Sync, L: LinkPolicy>() {
+            let n = 1024;
+            let pairs: Vec<(usize, usize)> =
+                (0..2 * n).map(|i| ((i * 2654435761) % n, (i * 421 + 9) % n)).collect();
+            let dsu: Dsu<TwoTrySplit, S, L> = Dsu::new(n);
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    let dsu = &dsu;
+                    let pairs = &pairs;
+                    s.spawn(move || {
+                        for (i, &(x, y)) in pairs.iter().enumerate() {
+                            if i % 4 == t {
+                                dsu.unite(x, y);
+                            } else {
+                                dsu.same_set(x, y);
+                            }
+                        }
+                    });
+                }
+            });
+            let mut oracle = NaiveDsu::new(n);
+            for &(x, y) in &pairs {
+                oracle.unite(x, y);
+            }
+            assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
+            assert_eq!(dsu.set_count(), oracle.set_count());
+        }
+        hammer::<crate::DefaultStore, IndexLink>();
+        hammer::<RankedStore, RankLink>();
+        hammer::<RankedStore, RandomLink>(); // ranked layout, paper linking
     }
 
     #[test]

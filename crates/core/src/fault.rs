@@ -405,6 +405,21 @@ impl<S: ParentStore> ParentStore for FaultyStore<S> {
     fn prefetch(&self, i: usize) {
         self.inner.prefetch(i);
     }
+
+    #[inline(always)]
+    fn rank_of(w: S::Word) -> u64 {
+        S::rank_of(w)
+    }
+
+    #[inline(always)]
+    fn try_bump_rank(&self, i: usize, rank: u64) -> bool {
+        // A spurious bump failure is always legal — callers treat the bump
+        // as best-effort — so route it through the same CAS chaos.
+        if self.inject_cas && self.spurious_cas() {
+            return false;
+        }
+        self.inner.try_bump_rank(i, rank)
+    }
 }
 
 impl<S: IdOrder> IdOrder for FaultyStore<S> {
@@ -492,6 +507,16 @@ impl<S: ParentStore> ParentStore for BrokenStore<S> {
     #[inline]
     fn priority(&self, i: usize, w: S::Word) -> u64 {
         self.inner.priority(i, w)
+    }
+
+    #[inline]
+    fn rank_of(w: S::Word) -> u64 {
+        S::rank_of(w)
+    }
+
+    #[inline]
+    fn try_bump_rank(&self, i: usize, rank: u64) -> bool {
+        self.inner.try_bump_rank(i, rank)
     }
 }
 

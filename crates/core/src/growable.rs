@@ -23,7 +23,7 @@ use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
 use crate::ingest::PlanTuning;
 use crate::ops;
-use crate::order::{splitmix64, HashOrder, IdOrder};
+use crate::order::{splitmix64, HashOrder, IdOrder, LinkPolicy};
 use crate::stats::StatsSink;
 use crate::store::{self, ParentStore};
 use crate::ConcurrentUnionFind;
@@ -272,32 +272,36 @@ impl GrowableStore for PackedSegmentedStore {
 /// let c = dsu.make_set();
 /// assert!(!dsu.same_set(a, c));
 /// ```
-pub struct GrowableDsu<F: FindPolicy = TwoTrySplit, S: GrowableStore = crate::DefaultGrowableStore>
-{
+pub struct GrowableDsu<
+    F: FindPolicy = TwoTrySplit,
+    S: GrowableStore = crate::DefaultGrowableStore,
+    L: LinkPolicy = crate::DefaultLink,
+> {
     store: S,
     count: AtomicUsize,
     links: AtomicUsize,
-    _policy: std::marker::PhantomData<F>,
+    _policy: std::marker::PhantomData<(F, L)>,
 }
 
-impl<F: FindPolicy, S: GrowableStore> std::fmt::Debug for GrowableDsu<F, S> {
+impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> std::fmt::Debug for GrowableDsu<F, S, L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GrowableDsu")
             .field("len", &self.len())
             .field("set_count", &self.set_count())
             .field("policy", &F::NAME)
             .field("store", &S::NAME)
+            .field("link", &L::NAME)
             .finish()
     }
 }
 
-impl<F: FindPolicy, S: GrowableStore> Default for GrowableDsu<F, S> {
+impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> Default for GrowableDsu<F, S, L> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
+impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> GrowableDsu<F, S, L> {
     /// Default seed for the on-the-fly id hash.
     pub const DEFAULT_SEED: u64 = 0x6d61_6b65_5f73_6574; // "make_set"
 
@@ -371,6 +375,14 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
         S::NAME
     }
 
+    /// The name of the link policy (e.g. `"random"`), for reports. Note
+    /// the growable layouts carry no rank word, so
+    /// [`RankLink`](crate::RankLink) on them degenerates to index linking
+    /// (see [`ParentStore::rank_of`]).
+    pub fn link_name(&self) -> &'static str {
+        L::NAME
+    }
+
     fn check(&self, x: usize) {
         assert!(x < self.len(), "element {x} out of range (len {})", self.len());
     }
@@ -424,7 +436,7 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
     pub fn unite_with<Sk: StatsSink>(&self, x: usize, y: usize, stats: &mut Sk) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite::<F, _, _>(&self.store, x, y, stats, |_, _| {
+        ops::unite::<F, L, _, _>(&self.store, x, y, stats, |_, _| {
             self.links.fetch_add(1, Ordering::Relaxed);
         })
     }
@@ -483,7 +495,7 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
             self.check(y);
         }
         let mut results = vec![false; edges.len()];
-        bulk::unite_batch_sink(
+        bulk::unite_batch_sink::<L, _, _>(
             &self.store,
             edges,
             &mut (),
@@ -503,7 +515,7 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
     pub fn same_set_early(&self, x: usize, y: usize) -> bool {
         self.check(x);
         self.check(y);
-        ops::same_set_early::<F, _, _>(&self.store, x, y, &mut ())
+        ops::same_set_early::<F, L, _, _>(&self.store, x, y, &mut ())
     }
 
     /// `Unite` with early termination (paper Algorithm 7).
@@ -514,7 +526,7 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
     pub fn unite_early(&self, x: usize, y: usize) -> bool {
         self.check(x);
         self.check(y);
-        ops::unite_early::<F, _, _>(&self.store, x, y, &mut (), |_, _| {
+        ops::unite_early::<F, L, _, _>(&self.store, x, y, &mut (), |_, _| {
             self.links.fetch_add(1, Ordering::Relaxed);
         })
     }
@@ -538,7 +550,7 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
             self.check(x);
             self.check(y);
         }
-        bulk::unite_batch_sink_tuned(
+        bulk::unite_batch_sink_tuned::<L, _, _>(
             &self.store,
             edges,
             tuning,
@@ -555,13 +567,13 @@ impl<F: FindPolicy, S: GrowableStore> GrowableDsu<F, S> {
     /// [`Dsu::cached`](crate::Dsu::cached). One handle per thread; results
     /// are identical to the plain operations. Capacity follows
     /// [`RootCache::default`] (honoring `DSU_CACHE_SLOTS`).
-    pub fn cached(&self) -> GrowableCachedHandle<'_, F, S> {
+    pub fn cached(&self) -> GrowableCachedHandle<'_, F, S, L> {
         GrowableCachedHandle { dsu: self, cache: RootCache::default() }
     }
 
     /// [`cached`](GrowableDsu::cached) with an explicit cache capacity
     /// (slots, rounded up to a power of two).
-    pub fn cached_with_capacity(&self, capacity: usize) -> GrowableCachedHandle<'_, F, S> {
+    pub fn cached_with_capacity(&self, capacity: usize) -> GrowableCachedHandle<'_, F, S, L> {
         GrowableCachedHandle { dsu: self, cache: RootCache::with_capacity(capacity) }
     }
 
@@ -585,12 +597,15 @@ pub struct GrowableCachedHandle<
     'a,
     F: FindPolicy = TwoTrySplit,
     S: GrowableStore = crate::DefaultGrowableStore,
+    L: LinkPolicy = crate::DefaultLink,
 > {
-    dsu: &'a GrowableDsu<F, S>,
+    dsu: &'a GrowableDsu<F, S, L>,
     cache: RootCache,
 }
 
-impl<F: FindPolicy, S: GrowableStore> std::fmt::Debug for GrowableCachedHandle<'_, F, S> {
+impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> std::fmt::Debug
+    for GrowableCachedHandle<'_, F, S, L>
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GrowableCachedHandle")
             .field("dsu", self.dsu)
@@ -599,9 +614,9 @@ impl<F: FindPolicy, S: GrowableStore> std::fmt::Debug for GrowableCachedHandle<'
     }
 }
 
-impl<'a, F: FindPolicy, S: GrowableStore> GrowableCachedHandle<'a, F, S> {
+impl<'a, F: FindPolicy, S: GrowableStore, L: LinkPolicy> GrowableCachedHandle<'a, F, S, L> {
     /// The structure this session operates on.
-    pub fn dsu(&self) -> &'a GrowableDsu<F, S> {
+    pub fn dsu(&self) -> &'a GrowableDsu<F, S, L> {
         self.dsu
     }
 
@@ -640,9 +655,16 @@ impl<'a, F: FindPolicy, S: GrowableStore> GrowableCachedHandle<'a, F, S> {
     pub fn unite(&mut self, x: usize, y: usize) -> bool {
         self.dsu.check(x);
         self.dsu.check(y);
-        cache::unite_cached::<F, _, _>(&self.dsu.store, &mut self.cache, x, y, &mut (), |_, _| {
-            self.dsu.links.fetch_add(1, Ordering::Relaxed);
-        })
+        cache::unite_cached::<F, L, _, _>(
+            &self.dsu.store,
+            &mut self.cache,
+            x,
+            y,
+            &mut (),
+            |_, _| {
+                self.dsu.links.fetch_add(1, Ordering::Relaxed);
+            },
+        )
     }
 
     /// [`GrowableDsu::unite_batch`] with the session's cache carried
@@ -661,7 +683,7 @@ impl<'a, F: FindPolicy, S: GrowableStore> GrowableCachedHandle<'a, F, S> {
     }
 }
 
-impl<F: FindPolicy, S: GrowableStore> ConcurrentUnionFind for GrowableDsu<F, S> {
+impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> ConcurrentUnionFind for GrowableDsu<F, S, L> {
     fn len(&self) -> usize {
         GrowableDsu::len(self)
     }

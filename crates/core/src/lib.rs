@@ -175,12 +175,14 @@
 //! | `DSU_BATCH_PLAN` | [`bulk::runtime_default_tuning`] | set to `1`/`true` to route count-only batch entry points through the ingestion planner ([`ingest`]); verdict-returning paths are unaffected. Default: off |
 //! | `DSU_FAULT_SEED` | [`FaultPlan::from_env`] | seed for the fault-injection plan a [`FaultyStore`] runs; only consulted by fault-test binaries that opt in. Default: 0 |
 //! | `DSU_FAULT_RATE` | [`FaultPlan::from_env`] | probability in `[0, 1]` of injecting a fault at each eligible store access. Default: 0.0 |
+//! | `DSU_TUNER` | [`TunerMode::from_env`] (used by [`TunedDsu`] constructors) | `off` pins the paper-default variant, `auto` samples a prefix and dispatches to the [`DecisionTable`] winner, an explicit `<find>/<link>` tag (e.g. `halving/index`) forces that variant from construction. Unrecognized values degrade to `auto`. Default: `auto` |
 //!
 //! The `strict-sc` cargo feature (not an env var) restores the paper's
 //! sequentially consistent orderings crate-wide; the `default-store-flat`
 //! / `default-store-sharded` features retarget [`DefaultStore`] /
-//! [`DefaultGrowableStore`]; `prefetch` compiles software-prefetch
-//! intrinsics into the gather waves.
+//! [`DefaultGrowableStore`]; `default-link-index` retargets
+//! [`DefaultLink`] from the paper's randomized linking to index linking;
+//! `prefetch` compiles software-prefetch intrinsics into the gather waves.
 
 pub mod bulk;
 pub mod cache;
@@ -193,6 +195,7 @@ pub mod ops;
 pub mod order;
 pub mod stats;
 pub mod store;
+pub mod tune;
 pub mod viz;
 
 mod dsu;
@@ -207,11 +210,16 @@ pub use growable::{
 };
 pub use ingest::{BatchPlan, PlanTuning};
 pub use keyed::KeyedDsu;
-pub use order::{HashOrder, IdOrder, PermutationOrder};
+pub use order::{
+    HashOrder, IdOrder, IndexLink, LinkPolicy, PermutationOrder, RandomLink, RankLink,
+};
 pub use stats::{OpStats, ShardSkew, StatsSink};
 pub use store::{
-    DsuStore, FlatStore, PackedStore, ParentStore, ShardReport, ShardSpec, ShardedSegmentedStore,
-    ShardedStore,
+    DsuStore, FlatStore, PackedStore, ParentStore, RankedStore, ShardReport, ShardSpec,
+    ShardedSegmentedStore, ShardedStore,
+};
+pub use tune::{
+    DecisionTable, FindKind, LinkKind, TunedDsu, TunerMode, Variant, VariantDsu, WorkloadProfile,
 };
 
 /// The storage layout [`Dsu`] defaults to, selected at compile time by the
@@ -240,6 +248,20 @@ pub type DefaultGrowableStore = SegmentedStore;
 /// The growable layout [`GrowableDsu`] defaults to (this build: packed).
 #[cfg(not(any(feature = "default-store-sharded", feature = "default-store-flat")))]
 pub type DefaultGrowableStore = PackedSegmentedStore;
+
+/// The link policy [`Dsu`] and [`GrowableDsu`] default to, selected at
+/// compile time by the `default-link-index` cargo feature (unset:
+/// [`RandomLink`], the paper's randomized linking). CI's variants cell
+/// builds the crate once with the feature on so the whole suite runs under
+/// index linking too; explicit type parameters
+/// (`Dsu<F, S, IndexLink>`) always override the default. The axis and its
+/// acyclicity contract live in the [`order`] module docs.
+#[cfg(feature = "default-link-index")]
+pub type DefaultLink = IndexLink;
+/// The link policy [`Dsu`] and [`GrowableDsu`] default to (this build:
+/// random — the paper's randomized linking; see `default-link-index`).
+#[cfg(not(feature = "default-link-index"))]
+pub type DefaultLink = RandomLink;
 
 /// Convenient alias: the paper's headline configuration (two-try splitting).
 pub type DsuTwoTry = Dsu<TwoTrySplit>;

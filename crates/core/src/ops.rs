@@ -14,6 +14,7 @@
 //! re-find and re-check until one of the two certainties holds.
 
 use crate::find::FindPolicy;
+use crate::order::LinkPolicy;
 use crate::stats::StatsSink;
 use crate::store::ParentStore;
 
@@ -56,7 +57,7 @@ where
 /// `record_link(child, parent)` is invoked after each successful link CAS;
 /// the wrappers use it to maintain the union-forest snapshot and the live
 /// set count.
-pub fn unite<F, P, S>(
+pub fn unite<F, L, P, S>(
     store: &P,
     x: usize,
     y: usize,
@@ -65,6 +66,7 @@ pub fn unite<F, P, S>(
 ) -> bool
 where
     F: FindPolicy,
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
@@ -79,16 +81,18 @@ where
         if u == v {
             return false;
         }
-        // Link the smaller root under the larger. Priorities come from the
-        // words the finds already loaded (free in the packed layout), with
-        // the index as tie-break — by the `ParentStore::priority` contract
-        // this is exactly the store's random order. The CAS expects the
-        // exact observed root word, so it fails iff the candidate stopped
-        // being a root since, in which case we re-find and retry.
-        if (store.priority(u, wu), u) < (store.priority(v, wv), v) {
+        // Link the root with the smaller linking key under the other. The
+        // keys come from the words the finds already loaded (free in the
+        // packed layout; under the paper's `RandomLink` this is exactly
+        // the store's random order). The CAS expects the exact word the
+        // key was computed from, so it fails iff the candidate stopped
+        // being a root — or, under rank linking, changed rank — since the
+        // comparison, in which case we re-find and retry.
+        if L::key(store, u, wu) < L::key(store, v, wv) {
             if store.cas_from(u, wu, v) {
                 stats.link_ok();
                 record_link(u, v);
+                L::on_linked(store, wu, v);
                 return true;
             }
             stats.link_fail();
@@ -96,6 +100,7 @@ where
             if store.cas_from(v, wv, u) {
                 stats.link_ok();
                 record_link(v, u);
+                L::on_linked(store, wv, u);
                 return true;
             }
             stats.link_fail();
@@ -111,12 +116,22 @@ where
 /// of nodes. The compaction step per iteration is the policy's
 /// [`advance`](FindPolicy::advance) (two-try splitting in the paper's
 /// listing; one-try executes the body once; no-compaction just walks).
-pub fn same_set_early<F, P, S>(store: &P, x: usize, y: usize, stats: &mut S) -> bool
+///
+/// The early-termination argument compares nodes *before* loading the
+/// words it acts on, which is only sound when linking keys are immutable;
+/// under a mutable-key policy ([`LinkPolicy::MUTABLE_KEYS`], i.e. rank
+/// linking) this falls back to the standard [`same_set`] — a compile-time
+/// branch, free for the immutable policies.
+pub fn same_set_early<F, L, P, S>(store: &P, x: usize, y: usize, stats: &mut S) -> bool
 where
     F: FindPolicy,
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
+    if L::MUTABLE_KEYS {
+        return same_set::<F, P, S>(store, x, y, stats);
+    }
     stats.op_start();
     let mut u = x;
     let mut v = y;
@@ -124,11 +139,11 @@ where
         if u == v {
             return true;
         }
-        if store.precedes(v, u) {
+        if L::precedes(store, v, u) {
             std::mem::swap(&mut u, &mut v);
         }
         // u < v here. If u is a root it cannot be in v's tree (roots have
-        // the largest id of their tree), so the sets are distinct.
+        // the largest key of their tree), so the sets are distinct.
         let up = store.load_parent(u);
         stats.read();
         if up == u {
@@ -142,9 +157,10 @@ where
 ///
 /// Like [`same_set_early`], but when the smaller current node turns out to
 /// be a root it is immediately linked under the other current node (which
-/// need not be a root — linking under any larger-id node preserves every
-/// invariant).
-pub fn unite_early<F, P, S>(
+/// need not be a root — linking under any larger-key node preserves every
+/// invariant). Falls back to the standard [`unite`] under a mutable-key
+/// policy, for the reason documented on [`same_set_early`].
+pub fn unite_early<F, L, P, S>(
     store: &P,
     x: usize,
     y: usize,
@@ -153,9 +169,13 @@ pub fn unite_early<F, P, S>(
 ) -> bool
 where
     F: FindPolicy,
+    L: LinkPolicy,
     P: ParentStore + ?Sized,
     S: StatsSink,
 {
+    if L::MUTABLE_KEYS {
+        return unite::<F, L, P, S>(store, x, y, stats, record_link);
+    }
     stats.op_start();
     let mut u = x;
     let mut v = y;
@@ -163,7 +183,7 @@ where
         if u == v {
             return false;
         }
-        if store.precedes(v, u) {
+        if L::precedes(store, v, u) {
             std::mem::swap(&mut u, &mut v);
         }
         if store.cas_parent(u, u, v) {
@@ -180,8 +200,8 @@ where
 mod tests {
     use super::*;
     use crate::find::{Halving, NoCompaction, OneTrySplit, TwoTrySplit};
-    use crate::order::{IdOrder, PermutationOrder};
-    use crate::store::FlatStore;
+    use crate::order::{IdOrder, IndexLink, PermutationOrder, RandomLink, RankLink};
+    use crate::store::{FlatStore, RankedStore};
 
     fn fixture(n: usize, seed: u64) -> (FlatStore, PermutationOrder) {
         // Same seed for both: the store's embedded order (which `unite`
@@ -198,12 +218,13 @@ mod tests {
     ) {
         macro_rules! with_policy {
             ($f:ty) => {
-                test(&|s, x, y| unite::<$f, _, _>(s, x, y, &mut (), |_, _| {}), &|s, x, y| {
-                    same_set::<$f, _, _>(s, x, y, &mut ())
-                });
                 test(
-                    &|s, x, y| unite_early::<$f, _, _>(s, x, y, &mut (), |_, _| {}),
-                    &|s, x, y| same_set_early::<$f, _, _>(s, x, y, &mut ()),
+                    &|s, x, y| unite::<$f, RandomLink, _, _>(s, x, y, &mut (), |_, _| {}),
+                    &|s, x, y| same_set::<$f, _, _>(s, x, y, &mut ()),
+                );
+                test(
+                    &|s, x, y| unite_early::<$f, RandomLink, _, _>(s, x, y, &mut (), |_, _| {}),
+                    &|s, x, y| same_set_early::<$f, RandomLink, _, _>(s, x, y, &mut ()),
                 );
             };
         }
@@ -260,7 +281,7 @@ mod tests {
         let (store, order) = fixture(32, 5);
         let links = AtomicUsize::new(0);
         for i in 0..31 {
-            unite::<TwoTrySplit, _, _>(&store, i, i + 1, &mut (), |child, parent| {
+            unite::<TwoTrySplit, RandomLink, _, _>(&store, i, i + 1, &mut (), |child, parent| {
                 assert!(order.less(child, parent));
                 links.fetch_add(1, Ordering::Relaxed);
             });
@@ -274,18 +295,18 @@ mod tests {
         // the early-termination one (and vice versa) — they share the store.
         let (store, _order) = fixture(16, 21);
         let mut s = ();
-        assert!(unite::<TwoTrySplit, _, _>(&store, 0, 1, &mut s, |_, _| {}));
-        assert!(same_set_early::<TwoTrySplit, _, _>(&store, 0, 1, &mut s));
-        assert!(unite_early::<TwoTrySplit, _, _>(&store, 1, 2, &mut s, |_, _| {}));
+        assert!(unite::<TwoTrySplit, RandomLink, _, _>(&store, 0, 1, &mut s, |_, _| {}));
+        assert!(same_set_early::<TwoTrySplit, RandomLink, _, _>(&store, 0, 1, &mut s));
+        assert!(unite_early::<TwoTrySplit, RandomLink, _, _>(&store, 1, 2, &mut s, |_, _| {}));
         assert!(same_set::<TwoTrySplit, _, _>(&store, 0, 2, &mut s));
-        assert!(!same_set_early::<TwoTrySplit, _, _>(&store, 0, 15, &mut s));
+        assert!(!same_set_early::<TwoTrySplit, RandomLink, _, _>(&store, 0, 15, &mut s));
     }
 
     #[test]
     fn stats_account_finds_and_links() {
         let (store, _order) = fixture(8, 2);
         let mut stats = crate::OpStats::default();
-        unite::<OneTrySplit, _, _>(&store, 0, 1, &mut stats, |_, _| {});
+        unite::<OneTrySplit, RandomLink, _, _>(&store, 0, 1, &mut stats, |_, _| {});
         assert_eq!(stats.ops, 1);
         assert_eq!(stats.finds, 2);
         assert_eq!(stats.links_ok, 1);
@@ -293,5 +314,79 @@ mod tests {
         same_set::<OneTrySplit, _, _>(&store, 0, 1, &mut stats);
         assert_eq!(stats.ops, 2);
         assert_eq!(stats.finds, 4);
+    }
+
+    #[test]
+    fn index_linking_links_index_upward() {
+        // IndexLink ignores the store's random ids entirely: after any
+        // sequence of unites, every non-root's parent has a larger index.
+        let (store, _order) = fixture(64, 99);
+        for i in 0..63 {
+            unite::<TwoTrySplit, IndexLink, _, _>(&store, i, i + 1, &mut (), |c, p| {
+                assert!(c < p, "index linking must point index-upward");
+            });
+        }
+        for x in 0..64 {
+            let p = store.load_parent(x);
+            if p != x {
+                assert!(x < p, "child index must be below parent index");
+            }
+        }
+        // The early variants use the same order.
+        let (store2, _) = fixture(8, 5);
+        assert!(unite_early::<TwoTrySplit, IndexLink, _, _>(&store2, 6, 1, &mut (), |c, p| {
+            assert!(c < p);
+        }));
+        assert!(same_set_early::<TwoTrySplit, IndexLink, _, _>(&store2, 1, 6, &mut ()));
+    }
+
+    #[test]
+    fn rank_linking_bumps_ties_and_bounds_height() {
+        // A union chain on the ranked layout: rank linking must produce a
+        // forest whose observed (rank, index) keys strictly increase along
+        // parent paths, and at least one tie bump must have fired.
+        let store = RankedStore::with_seed(64, 7);
+        for i in 0..63 {
+            unite::<TwoTrySplit, RankLink, _, _>(&store, i, i + 1, &mut (), |_, _| {});
+        }
+        let mut bumped = false;
+        for x in 0..64usize {
+            let wx = store.load_word(x);
+            let p = RankedStore::parent_of(wx);
+            bumped |= RankedStore::rank_of(store.load_word(x)) > 0;
+            if p != x {
+                let wp = store.load_word(p);
+                assert!(
+                    (RankedStore::rank_of(wx), x) < (RankedStore::rank_of(wp), p),
+                    "observed rank keys must increase along paths"
+                );
+            }
+        }
+        assert!(bumped, "63 sequential unites must bump at least one rank");
+        assert!(same_set::<TwoTrySplit, _, _>(&store, 0, 63, &mut ()));
+    }
+
+    #[test]
+    fn rank_linking_on_rankless_layouts_degenerates_to_index() {
+        // FlatStore's words carry no rank, so RankLink's keys all tie and
+        // the index tie-break decides: same links as IndexLink.
+        let (store, _order) = fixture(32, 13);
+        for i in 0..31 {
+            unite::<TwoTrySplit, RankLink, _, _>(&store, i, i + 1, &mut (), |c, p| {
+                assert!(c < p, "rank-less rank linking must fall back to index order");
+            });
+        }
+    }
+
+    #[test]
+    fn mutable_key_early_ops_fall_back_to_standard() {
+        // Under RankLink the early entry points must behave exactly like
+        // the standard ops (same verdicts, same counters shape).
+        let store = RankedStore::with_seed(16, 3);
+        let mut stats = crate::OpStats::default();
+        assert!(unite_early::<TwoTrySplit, RankLink, _, _>(&store, 0, 1, &mut stats, |_, _| {}));
+        assert_eq!(stats.finds, 2, "fallback runs the standard two-find unite");
+        assert!(same_set_early::<TwoTrySplit, RankLink, _, _>(&store, 0, 1, &mut stats));
+        assert!(!same_set_early::<TwoTrySplit, RankLink, _, _>(&store, 0, 15, &mut stats));
     }
 }

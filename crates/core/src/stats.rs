@@ -92,6 +92,15 @@ pub trait StatsSink {
     /// ones was occupied — the keyed id table's growth event (doubling
     /// segments; existing entries never move or rehash).
     fn id_table_resize(&mut self) {}
+    /// An auto-tuning dispatcher ([`TunedDsu`](crate::TunedDsu)) routed `n`
+    /// operations through its sampling prefix — traffic that ran on the
+    /// default variant while its counters were being profiled to pick the
+    /// post-decision variant.
+    fn tuner_samples(&mut self, _n: usize) {}
+    /// An auto-tuning dispatcher committed a variant decision and switched
+    /// dispatch away from the sampling default (at most one per structure
+    /// unless explicitly re-armed; zero when the scorer kept the default).
+    fn tuner_switch(&mut self) {}
 }
 
 impl StatsSink for () {
@@ -135,6 +144,10 @@ impl StatsSink for () {
     fn key_probe_steps(&mut self, _n: usize) {}
     #[inline(always)]
     fn id_table_resize(&mut self) {}
+    #[inline(always)]
+    fn tuner_samples(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn tuner_switch(&mut self) {}
 }
 
 /// Plain counters for the events of [`StatsSink`]. Keep one per thread and
@@ -206,6 +219,12 @@ pub struct OpStats {
     /// Open-addressing segments allocated by keyed id-table shards after
     /// construction (doubling growth events; entries never move).
     pub id_table_resizes: u64,
+    /// Operations an auto-tuning dispatcher routed through its sampling
+    /// prefix before deciding on a variant.
+    pub tuner_samples: u64,
+    /// Variant switches an auto-tuning dispatcher committed (zero when the
+    /// scorer kept the sampling default).
+    pub tuner_switches: u64,
 }
 
 impl OpStats {
@@ -242,6 +261,8 @@ impl OpStats {
         self.keys_inserted += other.keys_inserted;
         self.key_probe_steps += other.key_probe_steps;
         self.id_table_resizes += other.id_table_resizes;
+        self.tuner_samples += other.tuner_samples;
+        self.tuner_switches += other.tuner_switches;
     }
 
     /// Mean find-loop iterations per operation (`NaN` if no ops ran).
@@ -330,6 +351,14 @@ impl StatsSink for OpStats {
     #[inline]
     fn id_table_resize(&mut self) {
         self.id_table_resizes += 1;
+    }
+    #[inline]
+    fn tuner_samples(&mut self, n: usize) {
+        self.tuner_samples += n as u64;
+    }
+    #[inline]
+    fn tuner_switch(&mut self) {
+        self.tuner_switches += 1;
     }
 }
 
@@ -513,6 +542,27 @@ mod tests {
         unit.key_inserted();
         unit.key_probe_steps(1);
         unit.id_table_resize();
+    }
+
+    #[test]
+    fn tuner_counters_count_and_merge() {
+        let mut a = OpStats::default();
+        a.tuner_samples(100);
+        a.tuner_samples(28);
+        a.tuner_switch();
+        assert_eq!((a.tuner_samples, a.tuner_switches), (128, 1));
+        // Tuner events are dispatch bookkeeping, not shared-memory
+        // accesses — the sampled ops' own reads/CASes are counted by the
+        // variant that ran them.
+        assert_eq!(a.memory_accesses(), 0);
+        let mut b = OpStats::default();
+        b.tuner_switch();
+        b.merge(&a);
+        assert_eq!((b.tuner_samples, b.tuner_switches), (128, 2));
+        // The unit sink accepts the new events too.
+        let mut unit = ();
+        unit.tuner_samples(1);
+        unit.tuner_switch();
     }
 
     #[test]

@@ -162,11 +162,13 @@ use crate::order::IdOrder;
 
 mod flat;
 mod packed;
+mod ranked;
 mod sharded;
 
 pub use flat::FlatStore;
 pub use packed::PackedStore;
 pub(crate) use packed::{pack_word, packed_id, packed_parent, packed_with_parent};
+pub use ranked::RankedStore;
 pub use sharded::{ShardReport, ShardSpec, ShardedSegmentedStore, ShardedStore};
 
 /// Ordering of every traversal load of a parent word: `Acquire`, so a read
@@ -315,6 +317,32 @@ pub trait ParentStore: Send + Sync {
     /// [`prefetch_enabled`]). Like every other access, `i` must exist.
     #[inline]
     fn prefetch(&self, _i: usize) {}
+
+    /// The union-by-rank rank carried by a word, consulted only by the
+    /// [`RankLink`](crate::RankLink) policy. Layouts whose words carry no
+    /// rank return the defaulted constant 0, which makes rank linking
+    /// degenerate to index linking on them; [`RankedStore`] packs the rank
+    /// into the word so the rank travels with the parent under the same
+    /// word-exact CAS.
+    #[inline]
+    fn rank_of(_w: Self::Word) -> u64 {
+        0
+    }
+
+    /// Best-effort union-by-rank tie bump: if `i` is *still a root* whose
+    /// word carries exactly `rank`, CAS the word to the same parent with
+    /// rank `rank + 1`; `true` on success. Losing any of those checks (the
+    /// node was linked meanwhile, or another bump got there first) simply
+    /// skips the bump — rank is a balance heuristic, never a correctness
+    /// input, so a missed bump costs at most tree height. The root-only
+    /// restriction is load-bearing for the *observers*, though: it is what
+    /// freezes every non-root's key, keeping observed keys strictly
+    /// increasing along parent paths (see [`LinkPolicy`](crate::LinkPolicy)).
+    /// Defaulted to a no-op `false` for rank-less layouts.
+    #[inline]
+    fn try_bump_rank(&self, _i: usize, _rank: u64) -> bool {
+        false
+    }
 }
 
 /// A [`ParentStore`] bundled with the random total order on its elements —

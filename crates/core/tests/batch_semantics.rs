@@ -12,8 +12,8 @@
 //! the same dual configuration the packed-vs-flat cross-checks use.
 
 use concurrent_dsu::{
-    BatchPlan, Dsu, DsuStore, FlatStore, GrowableDsu, PackedStore, PlanTuning, ShardedStore,
-    TwoTrySplit,
+    BatchPlan, DefaultLink, Dsu, DsuStore, FlatStore, GrowableDsu, PackedStore, PlanTuning,
+    RandomLink, ShardedStore, TwoTrySplit,
 };
 use proptest::prelude::*;
 use sequential_dsu::{NaiveDsu, Partition};
@@ -52,10 +52,13 @@ proptest! {
     #[test]
     fn batch_matches_sequential_unite(edges in edges_strategy(24, 200), seed in any::<u64>()) {
         let n = 24;
-        let packed_batch: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, seed);
-        let flat_batch: Dsu<TwoTrySplit, FlatStore> = Dsu::with_seed(n, seed);
-        let sharded_batch: Dsu<TwoTrySplit, ShardedStore> = Dsu::with_seed(n, seed);
-        let per_op: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, seed);
+        // RandomLink pinned throughout (reference and batch sides alike):
+        // the id asserts at the bottom are about *random ids*, which the
+        // `default-link-index` CI cell would otherwise retarget.
+        let packed_batch: Dsu<TwoTrySplit, PackedStore, RandomLink> = Dsu::with_seed(n, seed);
+        let flat_batch: Dsu<TwoTrySplit, FlatStore, RandomLink> = Dsu::with_seed(n, seed);
+        let sharded_batch: Dsu<TwoTrySplit, ShardedStore, RandomLink> = Dsu::with_seed(n, seed);
+        let per_op: Dsu<TwoTrySplit, PackedStore, RandomLink> = Dsu::with_seed(n, seed);
         let mut oracle = NaiveDsu::new(n);
 
         let packed_results = packed_batch.unite_batch_results(&edges);
@@ -155,7 +158,7 @@ proptest! {
                 use concurrent_dsu::find::FindPolicy;
                 let store = <$store as DsuStore>::with_seed(n, seed);
                 let mut results = vec![false; edges.len()];
-                let links = concurrent_dsu::bulk::unite_batch_sink_tuned(
+                let links = concurrent_dsu::bulk::unite_batch_sink_tuned::<DefaultLink, _, _>(
                     &store,
                     &edges,
                     batch_tuning,
@@ -232,8 +235,10 @@ fn concurrent_batches_match_components_oracle() {
     let n = 1 << 11;
     let edges: Vec<(usize, usize)> =
         (0..4 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 11) % n)).collect();
-    let packed: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, 3);
-    let flat: Dsu<TwoTrySplit, FlatStore> = Dsu::with_seed(n, 3);
+    // RandomLink pinned: the Lemma 3.1 id assert below must not float with
+    // the `default-link-index` feature.
+    let packed: Dsu<TwoTrySplit, PackedStore, RandomLink> = Dsu::with_seed(n, 3);
+    let flat: Dsu<TwoTrySplit, FlatStore, RandomLink> = Dsu::with_seed(n, 3);
     let links = AtomicUsize::new(0);
     for run in 0..2 {
         std::thread::scope(|s| {
@@ -312,7 +317,7 @@ fn planned_degenerate_shapes() {
         .planned(PlanTuning::new().bucket_elems_log2(32).dedup(false));
     let mut results = vec![false; edges.len()];
     one_bucket.unite_batch_tuned_with(&edges, tuning, None, &mut ());
-    concurrent_dsu::bulk::unite_batch_sink_tuned(
+    concurrent_dsu::bulk::unite_batch_sink_tuned::<DefaultLink, _, _>(
         &PackedStore::with_seed(n, seed),
         &edges,
         tuning,
@@ -331,7 +336,7 @@ fn planned_degenerate_shapes() {
         .planned(PlanTuning::new().bucket_elems_log2(0).dedup(false));
     let mut results = vec![false; edges.len()];
     let mut stats = concurrent_dsu::OpStats::default();
-    concurrent_dsu::bulk::unite_batch_sink_tuned(
+    concurrent_dsu::bulk::unite_batch_sink_tuned::<DefaultLink, _, _>(
         &PackedStore::with_seed(n, seed),
         &edges,
         tuning,
@@ -356,7 +361,8 @@ fn concurrent_planned_batches_match_components_oracle() {
     let n = 1 << 10;
     let edges: Vec<(usize, usize)> =
         (0..4 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 11) % n)).collect();
-    let dsu: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, 5);
+    // RandomLink pinned for the id assert at the bottom.
+    let dsu: Dsu<TwoTrySplit, PackedStore, RandomLink> = Dsu::with_seed(n, 5);
     std::thread::scope(|s| {
         for chunk in edges.chunks(edges.len() / 8 + 1) {
             let dsu = &dsu;

@@ -30,7 +30,10 @@ fn batch_verdicts<S: DsuStore>(
     cache: Option<&mut RootCache>,
 ) -> Vec<bool> {
     let mut verdicts = vec![false; edges.len()];
-    unite_batch_sink_tuned(
+    // DefaultLink, not a pinned policy: the per-op reference this is
+    // compared against is a default `Dsu`, which floats with the
+    // `default-link-index` feature — both sides must float together.
+    unite_batch_sink_tuned::<concurrent_dsu::DefaultLink, _, _>(
         store,
         edges,
         tuning,
@@ -169,7 +172,10 @@ fn concurrent_unites_invalidate_cache_mid_batch() {
         adversary_edges: &[(usize, usize)],
     ) {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let dsu: Dsu<TwoTrySplit, S> = Dsu::with_seed(n, 3);
+        // RandomLink pinned: the Lemma 3.1 assert below is about *random
+        // ids*, which the `default-link-index` CI cell would otherwise
+        // retarget.
+        let dsu: Dsu<TwoTrySplit, S, concurrent_dsu::RandomLink> = Dsu::with_seed(n, 3);
         let links = AtomicUsize::new(0);
         std::thread::scope(|s| {
             // The cached ingester: bursts of 100 through a persistent

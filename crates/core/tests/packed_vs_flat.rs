@@ -200,9 +200,13 @@ fn concurrent_stress_matches_components_all_layouts() {
     );
     let pairs: Vec<(usize, usize)> =
         (0..2 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 7) % n)).collect();
-    let packed: Dsu<TwoTrySplit, PackedStore> = Dsu::with_seed(n, 99);
-    let flat: Dsu<TwoTrySplit, FlatStore> = Dsu::with_seed(n, 99);
-    let sharded: Dsu<TwoTrySplit, ShardedStore> =
+    // RandomLink pinned: the Lemma 3.1 id asserts at the bottom are about
+    // *random ids*, which the `default-link-index` CI cell would otherwise
+    // retarget.
+    use concurrent_dsu::RandomLink;
+    let packed: Dsu<TwoTrySplit, PackedStore, RandomLink> = Dsu::with_seed(n, 99);
+    let flat: Dsu<TwoTrySplit, FlatStore, RandomLink> = Dsu::with_seed(n, 99);
+    let sharded: Dsu<TwoTrySplit, ShardedStore, RandomLink> =
         Dsu::from_store(ShardedStore::with_spec(n, 99, ShardSpec::with_shards(8)));
     for dsu_run in 0..3 {
         std::thread::scope(|s| {
@@ -251,7 +255,7 @@ fn concurrent_stress_matches_components_all_layouts() {
     // Lemma 3.1 on the packed words of both packed layouts: every
     // non-root's id is below its parent's id, whatever interleaving the
     // relaxed CASes went through.
-    fn ids_increase<S: DsuStore>(dsu: &Dsu<TwoTrySplit, S>) {
+    fn ids_increase<S: DsuStore>(dsu: &Dsu<TwoTrySplit, S, concurrent_dsu::RandomLink>) {
         for (x, &p) in dsu.parents_snapshot().iter().enumerate() {
             if p != x {
                 assert!(dsu.id_of(x) < dsu.id_of(p));

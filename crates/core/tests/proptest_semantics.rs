@@ -1,10 +1,19 @@
 //! Property tests: the concurrent algorithms, run single-threaded, must be
 //! *exactly* a sequential union-find — every return value and the final
-//! partition agree with the naive oracle, for every find policy and both the
-//! standard and early-termination operations. Randomized linking changes
-//! tree shapes, never semantics.
+//! partition agree with the naive oracle, for every (find × link) policy
+//! pair and both the standard and early-termination operations. Linking
+//! and compaction change tree shapes, never semantics.
+//!
+//! The store axis rides on `DefaultStore` so CI's layout matrix
+//! (`default-store-flat` / `default-store-sharded`) and ordering matrix
+//! (`strict-sc`) multiply these properties across every layout without
+//! code changes; `RankedStore` is exercised explicitly because no feature
+//! retargets the default onto it.
 
-use concurrent_dsu::{Compress, Dsu, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+use concurrent_dsu::{
+    Compress, Dsu, FindPolicy, Halving, IndexLink, LinkPolicy, NoCompaction, OneTrySplit,
+    RandomLink, RankLink, RankedStore, TwoTrySplit,
+};
 use proptest::prelude::*;
 use sequential_dsu::{NaiveDsu, Partition};
 
@@ -29,18 +38,35 @@ fn ops_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-fn check_policy<F: FindPolicy>(n: usize, seed: u64, ops: &[Op], early: bool) {
-    let dsu: Dsu<F> = Dsu::with_seed(n, seed);
+fn check_policy<F: FindPolicy, S: concurrent_dsu::DsuStore, L: LinkPolicy>(
+    n: usize,
+    seed: u64,
+    ops: &[Op],
+    early: bool,
+) {
+    let dsu: Dsu<F, S, L> = Dsu::with_seed(n, seed);
     let mut oracle = NaiveDsu::new(n);
     for &op in ops {
         match op {
             Op::Unite(x, y) => {
                 let got = if early { dsu.unite_early(x, y) } else { dsu.unite(x, y) };
-                assert_eq!(got, oracle.unite(x, y), "unite({x},{y}) diverged");
+                assert_eq!(
+                    got,
+                    oracle.unite(x, y),
+                    "unite({x},{y}) diverged ({}/{})",
+                    F::NAME,
+                    L::NAME
+                );
             }
             Op::SameSet(x, y) => {
                 let got = if early { dsu.same_set_early(x, y) } else { dsu.same_set(x, y) };
-                assert_eq!(got, oracle.same_set(x, y), "same_set({x},{y}) diverged");
+                assert_eq!(
+                    got,
+                    oracle.same_set(x, y),
+                    "same_set({x},{y}) diverged ({}/{})",
+                    F::NAME,
+                    L::NAME
+                );
             }
         }
     }
@@ -48,20 +74,38 @@ fn check_policy<F: FindPolicy>(n: usize, seed: u64, ops: &[Op], early: bool) {
     assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
 }
 
+/// Every find policy under one link policy, on one store layout.
+fn check_find_axis<S: concurrent_dsu::DsuStore, L: LinkPolicy>(
+    n: usize,
+    seed: u64,
+    ops: &[Op],
+    early: bool,
+) {
+    check_policy::<NoCompaction, S, L>(n, seed, ops, early);
+    check_policy::<OneTrySplit, S, L>(n, seed, ops, early);
+    check_policy::<TwoTrySplit, S, L>(n, seed, ops, early);
+    check_policy::<Halving, S, L>(n, seed, ops, early);
+    check_policy::<Compress, S, L>(n, seed, ops, early);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    /// Every (find × link) pair is oracle-equivalent — 5 finds × 3 links
+    /// on the default layout (CI's store/ordering matrix multiplies this
+    /// across packed/flat/sharded × default/strict-sc), plus the rank-word
+    /// layout where `RankLink`'s mutable keys are actually live.
     #[test]
     fn sequential_equivalence_all_policies(
         ops in ops_strategy(20, 100),
         seed in any::<u64>(),
         early in any::<bool>(),
     ) {
-        check_policy::<NoCompaction>(20, seed, &ops, early);
-        check_policy::<OneTrySplit>(20, seed, &ops, early);
-        check_policy::<TwoTrySplit>(20, seed, &ops, early);
-        check_policy::<Halving>(20, seed, &ops, early);
-        check_policy::<Compress>(20, seed, &ops, early);
+        check_find_axis::<concurrent_dsu::DefaultStore, RandomLink>(20, seed, &ops, early);
+        check_find_axis::<concurrent_dsu::DefaultStore, IndexLink>(20, seed, &ops, early);
+        check_find_axis::<concurrent_dsu::DefaultStore, RankLink>(20, seed, &ops, early);
+        check_find_axis::<RankedStore, RankLink>(20, seed, &ops, early);
+        check_find_axis::<RankedStore, RandomLink>(20, seed, &ops, early);
     }
 
     /// Lemma 3.1 invariants hold after any single-threaded history: ids
@@ -69,7 +113,10 @@ proptest! {
     /// parents by union-forest ancestors.
     #[test]
     fn lemma_3_1_invariants(ops in ops_strategy(24, 120), seed in any::<u64>()) {
-        let dsu: Dsu<TwoTrySplit> = Dsu::with_seed(24, seed);
+        // RandomLink pinned: the id-order clause of Lemma 3.1 is a
+        // statement about random ids, not whatever `DefaultLink` floats to.
+        let dsu: Dsu<TwoTrySplit, concurrent_dsu::DefaultStore, RandomLink> =
+            Dsu::with_seed(24, seed);
         for &op in &ops {
             match op {
                 Op::Unite(x, y) => { dsu.unite(x, y); }

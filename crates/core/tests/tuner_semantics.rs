@@ -1,0 +1,159 @@
+//! Tuned dispatch semantics: a [`TunedDsu`] is observationally a
+//! union-find *across* its mid-stream variant switch.
+//!
+//! The switch protocol (sample on the default variant while buffering
+//! unite edges, then rebuild + replay + swap under the write lock) is
+//! only correct if no edge is lost, no verdict double-reports a link, and
+//! the partition after the swap equals the partition the sampled
+//! structure had — under full concurrency, with threads racing the
+//! decision point. These tests pin exactly that, against the sequential
+//! oracle, with a watchdog so a deadlocked lock protocol fails loudly
+//! instead of eating the CI time limit.
+
+use concurrent_dsu::tune::{DecisionTable, Rule, DEFAULT_VARIANT};
+use concurrent_dsu::{ConcurrentUnionFind, OpStats, TestWatchdog, TunedDsu, TunerMode, Variant};
+use sequential_dsu::{NaiveDsu, Partition};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A table whose cache-resident rows pick a non-default variant, so a
+/// small-universe test reliably drives the rebuild + replay + swap path.
+fn switching_table(to: Variant) -> DecisionTable {
+    DecisionTable {
+        rules: [
+            Rule { dram_resident: false, skewed: false, variant: to },
+            Rule { dram_resident: false, skewed: true, variant: to },
+            Rule { dram_resident: true, skewed: false, variant: to },
+            Rule { dram_resident: true, skewed: true, variant: to },
+        ],
+        ..DecisionTable::builtin()
+    }
+}
+
+/// Threads hammer unites and queries while the sample budget runs out
+/// under their feet: some operations land before the switch (sampled and
+/// buffered), some block on the write lock *during* it, some land after.
+/// Confluence of set union gives the exact post-condition: the final
+/// partition is the connected components of all edges, every link is
+/// reported exactly once, and the tuner switched exactly once.
+#[test]
+fn concurrent_stress_through_switch_point() {
+    let progress = std::sync::Arc::new(AtomicUsize::new(0));
+    let _wd = TestWatchdog::arm_with(
+        "concurrent_stress_through_switch_point",
+        Duration::from_secs(120),
+        {
+            let progress = std::sync::Arc::clone(&progress);
+            move || format!("ops completed before hang: {}", progress.load(Ordering::Relaxed))
+        },
+    );
+    let n = 1 << 11;
+    let threads = 8;
+    let edges: Vec<(usize, usize)> =
+        (0..4 * n).map(|i| ((i * 2654435761) % n, (i * 40503 + 7) % n)).collect();
+    for to in ["halving/index", "compress/rank", "no-compaction/random"] {
+        let to = Variant::parse(to).unwrap();
+        // Budget far below the edge count: the switch happens while every
+        // thread is mid-stream.
+        let dsu = TunedDsu::with_config(n, 11, TunerMode::Auto, 512, switching_table(to));
+        let links = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let dsu = &dsu;
+                let links = &links;
+                let edges = &edges;
+                let progress = &progress;
+                s.spawn(move || {
+                    let mut local = 0;
+                    for (i, &(x, y)) in edges.iter().enumerate() {
+                        if i % threads != t {
+                            continue;
+                        }
+                        progress.fetch_add(1, Ordering::Relaxed);
+                        // Mix queries in so reads race the swap too.
+                        if i % 5 == 0 {
+                            dsu.same_set(y, x);
+                        }
+                        local += dsu.unite(x, y) as usize;
+                    }
+                    links.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        let mut oracle = NaiveDsu::new(n);
+        for &(x, y) in &edges {
+            oracle.unite(x, y);
+        }
+        assert_eq!(
+            Partition::from_labels(&dsu.labels_snapshot()),
+            oracle.partition(),
+            "partition diverged switching to {to}"
+        );
+        assert_eq!(dsu.set_count(), oracle.set_count());
+        // Exactly one `true` per performed link, across the switch.
+        assert_eq!(links.load(Ordering::Relaxed), n - oracle.set_count());
+        assert_eq!(dsu.chosen_variant(), to);
+        assert_eq!(dsu.tuner_switches(), 1, "exactly one switch to {to}");
+        assert!(dsu.tuner_samples() >= 512, "the whole budget was sampled");
+        assert!(dsu.committed());
+    }
+}
+
+/// Batch ingestion through the trait object path crosses the switch point
+/// with the same exactness guarantees (the graph pipelines drive tuned
+/// structures through `ConcurrentUnionFind`).
+#[test]
+fn batched_trait_ingestion_through_switch_point() {
+    let _wd =
+        TestWatchdog::arm("batched_trait_ingestion_through_switch_point", Duration::from_secs(120));
+    let n = 1 << 10;
+    let edges: Vec<(usize, usize)> =
+        (0..4 * n).map(|i| ((i * 7919) % n, (i * 104729 + 5) % n)).collect();
+    let to = Variant::parse("halving/index").unwrap();
+    let dsu = TunedDsu::with_config(n, 3, TunerMode::Auto, 300, switching_table(to));
+    let handle: &dyn ConcurrentUnionFind = &dsu;
+    let links = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for chunk in edges.chunks(edges.len() / 4 + 1) {
+            let links = &links;
+            s.spawn(move || {
+                let mut local = 0;
+                for burst in chunk.chunks(128) {
+                    local += handle.unite_batch(burst);
+                }
+                links.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    let mut oracle = NaiveDsu::new(n);
+    for &(x, y) in &edges {
+        oracle.unite(x, y);
+    }
+    assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), oracle.partition());
+    assert_eq!(links.load(Ordering::Relaxed), n - oracle.set_count());
+    assert_eq!(dsu.chosen_variant(), to);
+    assert_eq!(dsu.tuner_switches(), 1);
+}
+
+/// Sampling accounting is exact in the single-threaded case: every
+/// pre-decision op is a sample, no post-decision op is, and the stats
+/// export matches the accessors.
+#[test]
+fn sample_accounting_is_exact() {
+    let dsu = TunedDsu::with_config(
+        64,
+        1,
+        TunerMode::Auto,
+        50,
+        switching_table(Variant::parse("one-try/index").unwrap()),
+    );
+    for i in 0..200usize {
+        dsu.unite(i % 64, (i * 7 + 1) % 64);
+    }
+    assert_eq!(dsu.tuner_samples(), 50);
+    let mut stats = OpStats::default();
+    dsu.report_into(&mut stats);
+    assert_eq!(stats.tuner_samples, 50);
+    assert_eq!(stats.tuner_switches, 1);
+    assert_ne!(dsu.chosen_variant(), DEFAULT_VARIANT);
+}

@@ -8,7 +8,7 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use concurrent_dsu::{ConcurrentUnionFind, Dsu, DsuStore, FindPolicy, OpStats};
+use concurrent_dsu::{ConcurrentUnionFind, Dsu, DsuStore, FindPolicy, LinkPolicy, OpStats};
 use dsu_workloads::{Op, Workload};
 
 /// What one measured run produced.
@@ -93,8 +93,8 @@ pub fn run_shards<D: ConcurrentUnionFind + ?Sized>(
 /// # Panics
 ///
 /// Panics if `threads == 0` or the workload universe exceeds `dsu.len()`.
-pub fn run_shards_cached<F: FindPolicy, S: DsuStore>(
-    dsu: &Dsu<F, S>,
+pub fn run_shards_cached<F: FindPolicy, S: DsuStore, L: LinkPolicy>(
+    dsu: &Dsu<F, S, L>,
     workload: &Workload,
     threads: usize,
 ) -> RunMetrics {
@@ -206,13 +206,15 @@ pub fn run_shards_planned<D: ConcurrentUnionFind + ?Sized>(
 /// Instrumented run against the Jayanti–Tarjan structure: each thread
 /// counts its own work into a private [`OpStats`]; counters are merged
 /// after the run. `early` selects the Section 6 early-termination
-/// operations.
+/// operations. Generic over the full variant plane — any (find × link)
+/// pair on any fixed-universe layout — so the variant experiments (e03,
+/// `variants_ab`) drive every point through one code path.
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0` or the workload universe exceeds `dsu.len()`.
-pub fn run_shards_instrumented<F: FindPolicy>(
-    dsu: &Dsu<F>,
+pub fn run_shards_instrumented<F: FindPolicy, S: DsuStore, L: LinkPolicy>(
+    dsu: &Dsu<F, S, L>,
     workload: &Workload,
     threads: usize,
     early: bool,
