@@ -81,6 +81,54 @@ fn run<S: DsuStore>(label: &str) {
     }
     let cached_finds = t2.elapsed();
     std::hint::black_box(acc2);
+    // Flatten-attribution phase: one sequential sweep on the quiesced
+    // mixed-phase structure, then a re-run of the find storm. The sweep's
+    // own work lands in `reads` / `compact_cas_*` with the `flatten_*`
+    // counters attributing it; the post-sweep storm's `find_hops` proves
+    // the depth-≤-1 contract operationally (every find pays at most one
+    // hop), and a second sweep must find nothing left to jump.
+    let mut flatten_stats = OpStats::default();
+    let t2b = Instant::now();
+    dsu.flatten_with(&mut flatten_stats);
+    let flatten_t = t2b.elapsed();
+    let mut post_stats = OpStats::default();
+    let t2c = Instant::now();
+    let mut acc3 = 0usize;
+    for i in 0..n {
+        acc3 = acc3.wrapping_add(dsu.find_with(i, &mut post_stats));
+    }
+    let post_finds = t2c.elapsed();
+    std::hint::black_box(acc3);
+    println!(
+        "{label}: flatten {:>12?} post-finds {:>12?} | passes {} jumps {} cas_lost {} reads {} | \
+         mixed hops/find {:.3} post hops/find {:.3}",
+        flatten_t,
+        post_finds,
+        flatten_stats.flatten_passes,
+        flatten_stats.flatten_jumps,
+        flatten_stats.flatten_cas_lost,
+        flatten_stats.reads,
+        stats.hops_per_find(),
+        post_stats.hops_per_find()
+    );
+    assert_eq!(flatten_stats.flatten_passes, 1, "{label}: exactly one sweep reported");
+    assert_eq!(
+        flatten_stats.flatten_cas_lost, 0,
+        "{label}: a quiesced single-threaded sweep can lose no CAS"
+    );
+    assert!(
+        post_stats.find_hops <= n as u64,
+        "{label}: depth > 1 survived the sweep ({} hops over {n} finds)",
+        post_stats.find_hops
+    );
+    let mut second = OpStats::default();
+    dsu.flatten_with(&mut second);
+    assert_eq!(second.flatten_jumps, 0, "{label}: second sweep found leftover depth");
+    // Shape check through the offline histogram: exactly zero nodes
+    // deeper than 1 after a quiesced sweep.
+    let hist = concurrent_dsu::viz::depth_histogram(&dsu.parents_snapshot());
+    println!("{label}: post-flatten {}", hist.summary());
+    assert_eq!(hist.nodes_deeper_than_one(), 0, "{label}: {}", hist.summary());
     // Planned-ingestion phase: a dup-heavy Zipf burst trace through the
     // ingestion planner on a fresh structure, next to the plain batch
     // path on another — work counters per arm, so every planner delta
@@ -141,6 +189,15 @@ fn run<S: DsuStore>(label: &str) {
         ("planned", &planned_batch),
     ] {
         assert_eq!(s.faults_injected, 0, "{label}/{phase}: phantom fault attribution");
+        // Unless the env knob armed the batch-ingest trigger, no phase
+        // above runs a sweep, so flatten attribution must be exactly zero.
+        if dsu.flatten_policy() == concurrent_dsu::FlattenPolicy::Off {
+            assert_eq!(
+                (s.flatten_passes, s.flatten_jumps, s.flatten_cas_lost),
+                (0, 0, 0),
+                "{label}/{phase}: phantom flatten attribution"
+            );
+        }
     }
     for (phase, s) in [("mixed", &stats), ("cached", &cached_stats)] {
         assert_eq!(

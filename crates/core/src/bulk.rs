@@ -63,7 +63,7 @@
 //! # Why the seeded CAS is still linearizable
 //!
 //! A recorded survivor `(r, w, v)` has `key(r) < key(v)` under the batch's
-//! [`LinkPolicy`](crate::LinkPolicy), with `r`'s key computed from the very
+//! [`LinkPolicy`], with `r`'s key computed from the very
 //! word `w` the CAS expects (immutable outright for random/index linking;
 //! frozen by the word-exact CAS for rank linking — a concurrent rank bump
 //! changes the word and fails the CAS). If the link CAS succeeds, `r` was

@@ -5,11 +5,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crate::bulk::{self, BatchTuning};
 use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
+use crate::flatten::{self, FlattenPolicy, FlattenTrigger};
 use crate::ingest::PlanTuning;
 use crate::ops;
 use crate::order::LinkPolicy;
-use crate::stats::StatsSink;
-use crate::store::DsuStore;
+use crate::stats::{OpStats, StatsSink};
+use crate::store::{DsuStore, ScanRun};
 use crate::ConcurrentUnionFind;
 
 /// A wait-free concurrent disjoint-set union over the fixed universe
@@ -60,6 +61,9 @@ pub struct Dsu<
     union_parent: Box<[AtomicUsize]>,
     /// Number of successful links ever; `set_count = n - links`.
     links: AtomicUsize,
+    /// Adaptive flatten trigger, consulted after every ingested batch
+    /// (configured by `DSU_FLATTEN` at construction; default off).
+    flatten: FlattenTrigger,
     _policy: std::marker::PhantomData<(F, L)>,
 }
 
@@ -117,6 +121,7 @@ impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> Dsu<F, S, L> {
             union_parent: (0..store.len()).map(AtomicUsize::new).collect(),
             store,
             links: AtomicUsize::new(0),
+            flatten: FlattenTrigger::from_env(),
             _policy: std::marker::PhantomData,
         }
     }
@@ -361,6 +366,7 @@ impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> Dsu<F, S, L> {
             |child, parent| self.record_link(child, parent),
             |i, linked| results[i] = linked,
         );
+        self.maybe_flatten(&mut ());
         results
     }
 
@@ -386,7 +392,7 @@ impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> Dsu<F, S, L> {
             self.check(x);
             self.check(y);
         }
-        bulk::unite_batch_sink_tuned::<L, _, _>(
+        let linked = bulk::unite_batch_sink_tuned::<L, _, _>(
             &self.store,
             edges,
             tuning,
@@ -394,7 +400,9 @@ impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> Dsu<F, S, L> {
             stats,
             |child, parent| self.record_link(child, parent),
             |_, _| {},
-        )
+        );
+        self.maybe_flatten(stats);
+        linked
     }
 
     /// Opens a hot-root cache session: a thread-private handle whose
@@ -451,7 +459,64 @@ impl<F: FindPolicy, S: DsuStore, L: LinkPolicy> Dsu<F, S, L> {
             |child, parent| self.record_link(child, parent),
             |i, linked| results[i] = linked,
         );
+        self.maybe_flatten(&mut ());
         results
+    }
+
+    // ----- Flatten maintenance pass (see the [`flatten`] module) -----
+
+    /// One sequential store-ordered flatten sweep: pointer-jumps every
+    /// element until the whole forest has depth ≤ 1. Safe to run
+    /// concurrently with ongoing operations (a lost CAS just means someone
+    /// moved the root); at quiescence one sweep leaves every subsequent
+    /// find O(1).
+    pub fn flatten(&self) {
+        self.flatten_with(&mut ());
+    }
+
+    /// [`flatten`](Dsu::flatten) reporting work into a [`StatsSink`]
+    /// (loads as `read`, jumps as `compact_cas_*` plus the
+    /// `flatten_*` attribution counters).
+    pub fn flatten_with<Sk: StatsSink>(&self, stats: &mut Sk) {
+        flatten::flatten_runs(&self.store, &self.scan_runs(), stats);
+    }
+
+    /// Parallel flatten sweep over `threads` workers using the same
+    /// dynamic chunk-cursor scheduling as the parallel batch ingest.
+    /// Returns the merged per-worker counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn flatten_parallel(&self, threads: usize) -> OpStats {
+        flatten::flatten_runs_parallel(&self.store, &self.scan_runs(), threads)
+    }
+
+    /// The active [`FlattenPolicy`] (from `DSU_FLATTEN` at construction
+    /// unless overridden by [`set_flatten_policy`](Dsu::set_flatten_policy)).
+    pub fn flatten_policy(&self) -> FlattenPolicy {
+        self.flatten.policy()
+    }
+
+    /// Replaces the flatten policy (e.g. to enable the adaptive trigger
+    /// on a handle built with the knob unset).
+    pub fn set_flatten_policy(&mut self, policy: FlattenPolicy) {
+        self.flatten.set_policy(policy);
+    }
+
+    /// Store-ordered scan chunks for this store's layout (slab-local for
+    /// sharded stores).
+    fn scan_runs(&self) -> Vec<ScanRun> {
+        self.store.scan_ranges().into_iter().map(ScanRun::contiguous).collect()
+    }
+
+    /// Consulted after every ingested batch: runs a sequential flatten
+    /// sweep when the configured policy says the forest is deep enough to
+    /// pay for one. `Off` (the default) is a single branch.
+    fn maybe_flatten<Sk: StatsSink>(&self, stats: &mut Sk) {
+        if self.flatten.batch_done(|| flatten::trigger_probe(&self.store, self.len())) {
+            self.flatten_with(stats);
+        }
     }
 
     fn record_link(&self, child: usize, parent: usize) {
@@ -1114,5 +1179,84 @@ mod tests {
         assert!(one.same_set(0, 0));
         assert!(!one.unite(0, 0));
         assert_eq!(one.set_count(), 1);
+    }
+
+    /// Deterministic deep tree: NoCompaction + index linking over chain
+    /// unites leaves the path 0→1→…→n-1 intact, so the pre-flatten depth
+    /// is provably n-1, not a w.h.p. accident.
+    fn deep_chain<S: DsuStore>(n: usize) -> Dsu<NoCompaction, S, IndexLink> {
+        let dsu: Dsu<NoCompaction, S, IndexLink> = Dsu::with_seed(n, 7);
+        for i in 1..n {
+            dsu.unite(0, i);
+        }
+        assert!(
+            forest_height(&dsu.parents_snapshot()) > 1,
+            "{}: chain workload failed to build depth",
+            S::NAME
+        );
+        dsu
+    }
+
+    #[test]
+    fn quiesced_flatten_reaches_depth_one_on_every_layout() {
+        fn check<S: DsuStore>() {
+            let n = 128;
+            let dsu = deep_chain::<S>(n);
+            dsu.flatten();
+            assert!(
+                forest_height(&dsu.parents_snapshot()) <= 1,
+                "{}: flatten left depth > 1",
+                S::NAME
+            );
+            assert_eq!(dsu.set_count(), 1, "{}: flatten changed the partition", S::NAME);
+            assert!(dsu.same_set(0, n - 1));
+        }
+        check::<crate::PackedStore>();
+        check::<crate::store::FlatStore>();
+        check::<crate::ShardedStore>();
+        check::<RankedStore>();
+    }
+
+    #[test]
+    fn parallel_flatten_flattens_and_reports() {
+        let n = 256;
+        let dsu = deep_chain::<crate::DefaultStore>(n);
+        let before = Partition::from_labels(&dsu.labels_snapshot());
+        let stats = dsu.flatten_parallel(4);
+        assert_eq!(stats.flatten_passes, 1);
+        assert!(stats.flatten_jumps > 0, "a depth-{} path must need jumps", n - 1);
+        assert!(forest_height(&dsu.parents_snapshot()) <= 1);
+        assert_eq!(Partition::from_labels(&dsu.labels_snapshot()), before);
+    }
+
+    #[test]
+    fn flatten_trigger_fires_through_batch_ingest() {
+        // Depth is built per-op (batch ingest may compact internally);
+        // the empty batch then just ticks the trigger.
+        let mut dsu = deep_chain::<crate::store::FlatStore>(96);
+        dsu.set_flatten_policy(FlattenPolicy::EveryKBatches(1));
+        dsu.unite_batch(&[]);
+        assert!(forest_height(&dsu.parents_snapshot()) <= 1, "every-1 trigger did not fire");
+
+        let mut dsu = deep_chain::<crate::store::FlatStore>(96);
+        dsu.set_flatten_policy(FlattenPolicy::HopsThreshold(1.0));
+        dsu.unite_batch(&[]);
+        assert!(
+            forest_height(&dsu.parents_snapshot()) <= 1,
+            "hops-threshold trigger did not fire on a deep chain"
+        );
+
+        // Off is inert: the same empty batch leaves the chain deep.
+        let mut dsu = deep_chain::<crate::store::FlatStore>(96);
+        dsu.set_flatten_policy(FlattenPolicy::Off);
+        dsu.unite_batch(&[]);
+        assert!(forest_height(&dsu.parents_snapshot()) > 1, "Off must never flatten");
+    }
+
+    #[test]
+    fn flatten_policy_accessors() {
+        let mut dsu: Dsu = Dsu::new(4);
+        dsu.set_flatten_policy(FlattenPolicy::EveryKBatches(3));
+        assert_eq!(dsu.flatten_policy(), FlattenPolicy::EveryKBatches(3));
     }
 }

@@ -69,15 +69,18 @@ impl FindPolicy for NoCompaction {
     ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
+        let mut hops = 0;
         loop {
             stats.loop_iter();
             let wu = store.load_word(u);
             stats.read();
             let v = P::parent_of(wu);
             if v == u {
+                stats.find_hops(hops);
                 return (u, wu);
             }
             u = v;
+            hops += 1;
         }
     }
 
@@ -110,6 +113,7 @@ impl FindPolicy for OneTrySplit {
     ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
+        let mut hops = 0;
         loop {
             stats.loop_iter();
             let wu = store.load_word(u);
@@ -119,6 +123,7 @@ impl FindPolicy for OneTrySplit {
             stats.read();
             let w = P::parent_of(wv);
             if v == w {
+                stats.find_hops(hops + usize::from(v != u));
                 return (v, wv);
             }
             if store.cas_from(u, wu, w) {
@@ -127,6 +132,7 @@ impl FindPolicy for OneTrySplit {
                 stats.compact_cas_fail();
             }
             u = v;
+            hops += 1;
         }
     }
 
@@ -155,6 +161,7 @@ impl FindPolicy for TwoTrySplit {
     ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
+        let mut hops = 0;
         loop {
             stats.loop_iter();
             let mut v = 0;
@@ -166,6 +173,7 @@ impl FindPolicy for TwoTrySplit {
                 stats.read();
                 let w = P::parent_of(wv);
                 if v == w {
+                    stats.find_hops(hops + usize::from(v != u));
                     return (v, wv);
                 }
                 if store.cas_from(u, wu, w) {
@@ -175,6 +183,7 @@ impl FindPolicy for TwoTrySplit {
                 }
             }
             u = v;
+            hops += 1;
         }
     }
 
@@ -208,6 +217,7 @@ impl FindPolicy for Halving {
     ) -> (usize, P::Word) {
         stats.find_start();
         let mut u = x;
+        let mut hops = 0;
         loop {
             stats.loop_iter();
             let wu = store.load_word(u);
@@ -217,6 +227,7 @@ impl FindPolicy for Halving {
             stats.read();
             let w = P::parent_of(wv);
             if v == w {
+                stats.find_hops(hops + usize::from(v != u));
                 return (v, wv);
             }
             if store.cas_from(u, wu, w) {
@@ -227,6 +238,7 @@ impl FindPolicy for Halving {
             // Jump two levels: w is an ancestor of u in the union forest
             // whether or not the CAS succeeded (Lemma 3.1).
             u = w;
+            hops += 2;
         }
     }
 
@@ -299,6 +311,7 @@ impl FindPolicy for Compress {
             path.push((r, wr));
             r = p;
         };
+        stats.find_hops(path.len());
         // Pass 2: swing everything at the root (skip the node whose parent
         // already is the root).
         for &(u, wu) in &path {
@@ -487,6 +500,42 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn find_hops_measure_walk_length() {
+        // Path 0 -> 1 -> ... -> 7: a plain walk from 0 is 7 hops, and so
+        // is a compressing one (pass 1 walks the whole path).
+        let mut s = crate::OpStats::default();
+        NoCompaction::find(&path_store(8), 0, &mut s);
+        assert_eq!(s.find_hops, 7);
+        let mut s = crate::OpStats::default();
+        OneTrySplit::find(&path_store(8), 0, &mut s);
+        assert_eq!(s.find_hops, 7);
+        let mut s = crate::OpStats::default();
+        Compress::find(&path_store(8), 0, &mut s);
+        assert_eq!(s.find_hops, 7);
+        // Level-skipping walks (halving, two-try's second try) report the
+        // steps they actually took, not the original depth.
+        let mut s = crate::OpStats::default();
+        TwoTrySplit::find(&path_store(8), 0, &mut s);
+        assert!(s.find_hops >= 3 && s.find_hops <= 7, "{}", s.find_hops);
+        // A find that starts at a root is zero hops under every policy.
+        let store = FlatStore::new(3);
+        let mut s = crate::OpStats::default();
+        NoCompaction::find(&store, 1, &mut s);
+        OneTrySplit::find(&store, 1, &mut s);
+        TwoTrySplit::find(&store, 1, &mut s);
+        Halving::find(&store, 1, &mut s);
+        Compress::find(&store, 1, &mut s);
+        assert_eq!(s.find_hops, 0);
+        assert_eq!(s.finds, 5);
+        // Depth-1 finds are exactly one hop — the post-flatten shape.
+        let store = path_store(2);
+        let mut s = crate::OpStats::default();
+        NoCompaction::find(&store, 0, &mut s);
+        TwoTrySplit::find(&store, 0, &mut s);
+        assert_eq!(s.find_hops, 2);
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! The flatten pass: store-ordered pointer-jumping sweeps that drive every
+//! tree to depth ≤ 1, so steady-state finds are a single load.
+//!
+//! # Why a sweep, not more per-find compaction
+//!
+//! Every compaction policy in [`find`](crate::find) pays its loads on the
+//! *serial* find path: each probe is a dependent pointer chase, and five
+//! PRs of locality bets (ROADMAP "Recent") showed that adding anything to
+//! that chase loses. A flatten sweep is the opposite shape: it scans the
+//! parent array *sequentially* in store order — independent loads the
+//! hardware prefetcher streams at DRAM bandwidth — and pointer-jumps each
+//! element until its parent is a root. After a quiesced sweep every tree
+//! has depth ≤ 1 and every subsequent find is one load (asserted by
+//! `tests/flatten_semantics.rs` on every layout). The structure follows
+//! the wave/flattening phase of "Provably-Efficient and
+//! Internally-Deterministic Parallel Union-Find" (arXiv 2304.09331);
+//! the adaptive trigger follows the path-length-counter heuristics of the
+//! journal version of the source paper (arXiv 2003.01203).
+//!
+//! # Safety under concurrency
+//!
+//! The sweep uses the same primitives as the find policies: [`LOAD`]
+//! (Acquire) word loads and word-exact [`cas_from`]. Each jump CASes
+//! element `i` from its observed word to `i`'s observed *grandparent* — a
+//! proper union-forest ancestor of the observed parent (Lemma 3.1), so a
+//! successful jump preserves exactly the invariant every compaction CAS
+//! preserves and concurrent `unite` / `same_set` verdicts are unaffected
+//! (proptested in `tests/flatten_semantics.rs`). A lost CAS just means a
+//! concurrent mutator moved the element first; the sweep re-reads and
+//! retries, and every retry strictly climbs the random order, so each
+//! element terminates.
+//!
+//! [`LOAD`]: crate::store::LOAD
+//! [`cas_from`]: crate::store::ParentStore::cas_from
+//!
+//! # Scheduling
+//!
+//! [`flatten_runs_parallel`] carves the store's scan surface
+//! ([`DsuStore::scan_ranges`](crate::store::DsuStore::scan_ranges) /
+//! [`GrowableStore::scan_runs`](crate::growable::GrowableStore::scan_runs))
+//! into chunks and has workers claim them from a shared atomic cursor —
+//! the same dynamic chunk-cursor shape as the graph crate's chunked edge
+//! ingestion, because chunks near hot roots finish at very different
+//! speeds. Chunks never straddle a [`ScanRun`], so a sharded sweep stays
+//! slab-local.
+//!
+//! # When to run it
+//!
+//! Only between (or concurrently with, but paid against) traffic that will
+//! amortize it: the sweep is O(n) loads plus a CAS per deep element. The
+//! [`FlattenPolicy`] trigger automates the decision from observed depth;
+//! `BENCH_PR9.json` (`flatten_ab`) measures where the trade pays.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::stats::{OpStats, StatsSink};
+use crate::store::{ParentStore, ScanRun};
+
+/// Elements per parallel-sweep chunk. Coarser than the edge-ingestion
+/// chunk (1024): sweep work per element is two streamed loads in the
+/// common flat case, so smaller chunks would be all cursor traffic.
+pub const DEFAULT_FLATTEN_CHUNK: usize = 4096;
+
+/// Default mean-observed-depth threshold for [`FlattenPolicy::Auto`]:
+/// between 1 (perfectly flat) and 2; past ~1.75 a sweep typically buys
+/// back its cost on the next query burst (see `BENCH_PR9.json`).
+pub const AUTO_HOPS_THRESHOLD: f64 = 1.75;
+
+/// Elements probed by one adaptive-trigger depth sample.
+const TRIGGER_SAMPLES: usize = 32;
+
+/// Pointer-jumps one element until its observed parent is an observed
+/// root. Loads and CASes report through the ordinary `read` /
+/// `compact_cas_*` events (keeping `memory_accesses()` honest);
+/// `flatten_jump` / `flatten_cas_lost` attribute them to the sweep.
+#[inline]
+pub fn flatten_element<P: ParentStore + ?Sized, S: StatsSink>(store: &P, i: usize, stats: &mut S) {
+    loop {
+        let wu = store.load_word(i);
+        stats.read();
+        let p = P::parent_of(wu);
+        if p == i {
+            return; // i is a root.
+        }
+        let wp = store.load_word(p);
+        stats.read();
+        let g = P::parent_of(wp);
+        if g == p {
+            return; // p was observed a root: depth ≤ 1 right now.
+        }
+        // Same jump as split_step's CAS: g is a proper union-forest
+        // ancestor of i's observed parent, so linking verdicts cannot
+        // change. Success or not, re-read — on success the new parent g
+        // may itself have a parent; on failure someone moved i first.
+        if store.cas_from(i, wu, g) {
+            stats.compact_cas_ok();
+            stats.flatten_jump();
+        } else {
+            stats.compact_cas_fail();
+            stats.flatten_cas_lost();
+        }
+    }
+}
+
+/// One sequential sweep over `runs`, in order (see [`flatten_element`] for
+/// the per-element contract). Reports one `flatten_pass` on completion.
+pub fn flatten_runs<P: ParentStore + ?Sized, S: StatsSink>(
+    store: &P,
+    runs: &[ScanRun],
+    stats: &mut S,
+) {
+    for run in runs {
+        for j in 0..run.count {
+            flatten_element(store, run.at(j), stats);
+        }
+    }
+    stats.flatten_pass();
+}
+
+/// Splits runs into chunks of at most [`DEFAULT_FLATTEN_CHUNK`] elements,
+/// never straddling a run (so sharded sweeps stay slab-local).
+fn chunk_runs(runs: &[ScanRun]) -> Vec<ScanRun> {
+    let mut chunks = Vec::new();
+    for run in runs {
+        let mut j = 0;
+        while j < run.count {
+            let count = DEFAULT_FLATTEN_CHUNK.min(run.count - j);
+            chunks.push(ScanRun { base: run.at(j), stride: run.stride, count });
+            j += count;
+        }
+    }
+    chunks
+}
+
+/// A parallel sweep over `runs` on `threads` workers claiming chunks from
+/// a shared cursor (dynamic scheduling — chunks near hot roots cost
+/// different amounts). Returns the merged per-worker counters, including
+/// exactly one `flatten_passes`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn flatten_runs_parallel<P: ParentStore + Sync + ?Sized>(
+    store: &P,
+    runs: &[ScanRun],
+    threads: usize,
+) -> OpStats {
+    assert!(threads > 0, "a parallel flatten needs at least one worker");
+    let chunks = chunk_runs(runs);
+    let cursor = AtomicUsize::new(0);
+    let mut total = OpStats::default();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let (cursor, chunks) = (&cursor, &chunks);
+                scope.spawn(move || {
+                    let mut stats = OpStats::default();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(c) else { break };
+                        for j in 0..chunk.count {
+                            flatten_element(store, chunk.at(j), &mut stats);
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        for w in workers {
+            total.merge(&w.join().expect("flatten worker panicked"));
+        }
+    });
+    total.flatten_pass();
+    total
+}
+
+/// Mean observed depth of `samples` elements stride-spread over `0..len`,
+/// each walked to its root with plain loads (no compaction, walk capped at
+/// 64 hops) — the cheap probe behind the adaptive trigger. `0.0` for an
+/// empty universe.
+pub fn sampled_mean_depth<P: ParentStore + ?Sized>(store: &P, len: usize, samples: usize) -> f64 {
+    if len == 0 || samples == 0 {
+        return 0.0;
+    }
+    let samples = samples.min(len);
+    let stride = len / samples;
+    let mut hops = 0usize;
+    for s in 0..samples {
+        let mut u = s * stride;
+        for _ in 0..64 {
+            let p = store.load_parent(u);
+            if p == u {
+                break;
+            }
+            hops += 1;
+            u = p;
+        }
+    }
+    hops as f64 / samples as f64
+}
+
+/// When an adaptive structure runs a flatten sweep (the `DSU_FLATTEN`
+/// knob; read at construction, never per operation).
+///
+/// The default is [`Off`](FlattenPolicy::Off): per house rules an
+/// optimization is opt-in until its A/B wins, and the sweep's O(n) cost
+/// only amortizes under query-heavy traffic (`BENCH_PR9.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FlattenPolicy {
+    /// Never flatten automatically (explicit `flatten()` calls still work).
+    #[default]
+    Off,
+    /// Flatten after every `k`-th ingested batch (`k ≥ 1`).
+    EveryKBatches(usize),
+    /// After each batch, probe the mean observed depth of a small element
+    /// sample and flatten when it exceeds this threshold.
+    HopsThreshold(f64),
+    /// [`HopsThreshold`](FlattenPolicy::HopsThreshold) at
+    /// [`AUTO_HOPS_THRESHOLD`].
+    Auto,
+}
+
+impl FlattenPolicy {
+    /// Parses the `DSU_FLATTEN` environment variable: `off`, `auto`,
+    /// `every=<k>`, or `hops=<x>`. Unset means [`Off`](FlattenPolicy::Off);
+    /// a set-but-unrecognized value degrades to
+    /// [`Auto`](FlattenPolicy::Auto) (the operator asked for *something*),
+    /// mirroring `DSU_TUNER`'s graceful degradation.
+    pub fn from_env() -> Self {
+        match std::env::var("DSU_FLATTEN") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => FlattenPolicy::Off,
+        }
+    }
+
+    /// Parses a policy string (the `DSU_FLATTEN` grammar above).
+    pub fn parse(v: &str) -> Self {
+        let v = v.trim();
+        if v.eq_ignore_ascii_case("off") {
+            return FlattenPolicy::Off;
+        }
+        if v.eq_ignore_ascii_case("auto") {
+            return FlattenPolicy::Auto;
+        }
+        if let Some(k) = v.strip_prefix("every=") {
+            if let Ok(k) = k.parse::<usize>() {
+                if k >= 1 {
+                    return FlattenPolicy::EveryKBatches(k);
+                }
+            }
+        }
+        if let Some(t) = v.strip_prefix("hops=") {
+            if let Ok(t) = t.parse::<f64>() {
+                if t.is_finite() && t > 0.0 {
+                    return FlattenPolicy::HopsThreshold(t);
+                }
+            }
+        }
+        FlattenPolicy::Auto
+    }
+}
+
+/// The per-structure adaptive-trigger state: the policy plus a batch
+/// counter ([`Dsu`](crate::Dsu) / [`GrowableDsu`](crate::GrowableDsu) hold
+/// one and consult it after every ingested batch).
+#[derive(Debug)]
+pub struct FlattenTrigger {
+    policy: FlattenPolicy,
+    batches: AtomicUsize,
+}
+
+impl FlattenTrigger {
+    /// A trigger running `policy`.
+    pub fn new(policy: FlattenPolicy) -> Self {
+        FlattenTrigger { policy, batches: AtomicUsize::new(0) }
+    }
+
+    /// A trigger configured from `DSU_FLATTEN`
+    /// ([`FlattenPolicy::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(FlattenPolicy::from_env())
+    }
+
+    /// The policy this trigger runs.
+    pub fn policy(&self) -> FlattenPolicy {
+        self.policy
+    }
+
+    /// Replaces the policy (construction-time configuration; the batch
+    /// counter is preserved).
+    pub fn set_policy(&mut self, policy: FlattenPolicy) {
+        self.policy = policy;
+    }
+
+    /// Records one completed batch and decides whether to flatten now.
+    /// `sample_depth` is only called by the depth-probing policies.
+    pub fn batch_done(&self, sample_depth: impl FnOnce() -> f64) -> bool {
+        match self.policy {
+            FlattenPolicy::Off => false,
+            FlattenPolicy::EveryKBatches(k) => {
+                (self.batches.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(k)
+            }
+            FlattenPolicy::HopsThreshold(t) => {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                sample_depth() > t
+            }
+            FlattenPolicy::Auto => {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                sample_depth() > AUTO_HOPS_THRESHOLD
+            }
+        }
+    }
+
+    /// Batches recorded so far (diagnostics).
+    pub fn batches_seen(&self) -> usize {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+/// The depth-probe closure the wrappers hand to
+/// [`FlattenTrigger::batch_done`]: [`sampled_mean_depth`] at the trigger's
+/// sample budget.
+pub(crate) fn trigger_probe<P: ParentStore + ?Sized>(store: &P, len: usize) -> f64 {
+    sampled_mean_depth(store, len, TRIGGER_SAMPLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{DsuStore, FlatStore};
+    use std::sync::atomic::Ordering;
+
+    /// Builds a path 0 -> 1 -> ... -> n-1 (n-1 is the root).
+    fn path_store(n: usize) -> FlatStore {
+        let store = FlatStore::new(n);
+        for i in 0..n - 1 {
+            store.parent_cell(i).store(i + 1, Ordering::Relaxed);
+        }
+        store
+    }
+
+    fn max_depth(parent: &[usize]) -> usize {
+        (0..parent.len())
+            .map(|mut u| {
+                let mut d = 0;
+                while parent[u] != u {
+                    u = parent[u];
+                    d += 1;
+                }
+                d
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn flatten_element_flattens_one_path_node() {
+        let store = path_store(8);
+        let mut stats = OpStats::default();
+        flatten_element(&store, 0, &mut stats);
+        // 0's parent must now be the root, reached by repeated jumps.
+        assert_eq!(store.load_parent(0), 7);
+        assert!(stats.flatten_jumps > 0);
+        assert_eq!(stats.flatten_cas_lost, 0, "uncontended jumps never lose");
+        assert_eq!(stats.compact_cas_ok, stats.flatten_jumps);
+        // Root and depth-1 elements are no-ops.
+        let mut quiet = OpStats::default();
+        flatten_element(&store, 7, &mut quiet);
+        flatten_element(&store, 6, &mut quiet);
+        assert_eq!(quiet.cas_attempts(), 0);
+    }
+
+    #[test]
+    fn sequential_flatten_reaches_depth_one() {
+        let store = path_store(64);
+        let mut stats = OpStats::default();
+        flatten_runs(
+            &store,
+            &store.scan_ranges().into_iter().map(ScanRun::contiguous).collect::<Vec<_>>(),
+            &mut stats,
+        );
+        assert_eq!(stats.flatten_passes, 1);
+        let snap = store.snapshot();
+        assert!(max_depth(&snap) <= 1, "post-flatten max depth: {}", max_depth(&snap));
+        // A second pass is pure reads: nothing left to jump.
+        let mut again = OpStats::default();
+        flatten_runs(&store, &[ScanRun::contiguous(0..64)], &mut again);
+        assert_eq!(again.flatten_jumps, 0);
+        assert_eq!(again.cas_attempts(), 0);
+    }
+
+    #[test]
+    fn parallel_flatten_reaches_depth_one() {
+        for threads in [1, 2, 4] {
+            let store = path_store(1 << 12);
+            let stats = flatten_runs_parallel(&store, &[ScanRun::contiguous(0..1 << 12)], threads);
+            assert_eq!(stats.flatten_passes, 1);
+            assert!(stats.flatten_jumps > 0);
+            let snap = store.snapshot();
+            assert!(max_depth(&snap) <= 1, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        flatten_runs_parallel(&FlatStore::new(4), &[ScanRun::contiguous(0..4)], 0);
+    }
+
+    #[test]
+    fn chunks_respect_run_boundaries() {
+        let runs = [
+            ScanRun { base: 0, stride: 1, count: DEFAULT_FLATTEN_CHUNK + 7 },
+            ScanRun { base: 100_000, stride: 4, count: 3 },
+        ];
+        let chunks = chunk_runs(&runs);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].count, DEFAULT_FLATTEN_CHUNK);
+        assert_eq!(chunks[1], ScanRun { base: DEFAULT_FLATTEN_CHUNK, stride: 1, count: 7 });
+        assert_eq!(chunks[2], runs[1]);
+        let total: usize = chunks.iter().map(|c| c.count).sum();
+        assert_eq!(total, runs.iter().map(|r| r.count).sum::<usize>());
+    }
+
+    #[test]
+    fn sampled_depth_tracks_the_forest() {
+        assert_eq!(sampled_mean_depth(&FlatStore::new(16), 16, 8), 0.0);
+        let deep = path_store(64);
+        assert!(sampled_mean_depth(&deep, 64, 8) > 1.0);
+        assert_eq!(sampled_mean_depth(&FlatStore::new(0), 0, 8), 0.0);
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(FlattenPolicy::parse("off"), FlattenPolicy::Off);
+        assert_eq!(FlattenPolicy::parse("OFF"), FlattenPolicy::Off);
+        assert_eq!(FlattenPolicy::parse("auto"), FlattenPolicy::Auto);
+        assert_eq!(FlattenPolicy::parse("every=3"), FlattenPolicy::EveryKBatches(3));
+        assert_eq!(FlattenPolicy::parse("hops=2.5"), FlattenPolicy::HopsThreshold(2.5));
+        // Degenerate and unrecognized values degrade to Auto.
+        assert_eq!(FlattenPolicy::parse("every=0"), FlattenPolicy::Auto);
+        assert_eq!(FlattenPolicy::parse("hops=-1"), FlattenPolicy::Auto);
+        assert_eq!(FlattenPolicy::parse("bogus"), FlattenPolicy::Auto);
+        assert_eq!(FlattenPolicy::default(), FlattenPolicy::Off);
+    }
+
+    #[test]
+    fn trigger_every_k() {
+        let t = FlattenTrigger::new(FlattenPolicy::EveryKBatches(3));
+        let fired: Vec<bool> = (0..6).map(|_| t.batch_done(|| unreachable!())).collect();
+        assert_eq!(fired, [false, false, true, false, false, true]);
+        assert_eq!(t.batches_seen(), 6);
+    }
+
+    #[test]
+    fn trigger_off_and_thresholds() {
+        let t = FlattenTrigger::new(FlattenPolicy::Off);
+        assert!(!t.batch_done(|| unreachable!()));
+        assert_eq!(t.batches_seen(), 0);
+
+        let t = FlattenTrigger::new(FlattenPolicy::HopsThreshold(2.0));
+        assert!(!t.batch_done(|| 1.5));
+        assert!(t.batch_done(|| 2.5));
+
+        let mut t = FlattenTrigger::new(FlattenPolicy::Auto);
+        assert!(!t.batch_done(|| AUTO_HOPS_THRESHOLD - 0.5));
+        assert!(t.batch_done(|| AUTO_HOPS_THRESHOLD + 0.5));
+        t.set_policy(FlattenPolicy::Off);
+        assert_eq!(t.policy(), FlattenPolicy::Off);
+        assert!(!t.batch_done(|| unreachable!()));
+    }
+}

@@ -21,10 +21,11 @@ use std::sync::OnceLock;
 use crate::bulk::{self, BatchTuning};
 use crate::cache::{self, RootCache};
 use crate::find::{FindPolicy, TwoTrySplit};
+use crate::flatten::{self, FlattenPolicy, FlattenTrigger};
 use crate::ingest::PlanTuning;
 use crate::ops;
 use crate::order::{splitmix64, HashOrder, IdOrder, LinkPolicy};
-use crate::stats::StatsSink;
+use crate::stats::{OpStats, StatsSink};
 use crate::store::{self, ParentStore};
 use crate::ConcurrentUnionFind;
 
@@ -55,6 +56,24 @@ pub trait GrowableStore: ParentStore + IdOrder {
     /// (`parent == e`). Called exactly once per element, by `make_set`,
     /// *before* the element index is published.
     fn ensure(&self, e: usize);
+
+    /// Scan units covering the *allocated* cells among `0..len`, each
+    /// walking one segment of one allocation in order — the growable
+    /// counterpart of [`DsuStore::scan_ranges`](crate::store::DsuStore::scan_ranges),
+    /// consumed by the [`flatten`] sweep.
+    ///
+    /// Implementations must skip unallocated segments (a concurrent
+    /// `make_set` may have reserved an index it is still initializing, so
+    /// a sweep must never assume every index below a `len()` snapshot is
+    /// backed yet) and may include allocated cells at or above `len` —
+    /// those are untouched singletons, and flattening a singleton is a
+    /// no-op.
+    fn scan_runs(&self, len: usize) -> Vec<crate::store::ScanRun> {
+        if len == 0 {
+            return Vec::new();
+        }
+        vec![crate::store::ScanRun::contiguous(0..len)]
+    }
 }
 
 /// The flat growable layout: `AtomicUsize` parent segments, ids computed on
@@ -144,6 +163,29 @@ impl GrowableStore for SegmentedStore {
         });
         debug_assert_eq!(seg[off].load(Ordering::Relaxed), e);
     }
+
+    fn scan_runs(&self, len: usize) -> Vec<crate::store::ScanRun> {
+        segment_scan_runs(len, |s| self.segments[s].get().is_some())
+    }
+}
+
+/// Shared segment-directory scan geometry: one stride-1 run per *allocated*
+/// segment (segment `s` holds elements `2^s - 1 ..= 2^(s+1) - 2`), clipped
+/// to `len`.
+fn segment_scan_runs(len: usize, allocated: impl Fn(usize) -> bool) -> Vec<crate::store::ScanRun> {
+    let mut runs = Vec::new();
+    for s in 0..SEGMENTS {
+        let base = (1usize << s) - 1;
+        if base >= len {
+            break;
+        }
+        if !allocated(s) {
+            continue;
+        }
+        let count = (1usize << s).min(len - base);
+        runs.push(crate::store::ScanRun { base, stride: 1, count });
+    }
+    runs
 }
 
 /// The packed growable layout: `AtomicU64` parent segments carrying a
@@ -244,6 +286,10 @@ impl GrowableStore for PackedSegmentedStore {
         });
         debug_assert_eq!(store::packed_parent(seg[off].load(Ordering::Relaxed)), e);
     }
+
+    fn scan_runs(&self, len: usize) -> Vec<crate::store::ScanRun> {
+        segment_scan_runs(len, |s| self.segments[s].get().is_some())
+    }
 }
 
 /// A concurrent union-find whose universe grows via
@@ -280,6 +326,9 @@ pub struct GrowableDsu<
     store: S,
     count: AtomicUsize,
     links: AtomicUsize,
+    /// Adaptive flatten trigger, consulted after every ingested batch
+    /// (configured by `DSU_FLATTEN` at construction; default off).
+    flatten: FlattenTrigger,
     _policy: std::marker::PhantomData<(F, L)>,
 }
 
@@ -324,6 +373,7 @@ impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> GrowableDsu<F, S, L> {
             store,
             count: AtomicUsize::new(0),
             links: AtomicUsize::new(0),
+            flatten: FlattenTrigger::from_env(),
             _policy: std::marker::PhantomData,
         }
     }
@@ -504,6 +554,7 @@ impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> GrowableDsu<F, S, L> {
             },
             |i, linked| results[i] = linked,
         );
+        self.maybe_flatten(&mut ());
         results
     }
 
@@ -550,7 +601,7 @@ impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> GrowableDsu<F, S, L> {
             self.check(x);
             self.check(y);
         }
-        bulk::unite_batch_sink_tuned::<L, _, _>(
+        let linked = bulk::unite_batch_sink_tuned::<L, _, _>(
             &self.store,
             edges,
             tuning,
@@ -560,7 +611,55 @@ impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> GrowableDsu<F, S, L> {
                 self.links.fetch_add(1, Ordering::Relaxed);
             },
             |_, _| {},
-        )
+        );
+        self.maybe_flatten(stats);
+        linked
+    }
+
+    // ----- Flatten maintenance pass (see the [`flatten`] module) -----
+
+    /// One sequential store-ordered flatten sweep over every element
+    /// created so far: pointer-jumps until the forest has depth ≤ 1. Safe
+    /// concurrently with ongoing operations (and with `make_set`: the scan
+    /// covers only segments already allocated, and an index reserved but
+    /// not yet initialized lives in such a segment only as a root-shaped
+    /// singleton, for which the sweep is a no-op).
+    pub fn flatten(&self) {
+        self.flatten_with(&mut ());
+    }
+
+    /// [`flatten`](GrowableDsu::flatten) reporting work into a
+    /// [`StatsSink`].
+    pub fn flatten_with<Sk: StatsSink>(&self, stats: &mut Sk) {
+        flatten::flatten_runs(&self.store, &self.store.scan_runs(self.len()), stats);
+    }
+
+    /// Parallel flatten sweep over `threads` workers; returns the merged
+    /// per-worker counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn flatten_parallel(&self, threads: usize) -> OpStats {
+        flatten::flatten_runs_parallel(&self.store, &self.store.scan_runs(self.len()), threads)
+    }
+
+    /// The active [`FlattenPolicy`].
+    pub fn flatten_policy(&self) -> FlattenPolicy {
+        self.flatten.policy()
+    }
+
+    /// Replaces the flatten policy.
+    pub fn set_flatten_policy(&mut self, policy: FlattenPolicy) {
+        self.flatten.set_policy(policy);
+    }
+
+    /// Consulted after every ingested batch; see [`Dsu`](crate::Dsu)'s
+    /// counterpart.
+    fn maybe_flatten<Sk: StatsSink>(&self, stats: &mut Sk) {
+        if self.flatten.batch_done(|| flatten::trigger_probe(&self.store, self.len())) {
+            self.flatten_with(stats);
+        }
     }
 
     /// Opens a hot-root cache session — the growable counterpart of
@@ -918,5 +1017,80 @@ mod tests {
     fn default_is_empty() {
         let dsu: GrowableDsu = GrowableDsu::default();
         assert!(dsu.is_empty());
+    }
+
+    /// Max walk length to a root over the first `len` elements (plain
+    /// quiescent reads; test-only).
+    fn max_depth<S: GrowableStore>(store: &S, len: usize) -> usize {
+        (0..len)
+            .map(|i| {
+                let mut u = i;
+                let mut d = 0;
+                loop {
+                    let p = store.load_parent(u);
+                    if p == u {
+                        break d;
+                    }
+                    u = p;
+                    d += 1;
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// NoCompaction + index linking over chain unites builds the full
+    /// path 0→1→…→n-1 deterministically (same trick as the fixed-universe
+    /// flatten tests).
+    fn deep_chain<S: GrowableStore>(
+        n: usize,
+    ) -> GrowableDsu<crate::find::NoCompaction, S, crate::order::IndexLink> {
+        let dsu = GrowableDsu::with_initial(n);
+        for i in 1..n {
+            dsu.unite(0, i);
+        }
+        assert!(max_depth(&dsu.store, n) > 1, "{}: chain failed to build depth", S::NAME);
+        dsu
+    }
+
+    #[test]
+    fn flatten_reaches_depth_one_on_every_growable_layout() {
+        fn check<S: GrowableStore>() {
+            let n = 200;
+            let dsu = deep_chain::<S>(n);
+            dsu.flatten();
+            assert!(max_depth(&dsu.store, n) <= 1, "{}: flatten left depth > 1", S::NAME);
+            assert_eq!(dsu.set_count(), 1, "{}: flatten changed the partition", S::NAME);
+            assert!(dsu.same_set(0, n - 1));
+            // New elements after a flatten are untouched singletons.
+            let e = dsu.make_set();
+            assert!(!dsu.same_set(0, e));
+        }
+        check::<SegmentedStore>();
+        check::<PackedSegmentedStore>();
+        check::<crate::ShardedSegmentedStore>();
+    }
+
+    #[test]
+    fn parallel_flatten_on_growable_layouts() {
+        let n = 300;
+        let dsu = deep_chain::<PackedSegmentedStore>(n);
+        let stats = dsu.flatten_parallel(4);
+        assert_eq!(stats.flatten_passes, 1);
+        assert!(stats.flatten_jumps > 0);
+        assert!(max_depth(&dsu.store, n) <= 1);
+    }
+
+    #[test]
+    fn flatten_trigger_fires_through_growable_batches() {
+        let mut dsu = deep_chain::<SegmentedStore>(64);
+        dsu.set_flatten_policy(FlattenPolicy::EveryKBatches(1));
+        dsu.unite_batch(&[]);
+        assert!(max_depth(&dsu.store, 64) <= 1, "every-1 trigger did not fire");
+
+        let mut dsu = deep_chain::<SegmentedStore>(64);
+        dsu.set_flatten_policy(FlattenPolicy::Off);
+        dsu.unite_batch(&[]);
+        assert!(max_depth(&dsu.store, 64) > 1, "Off must never flatten");
     }
 }

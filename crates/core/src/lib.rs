@@ -176,6 +176,7 @@
 //! | `DSU_FAULT_SEED` | [`FaultPlan::from_env`] | seed for the fault-injection plan a [`FaultyStore`] runs; only consulted by fault-test binaries that opt in. Default: 0 |
 //! | `DSU_FAULT_RATE` | [`FaultPlan::from_env`] | probability in `[0, 1]` of injecting a fault at each eligible store access. Default: 0.0 |
 //! | `DSU_TUNER` | [`TunerMode::from_env`] (used by [`TunedDsu`] constructors) | `off` pins the paper-default variant, `auto` samples a prefix and dispatches to the [`DecisionTable`] winner, an explicit `<find>/<link>` tag (e.g. `halving/index`) forces that variant from construction. Unrecognized values degrade to `auto`. Default: `auto` |
+//! | `DSU_FLATTEN` | [`FlattenPolicy::from_env`] (used by [`Dsu`] / [`GrowableDsu`] constructors) | adaptive flatten-pass trigger consulted after every ingested batch: `off` never sweeps, `every=<k>` sweeps after each `k`-th batch, `hops=<x>` sweeps when a sampled mean tree depth exceeds `x`, `auto` = `hops=1.75`. Unrecognized values degrade to `auto`. Default: `off` |
 //!
 //! The `strict-sc` cargo feature (not an env var) restores the paper's
 //! sequentially consistent orderings crate-wide; the `default-store-flat`
@@ -188,6 +189,7 @@ pub mod bulk;
 pub mod cache;
 pub mod fault;
 pub mod find;
+pub mod flatten;
 pub mod growable;
 pub mod ingest;
 pub mod keyed;
@@ -205,6 +207,7 @@ pub use cache::RootCache;
 pub use dsu::{CachedHandle, Dsu};
 pub use fault::{BrokenStore, FaultPlan, FaultReport, FaultyStore, RetryBudget, TestWatchdog};
 pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+pub use flatten::{FlattenPolicy, FlattenTrigger};
 pub use growable::{
     GrowableCachedHandle, GrowableDsu, GrowableStore, PackedSegmentedStore, SegmentedStore,
 };
@@ -215,7 +218,7 @@ pub use order::{
 };
 pub use stats::{OpStats, ShardSkew, StatsSink};
 pub use store::{
-    DsuStore, FlatStore, PackedStore, ParentStore, RankedStore, ShardReport, ShardSpec,
+    DsuStore, FlatStore, PackedStore, ParentStore, RankedStore, ScanRun, ShardReport, ShardSpec,
     ShardedSegmentedStore, ShardedStore,
 };
 pub use tune::{

@@ -101,6 +101,24 @@ pub trait StatsSink {
     /// dispatch away from the sampling default (at most one per structure
     /// unless explicitly re-armed; zero when the scorer kept the default).
     fn tuner_switch(&mut self) {}
+    /// A `find` traversal reached its root after `n` parent hops (`n = 0`
+    /// when the start node was already a root). This is the *path length*
+    /// the flatten pass exists to drive toward ≤ 1 — the loads behind the
+    /// hops are already counted by [`read`](StatsSink::read), so this is
+    /// attribution, not extra access accounting.
+    fn find_hops(&mut self, _n: usize) {}
+    /// A flatten sweep over the whole store completed (see
+    /// [`flatten`](crate::flatten)).
+    fn flatten_pass(&mut self) {}
+    /// A flatten sweep's pointer-jump CAS succeeded: one element's parent
+    /// moved to its observed grandparent (or further, on retries). The CAS
+    /// itself is counted by [`compact_cas_ok`](StatsSink::compact_cas_ok).
+    fn flatten_jump(&mut self) {}
+    /// A flatten sweep's pointer-jump CAS lost a race with a concurrent
+    /// unite or compaction (the word changed under it). Harmless — the
+    /// sweep re-reads and retries. The CAS is counted by
+    /// [`compact_cas_fail`](StatsSink::compact_cas_fail).
+    fn flatten_cas_lost(&mut self) {}
 }
 
 impl StatsSink for () {
@@ -148,6 +166,14 @@ impl StatsSink for () {
     fn tuner_samples(&mut self, _n: usize) {}
     #[inline(always)]
     fn tuner_switch(&mut self) {}
+    #[inline(always)]
+    fn find_hops(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn flatten_pass(&mut self) {}
+    #[inline(always)]
+    fn flatten_jump(&mut self) {}
+    #[inline(always)]
+    fn flatten_cas_lost(&mut self) {}
 }
 
 /// Plain counters for the events of [`StatsSink`]. Keep one per thread and
@@ -225,6 +251,18 @@ pub struct OpStats {
     /// Variant switches an auto-tuning dispatcher committed (zero when the
     /// scorer kept the sampling default).
     pub tuner_switches: u64,
+    /// Parent hops summed over all `find` traversals (path length; the
+    /// hops' loads are already in `reads`). `find_hops / finds` is the mean
+    /// observed tree depth — the quantity a flatten pass drives toward ≤ 1.
+    pub find_hops: u64,
+    /// Completed flatten sweeps over the whole store.
+    pub flatten_passes: u64,
+    /// Successful pointer-jump CASes performed by flatten sweeps (each also
+    /// counted in `compact_cas_ok`).
+    pub flatten_jumps: u64,
+    /// Flatten pointer-jump CASes lost to concurrent mutators (each also
+    /// counted in `compact_cas_fail`).
+    pub flatten_cas_lost: u64,
 }
 
 impl OpStats {
@@ -263,11 +301,22 @@ impl OpStats {
         self.id_table_resizes += other.id_table_resizes;
         self.tuner_samples += other.tuner_samples;
         self.tuner_switches += other.tuner_switches;
+        self.find_hops += other.find_hops;
+        self.flatten_passes += other.flatten_passes;
+        self.flatten_jumps += other.flatten_jumps;
+        self.flatten_cas_lost += other.flatten_cas_lost;
     }
 
     /// Mean find-loop iterations per operation (`NaN` if no ops ran).
     pub fn iters_per_op(&self) -> f64 {
         self.loop_iters as f64 / self.ops as f64
+    }
+
+    /// Mean parent hops per `find` — the observed tree depth (`NaN` if no
+    /// finds ran). The adaptive flatten trigger compares this against its
+    /// threshold (see [`FlattenPolicy`](crate::FlattenPolicy)).
+    pub fn hops_per_find(&self) -> f64 {
+        self.find_hops as f64 / self.finds as f64
     }
 }
 
@@ -359,6 +408,22 @@ impl StatsSink for OpStats {
     #[inline]
     fn tuner_switch(&mut self) {
         self.tuner_switches += 1;
+    }
+    #[inline]
+    fn find_hops(&mut self, n: usize) {
+        self.find_hops += n as u64;
+    }
+    #[inline]
+    fn flatten_pass(&mut self) {
+        self.flatten_passes += 1;
+    }
+    #[inline]
+    fn flatten_jump(&mut self) {
+        self.flatten_jumps += 1;
+    }
+    #[inline]
+    fn flatten_cas_lost(&mut self) {
+        self.flatten_cas_lost += 1;
     }
 }
 
@@ -563,6 +628,41 @@ mod tests {
         let mut unit = ();
         unit.tuner_samples(1);
         unit.tuner_switch();
+    }
+
+    #[test]
+    fn flatten_counters_count_and_merge() {
+        let mut a = OpStats::default();
+        a.find_start();
+        a.find_start();
+        a.find_hops(3);
+        a.find_hops(0);
+        a.flatten_pass();
+        a.flatten_jump();
+        a.flatten_jump();
+        a.flatten_cas_lost();
+        assert_eq!(
+            (a.find_hops, a.flatten_passes, a.flatten_jumps, a.flatten_cas_lost),
+            (3, 1, 2, 1)
+        );
+        assert!((a.hops_per_find() - 1.5).abs() < 1e-12);
+        // Hops and flatten tallies are attribution bookkeeping; the loads
+        // and CASes they describe are already counted by read /
+        // compact_cas_ok / compact_cas_fail.
+        assert_eq!(a.memory_accesses(), 0);
+        let mut b = OpStats::default();
+        b.flatten_cas_lost();
+        b.merge(&a);
+        assert_eq!(
+            (b.find_hops, b.flatten_passes, b.flatten_jumps, b.flatten_cas_lost),
+            (3, 1, 2, 2)
+        );
+        // The unit sink accepts the new events too.
+        let mut unit = ();
+        unit.find_hops(1);
+        unit.flatten_pass();
+        unit.flatten_jump();
+        unit.flatten_cas_lost();
     }
 
     #[test]

@@ -121,6 +121,27 @@
 //! `native_linearizability.rs`, and the `chaos_ab` /
 //! `e13_fault_injection` harnesses.
 //!
+//! **Which layouts support cheap scans.** Maintenance passes (the
+//! [`flatten`](crate::flatten) sweep) iterate the parent words in *store
+//! order* — the order the bytes sit in memory — via
+//! [`DsuStore::scan_ranges`] /
+//! [`GrowableStore::scan_runs`](crate::GrowableStore::scan_runs), which hand
+//! back [`ScanRun`]s a sweep streams through at hardware-prefetch speed:
+//!
+//! * [`PackedStore`], [`FlatStore`], [`RankedStore`]:
+//!   one contiguous run covering `0..n` — the ideal scan surface.
+//! * [`ShardedStore`]: one run **per slab**, so a sweep stays slab-local
+//!   and never interleaves allocations (the same geometry argument as
+//!   placement: consecutive indices within a slab are consecutive bytes).
+//! * Growable layouts ([`SegmentedStore`](crate::SegmentedStore) and
+//!   friends): one run per *allocated* segment, skipping directory holes —
+//!   a concurrently reserved-but-uninitialized index is a root-shaped
+//!   singleton no sweep needs to visit.
+//!
+//! Scans only ever *read* words and retarget them with
+//! [`ParentStore::cas_from`], so they obey the same ordering contract as
+//! finds and are safe concurrently with unites.
+//!
 //! # Memory orderings (and the `strict-sc` feature)
 //!
 //! The paper's APRAM model assumes sequentially consistent single-word
@@ -241,6 +262,37 @@ pub(crate) fn prefetch_read<T>(p: *const T) {
     };
     #[cfg(not(all(feature = "prefetch", any(target_arch = "x86_64", target_arch = "aarch64"))))]
     let _ = p;
+}
+
+/// One unit of sequential scan work: `count` elements starting at `base`,
+/// `stride` apart — the common currency of the [`flatten`](crate::flatten)
+/// sweep's chunking across layouts.
+///
+/// Contiguous layouts ([`DsuStore::scan_ranges`]) use stride 1; the
+/// low-bit-striped growable sharded layout
+/// ([`ShardedSegmentedStore`]) uses stride = shard count so each run walks
+/// one shard's slab in allocation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanRun {
+    /// First element index of the run.
+    pub base: usize,
+    /// Distance between consecutive elements of the run (≥ 1).
+    pub stride: usize,
+    /// Number of elements in the run.
+    pub count: usize,
+}
+
+impl ScanRun {
+    /// A stride-1 run covering `range`.
+    pub fn contiguous(range: std::ops::Range<usize>) -> Self {
+        ScanRun { base: range.start, stride: 1, count: range.len() }
+    }
+
+    /// The element index at position `j` of the run (`j < count`).
+    #[inline]
+    pub fn at(&self, j: usize) -> usize {
+        self.base + j * self.stride
+    }
 }
 
 /// A table of atomic parent words indexed by element.
@@ -373,6 +425,28 @@ pub trait DsuStore: ParentStore + IdOrder {
     /// A non-atomic snapshot of all parents. Only meaningful at quiescence;
     /// used by tests and offline analysis.
     fn snapshot(&self) -> Vec<usize>;
+
+    /// Contiguous index ranges that together cover `0..len()`, each of
+    /// which the layout can scan sequentially without crossing an
+    /// allocation boundary — the iteration surface the
+    /// [`flatten`](crate::flatten) sweep chunks over.
+    ///
+    /// The default single range is right for every layout whose words live
+    /// in one allocation (packed, flat, ranked). [`ShardedStore`] overrides
+    /// it with one range per shard so a sweep chunk never straddles slabs
+    /// (chunks are carved *within* ranges, keeping each chunk slab-local).
+    /// Ranges must be disjoint, in ascending order, and non-empty.
+    fn scan_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        if self.len() == 0 {
+            return Vec::new();
+        }
+        // One whole-universe range (not a per-index expansion — the
+        // lint fires on the literal, but a single range is the point).
+        #[allow(clippy::single_range_in_vec_init)]
+        {
+            vec![0..self.len()]
+        }
+    }
 }
 
 #[cfg(test)]

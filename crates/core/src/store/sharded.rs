@@ -317,6 +317,18 @@ impl DsuStore for ShardedStore {
     fn snapshot(&self) -> Vec<usize> {
         (0..self.len).map(|i| packed_parent(self.cell(i).load(Ordering::Relaxed))).collect()
     }
+
+    fn scan_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        // One range per slab: flatten chunks are carved within ranges, so
+        // a sweep worker never pays the shard lookup across a slab edge
+        // mid-chunk and each slab's pages are touched by one linear pass.
+        (0..self.shards.len())
+            .map(|s| {
+                let base = s << self.offset_bits;
+                base..(base + (self.offset_mask + 1)).min(self.len)
+            })
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -460,6 +472,40 @@ impl GrowableStore for ShardedSegmentedStore {
                 .collect()
         });
         debug_assert_eq!(packed_parent(seg[off].load(Ordering::Relaxed)), e);
+    }
+
+    fn scan_runs(&self, len: usize) -> Vec<crate::store::ScanRun> {
+        // Low-bit striping means consecutive *global* indices hop shards,
+        // so a contiguous scan would touch every slab per cache line. One
+        // strided run per allocated (shard, segment) instead walks that
+        // segment's slab in allocation order: local index l on shard k is
+        // global element (l << shard_bits) | k, so the run is base
+        // (segment_base << shard_bits) | k with stride = shard count.
+        let stride = self.shard_mask + 1;
+        let mut runs = Vec::new();
+        for (k, shard) in self.shards.iter().enumerate() {
+            if k >= len {
+                break;
+            }
+            // Locals on shard k that exist below len: l < ceil((len - k) / stride).
+            let locals = (len - k).div_ceil(stride);
+            for s in 0..SEGMENTS {
+                let seg_base = (1usize << s) - 1;
+                if seg_base >= locals {
+                    break;
+                }
+                if shard.0.segments[s].get().is_none() {
+                    continue;
+                }
+                let count = (1usize << s).min(locals - seg_base);
+                runs.push(crate::store::ScanRun {
+                    base: (seg_base << self.shard_bits) | k,
+                    stride,
+                    count,
+                });
+            }
+        }
+        runs
     }
 }
 
@@ -606,6 +652,23 @@ mod tests {
         assert_eq!(after.roots, vec![3, 3, 4, 4]);
         assert_eq!(after.cross_parents, vec![0, 1, 0, 0]);
         assert!(after.root_skew().imbalance > 1.0);
+    }
+
+    #[test]
+    fn scan_ranges_are_slab_local_and_cover() {
+        let s = ShardedStore::with_spec(23, 7, ShardSpec::with_shards(4));
+        let ranges = DsuStore::scan_ranges(&s);
+        assert_eq!(ranges.len(), s.shard_count());
+        let mut next = 0;
+        for r in &ranges {
+            assert_eq!(r.start, next, "ranges must be ascending and disjoint");
+            assert!(!r.is_empty());
+            assert_eq!(s.shard_of(r.start), s.shard_of(r.end - 1), "range must stay on one slab");
+            next = r.end;
+        }
+        assert_eq!(next, DsuStore::len(&s), "ranges must cover the universe");
+        assert!(DsuStore::scan_ranges(&ShardedStore::with_spec(0, 0, ShardSpec::with_shards(2)))
+            .is_empty());
     }
 
     // ----- growable -----

@@ -44,6 +44,7 @@
 
 use crate::dsu::Dsu;
 use crate::find::{Compress, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
+use crate::flatten::FlattenPolicy;
 use crate::order::{IndexLink, RandomLink, RankLink};
 use crate::stats::{OpStats, StatsSink};
 use crate::store::RankedStore;
@@ -242,6 +243,26 @@ macro_rules! variants {
             pub fn labels_snapshot(&self) -> Vec<usize> {
                 match self { $( VariantDsu::$arm(d) => d.labels_snapshot(), )* }
             }
+
+            /// See [`Dsu::flatten`].
+            pub fn flatten(&self) {
+                match self { $( VariantDsu::$arm(d) => d.flatten(), )* }
+            }
+
+            /// See [`Dsu::flatten_parallel`].
+            pub fn flatten_parallel(&self, threads: usize) -> OpStats {
+                match self { $( VariantDsu::$arm(d) => d.flatten_parallel(threads), )* }
+            }
+
+            /// See [`Dsu::flatten_policy`].
+            pub fn flatten_policy(&self) -> FlattenPolicy {
+                match self { $( VariantDsu::$arm(d) => d.flatten_policy(), )* }
+            }
+
+            /// See [`Dsu::set_flatten_policy`].
+            pub fn set_flatten_policy(&mut self, policy: FlattenPolicy) {
+                match self { $( VariantDsu::$arm(d) => d.set_flatten_policy(policy), )* }
+            }
         }
     };
 }
@@ -303,6 +324,9 @@ pub struct Rule {
     pub skewed: bool,
     /// The variant this regime dispatches to.
     pub variant: Variant,
+    /// The flatten-pass policy this regime prescribes, applied to the
+    /// dispatched structure at commit (see [`crate::flatten`]).
+    pub flatten: FlattenPolicy,
 }
 
 /// The shipped variant × regime table the tuner scores against.
@@ -344,11 +368,13 @@ impl DecisionTable {
                     dram_resident: false,
                     skewed: false,
                     variant: Variant { find: FindKind::Halving, link: LinkKind::Index },
+                    flatten: FlattenPolicy::Off,
                 },
                 Rule {
                     dram_resident: false,
                     skewed: true,
                     variant: Variant { find: FindKind::Halving, link: LinkKind::Index },
+                    flatten: FlattenPolicy::Off,
                 },
                 // DRAM-resident: keep the paper default. On the dram-zipf
                 // probe the splitting/halving cluster is tied within ~1%
@@ -361,25 +387,47 @@ impl DecisionTable {
                 // no variant beats the default outside noise, the honest
                 // table row is the default: a switch costs a replay and
                 // buys nothing.
-                Rule { dram_resident: true, skewed: false, variant: DEFAULT_VARIANT },
-                Rule { dram_resident: true, skewed: true, variant: DEFAULT_VARIANT },
+                Rule {
+                    dram_resident: true,
+                    skewed: false,
+                    variant: DEFAULT_VARIANT,
+                    flatten: FlattenPolicy::Off,
+                },
+                Rule {
+                    dram_resident: true,
+                    skewed: true,
+                    variant: DEFAULT_VARIANT,
+                    flatten: FlattenPolicy::Off,
+                },
+                // Every builtin row keeps flatten Off: the tuner's profile
+                // is an *ingest* stream (it samples unites), so it cannot
+                // see a read-heavy phase a sweep might serve — and the
+                // PR 9 `flatten_ab` A/B (BENCH_PR9.json) measured no
+                // regime, even a 4-queries-per-element storm, where any
+                // flatten arm beat `off` outside the noise band: splitting
+                // finds self-compact the paths a sweep would have fixed.
+                // Consumers with a known ingest→query phase boundary can
+                // still opt in via `DSU_FLATTEN` or an explicit
+                // post-ingest `flatten()`.
             ],
             cache_budget_bytes: 8 << 20,
             skew_link_rate: 0.5,
         }
     }
 
+    /// Classifies `profile` and returns its regime's rule (`None` if no
+    /// rule matches, which the builtin table makes impossible).
+    pub fn rule_for(&self, profile: &WorkloadProfile) -> Option<&Rule> {
+        let dram = profile.dram_resident(self.cache_budget_bytes);
+        let skewed = profile.link_rate() < self.skew_link_rate;
+        self.rules.iter().find(|r| r.dram_resident == dram && r.skewed == skewed)
+    }
+
     /// Classifies `profile` and returns its regime's variant (the default
     /// variant if no rule matches, which the builtin table makes
     /// impossible).
     pub fn choose(&self, profile: &WorkloadProfile) -> Variant {
-        let dram = profile.dram_resident(self.cache_budget_bytes);
-        let skewed = profile.link_rate() < self.skew_link_rate;
-        self.rules
-            .iter()
-            .find(|r| r.dram_resident == dram && r.skewed == skewed)
-            .map(|r| r.variant)
-            .unwrap_or(DEFAULT_VARIANT)
+        self.rule_for(profile).map(|r| r.variant).unwrap_or(DEFAULT_VARIANT)
     }
 }
 
@@ -575,6 +623,29 @@ impl TunedDsu {
         self.inner.read().unwrap().labels_snapshot()
     }
 
+    /// One sequential flatten sweep on the currently dispatched variant
+    /// (see [`Dsu::flatten`]); safe concurrently with ongoing operations.
+    pub fn flatten(&self) {
+        self.inner.read().unwrap().flatten();
+    }
+
+    /// Parallel flatten sweep on the currently dispatched variant (see
+    /// [`Dsu::flatten_parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn flatten_parallel(&self, threads: usize) -> OpStats {
+        self.inner.read().unwrap().flatten_parallel(threads)
+    }
+
+    /// The flatten policy of the currently dispatched variant. After the
+    /// decision point this is the committed regime's
+    /// [`Rule::flatten`] arm.
+    pub fn flatten_policy(&self) -> FlattenPolicy {
+        self.inner.read().unwrap().flatten_policy()
+    }
+
     /// Reports the tuner's dispatch accounting into a harness sink: one
     /// `tuner_samples` bulk event and one `tuner_switch` per committed
     /// switch. Call at quiescence, once per structure — the events
@@ -669,13 +740,20 @@ impl TunedDsu {
         }
         let mut guard = self.inner.write().unwrap();
         let profile = WorkloadProfile { n: self.n, stats: *self.profile.lock().unwrap() };
-        let chosen = self.table.choose(&profile);
+        let rule = self.table.rule_for(&profile).copied();
+        let chosen = rule.map(|r| r.variant).unwrap_or(DEFAULT_VARIANT);
         let edges = std::mem::take(&mut *self.buffer.lock().unwrap());
         if chosen != guard.variant() {
             let fresh = VariantDsu::build(chosen, self.n, self.seed);
             fresh.unite_batch(&edges);
             *guard = fresh;
             self.switches.fetch_add(1, Ordering::Relaxed);
+        }
+        // The regime's maintenance arm rides along with its variant: the
+        // committed structure adopts the rule's flatten policy (a fresh
+        // build starts from the env default, so this applies either way).
+        if let Some(r) = rule {
+            guard.set_flatten_policy(r.flatten);
         }
         self.state.store(STATE_COMMITTED, Ordering::Release);
     }
@@ -824,14 +902,26 @@ mod tests {
                     dram_resident: false,
                     skewed: false,
                     variant: Variant::parse("halving/index").unwrap(),
+                    flatten: FlattenPolicy::Off,
                 },
                 Rule {
                     dram_resident: false,
                     skewed: true,
                     variant: Variant::parse("halving/index").unwrap(),
+                    flatten: FlattenPolicy::Off,
                 },
-                Rule { dram_resident: true, skewed: false, variant: DEFAULT_VARIANT },
-                Rule { dram_resident: true, skewed: true, variant: DEFAULT_VARIANT },
+                Rule {
+                    dram_resident: true,
+                    skewed: false,
+                    variant: DEFAULT_VARIANT,
+                    flatten: FlattenPolicy::Off,
+                },
+                Rule {
+                    dram_resident: true,
+                    skewed: true,
+                    variant: DEFAULT_VARIANT,
+                    flatten: FlattenPolicy::Off,
+                },
             ],
             ..DecisionTable::builtin()
         };
@@ -864,12 +954,7 @@ mod tests {
         // A table whose every row names the default variant: committing
         // must not count a switch and must keep the original structure.
         let keep = DecisionTable {
-            rules: [
-                Rule { dram_resident: false, skewed: false, variant: DEFAULT_VARIANT },
-                Rule { dram_resident: false, skewed: true, variant: DEFAULT_VARIANT },
-                Rule { dram_resident: true, skewed: false, variant: DEFAULT_VARIANT },
-                Rule { dram_resident: true, skewed: true, variant: DEFAULT_VARIANT },
-            ],
+            rules: DecisionTable::builtin().rules.map(|r| Rule { variant: DEFAULT_VARIANT, ..r }),
             ..DecisionTable::builtin()
         };
         let dsu = TunedDsu::with_config(128, 5, TunerMode::Auto, 32, keep);
@@ -886,20 +971,40 @@ mod tests {
 
     #[test]
     fn profile_classifies_regimes() {
-        let mut stats = OpStats::default();
-        stats.ops = 100;
-        stats.links_ok = 90;
+        let stats = OpStats { ops: 100, links_ok: 90, ..OpStats::default() };
         let uniform = WorkloadProfile { n: 1 << 10, stats };
         let table = DecisionTable::builtin();
         assert!(!uniform.dram_resident(table.cache_budget_bytes));
         assert!(uniform.link_rate() > table.skew_link_rate);
         assert_eq!(table.choose(&uniform), table.rules[0].variant);
 
-        let mut skewed_stats = OpStats::default();
-        skewed_stats.ops = 100;
-        skewed_stats.links_ok = 5;
+        let skewed_stats = OpStats { ops: 100, links_ok: 5, ..OpStats::default() };
         let dram_skewed = WorkloadProfile { n: 1 << 28, stats: skewed_stats };
         assert!(dram_skewed.dram_resident(table.cache_budget_bytes));
         assert_eq!(table.choose(&dram_skewed), table.rules[3].variant);
+    }
+
+    #[test]
+    fn commit_applies_regime_flatten_arm() {
+        // A table whose every row keeps the default variant but
+        // prescribes an every-k flatten: the committed structure must
+        // adopt the rule's policy regardless of the DSU_FLATTEN env the
+        // structure was constructed under.
+        let table = DecisionTable {
+            rules: DecisionTable::builtin()
+                .rules
+                .map(|r| Rule { flatten: FlattenPolicy::EveryKBatches(7), ..r }),
+            ..DecisionTable::builtin()
+        };
+        let dsu = TunedDsu::with_config(64, 5, TunerMode::Auto, 8, table);
+        for i in 0..16 {
+            dsu.unite(i, i + 1);
+        }
+        assert!(dsu.committed());
+        assert_eq!(dsu.flatten_policy(), FlattenPolicy::EveryKBatches(7));
+        // The builtin table's honest-negative arm is Off everywhere.
+        for rule in DecisionTable::builtin().rules {
+            assert_eq!(rule.flatten, FlattenPolicy::Off);
+        }
     }
 }

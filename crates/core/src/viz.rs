@@ -107,6 +107,85 @@ fn emit_children(
     }
 }
 
+/// [`to_ascii`] plus a trailing [`DepthHistogram::summary`] line — the
+/// forest dump to reach for when tree *shape* (not just membership) is the
+/// question, e.g. before/after a [`flatten`](crate::flatten) sweep.
+///
+/// # Panics
+///
+/// Panics if a parent pointer is out of range or the "forest" contains a
+/// cycle.
+pub fn forest_report(parent: &[usize]) -> String {
+    format!("{}{}\n", to_ascii(parent), depth_histogram(parent).summary())
+}
+
+/// Depth distribution of a parent forest: how far each node sits from its
+/// root, as a histogram plus max/mean — the shape summary a maintenance
+/// pass (see [`flatten`](crate::flatten)) is judged by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthHistogram {
+    /// `buckets[d]` = number of nodes at depth exactly `d` (roots are
+    /// depth 0); length is `max + 1`, empty for an empty forest.
+    pub buckets: Vec<usize>,
+    /// Deepest node's depth.
+    pub max: usize,
+    /// Mean depth over all nodes (0.0 for an empty forest).
+    pub mean: f64,
+}
+
+impl DepthHistogram {
+    /// Number of nodes deeper than 1 — exactly zero after a quiesced
+    /// flatten sweep.
+    pub fn nodes_deeper_than_one(&self) -> usize {
+        self.buckets.iter().skip(2).sum()
+    }
+
+    /// One-line render for forest dumps and diagnostics, e.g.
+    /// `depth max 3 mean 1.250 | 0:2 1:3 2:2 3:1`.
+    pub fn summary(&self) -> String {
+        let spread: Vec<String> =
+            self.buckets.iter().enumerate().map(|(d, c)| format!("{d}:{c}")).collect();
+        format!("depth max {} mean {:.3} | {}", self.max, self.mean, spread.join(" "))
+    }
+}
+
+/// Computes the [`DepthHistogram`] of a parent snapshot in `O(n)` via
+/// memoized root walks.
+///
+/// # Panics
+///
+/// Panics if a parent pointer is out of range or the "forest" contains a
+/// cycle.
+pub fn depth_histogram(parent: &[usize]) -> DepthHistogram {
+    let n = parent.len();
+    const UNKNOWN: usize = usize::MAX;
+    let mut depth = vec![UNKNOWN; n];
+    let mut path = Vec::new();
+    for start in 0..n {
+        let mut v = start;
+        while depth[v] == UNKNOWN {
+            assert!(parent[v] < n, "parent {} of {v} out of range", parent[v]);
+            if parent[v] == v {
+                depth[v] = 0;
+                break;
+            }
+            path.push(v);
+            assert!(path.len() <= n, "cycle detected at {v}");
+            v = parent[v];
+        }
+        while let Some(u) = path.pop() {
+            depth[u] = depth[parent[u]] + 1;
+        }
+    }
+    let max = depth.iter().copied().max().unwrap_or(0);
+    let mut buckets = vec![0usize; if n == 0 { 0 } else { max + 1 }];
+    for &d in &depth {
+        buckets[d] += 1;
+    }
+    let mean = if n == 0 { 0.0 } else { depth.iter().sum::<usize>() as f64 / n as f64 };
+    DepthHistogram { buckets, max, mean }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +237,47 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn dot_bounds_check() {
         to_dot(&[5], |_| None);
+    }
+
+    #[test]
+    fn depth_histogram_counts_shape() {
+        // 3 root of {0, 1, 2}: 0 -> 3, 1 -> 3, 2 -> 0; plus singleton 4.
+        let h = depth_histogram(&[3, 3, 0, 3, 4]);
+        assert_eq!(h.buckets, vec![2, 2, 1]);
+        assert_eq!(h.max, 2);
+        assert!((h.mean - 4.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.nodes_deeper_than_one(), 1);
+        assert_eq!(h.summary(), "depth max 2 mean 0.800 | 0:2 1:2 2:1");
+    }
+
+    #[test]
+    fn depth_histogram_empty_and_flat() {
+        let empty = depth_histogram(&[]);
+        assert_eq!((empty.max, empty.mean, empty.nodes_deeper_than_one()), (0, 0.0, 0));
+        let flat = depth_histogram(&[1, 1, 1]);
+        assert_eq!(flat.nodes_deeper_than_one(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn depth_histogram_detects_cycles() {
+        depth_histogram(&[1, 0]);
+    }
+
+    #[test]
+    fn flattened_forest_has_zero_deep_nodes() {
+        // The satellite contract: after a quiesced flatten, the histogram
+        // reports *exactly zero* nodes deeper than 1.
+        let dsu: crate::Dsu = crate::Dsu::new(64);
+        for i in 1..64 {
+            dsu.unite(0, i);
+        }
+        dsu.flatten();
+        let h = depth_histogram(&dsu.parents_snapshot());
+        assert_eq!(h.nodes_deeper_than_one(), 0, "{}", h.summary());
+        assert!(h.max <= 1);
+        let report = forest_report(&dsu.parents_snapshot());
+        assert!(report.trim_end().ends_with(&h.summary()), "{report}");
     }
 
     #[test]

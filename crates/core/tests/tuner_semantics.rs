@@ -20,12 +20,7 @@ use std::time::Duration;
 /// small-universe test reliably drives the rebuild + replay + swap path.
 fn switching_table(to: Variant) -> DecisionTable {
     DecisionTable {
-        rules: [
-            Rule { dram_resident: false, skewed: false, variant: to },
-            Rule { dram_resident: false, skewed: true, variant: to },
-            Rule { dram_resident: true, skewed: false, variant: to },
-            Rule { dram_resident: true, skewed: true, variant: to },
-        ],
+        rules: DecisionTable::builtin().rules.map(|r| Rule { variant: to, ..r }),
         ..DecisionTable::builtin()
     }
 }

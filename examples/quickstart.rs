@@ -69,6 +69,17 @@ fn main() {
         stats.cas_attempts(),
     );
 
+    // Handing the structure to a long read-only phase? An explicit
+    // `dsu.flatten()` (or `flatten_parallel(p)`) pointer-jumps every
+    // element to depth <= 1, so each find after it is a single load —
+    // safe even while unites race it. It's opt-in because it measured as
+    // an honest negative on the standard mixes (splitting finds already
+    // self-compact; BENCH_PR9.json), but `DSU_FLATTEN=auto` (or
+    // `every=<k>` / `hops=<x>`) arms an adaptive trigger that sweeps
+    // after ingested batches when sampled depth warrants it.
+    dsu.flatten();
+    assert!(dsu.union_forest_height() >= 1, "union forest is untouched; only paths flatten");
+
     // Elements that aren't dense integers? `jt_dsu::KeyedDsu` maps any
     // hashable key (strings, sparse u64s, row keys) to dense ids through
     // a lock-free sharded id table over the same core:

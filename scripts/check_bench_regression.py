@@ -25,7 +25,13 @@ on real hardware before merging a perf-sensitive change", not as a
 verdict.
 
 Usage:
-    check_bench_regression.py BASELINE_DIR CURRENT_DIR FILE [FILE...]
+    check_bench_regression.py [--report] BASELINE_DIR CURRENT_DIR FILE [FILE...]
+
+With `--report`, each file's block is preceded by an audit line naming the
+baseline and current machine fingerprints and the row keys actually
+compared — so a skipped cross-machine baseline (or an empty row
+intersection) is visible as data in the report itself, not only as
+job-summary prose.
 
 Each FILE is a JSON produced by one of the dsu-bench A/B examples
 (`--json` flag): {"example": ..., "machine": {...}, "results":
@@ -64,7 +70,14 @@ def fingerprint(doc):
     return (m.get("cpus"), m.get("arch"), m.get("os"))
 
 
-def compare_file(baseline_dir, current_dir, name):
+def describe_key(row_key):
+    """Human form of a (threads, n) row key."""
+    if row_key[1] is None:
+        return f"{row_key[0]}t"
+    return f"{row_key[0]}t/n={row_key[1]}"
+
+
+def compare_file(baseline_dir, current_dir, name, report=False):
     """Returns (lines, regression_count) for one bench JSON file."""
     b_path = os.path.join(baseline_dir, name)
     c_path = os.path.join(current_dir, name)
@@ -81,16 +94,27 @@ def compare_file(baseline_dir, current_dir, name):
         return ([f"- `{name}`: unreadable ({e}) — skipped"], 0)
 
     b_fp, c_fp = fingerprint(base), fingerprint(cur)
+    audit = []
+    if report:
+        compared = sorted(
+            set(rows_by_threads(base)) & set(rows_by_threads(cur)),
+            key=lambda k: (k[0], str(k[1])),
+        )
+        audit.append(
+            f"- `{name}` report: baseline machine {b_fp}, current machine {c_fp}, "
+            f"rows compared: {', '.join(describe_key(k) for k in compared) or '(none)'}"
+        )
     if b_fp is not None and c_fp is not None and b_fp != c_fp:
         return (
-            [
+            audit
+            + [
                 f"- `{name}`: baseline machine {b_fp} != current {c_fp} — "
                 f"cross-machine comparison skipped; current recorded as the new baseline"
             ],
             0,
         )
 
-    lines, regressions = [], 0
+    lines, regressions = audit, 0
     base_rows = rows_by_threads(base)
     # Stringify the key for sorting: a (threads, None) key must not be
     # compared against a (threads, int) one (mixed-shape docs).
@@ -146,14 +170,16 @@ def compare_file(baseline_dir, current_dir, name):
 
 
 def main(argv):
-    if len(argv) < 4:
+    args = [a for a in argv[1:] if a != "--report"]
+    report_mode = len(args) < len(argv) - 1
+    if len(args) < 3:
         print(__doc__)
         return 0
-    baseline_dir, current_dir, names = argv[1], argv[2], argv[3:]
+    baseline_dir, current_dir, names = args[0], args[1], args[2:]
 
     body, total_regressions = [], 0
     for name in names:
-        lines, regs = compare_file(baseline_dir, current_dir, name)
+        lines, regs = compare_file(baseline_dir, current_dir, name, report=report_mode)
         body.extend(lines)
         total_regressions += regs
 

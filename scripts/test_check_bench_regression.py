@@ -10,6 +10,9 @@ CI wiring depends on:
 * a >15% A/B speedup-ratio shrink is flagged (even when medians drift),
 * baselines from a different machine fingerprint are refused (skipped),
 * a missing baseline is a note, not an error,
+* `--report` prints the machine fingerprints and the row keys compared
+  (including for a cross-machine skip, where the fingerprints are the
+  whole story),
 
 and, across all of them, the exit status is 0 — fail-soft means the gate
 may warn but must never turn the job red.
@@ -62,10 +65,11 @@ class GateFixture(unittest.TestCase):
         with open(os.path.join(directory, name), "w") as f:
             json.dump(document, f)
 
-    def run_gate(self, *names):
+    def run_gate(self, *names, report=False):
         out = io.StringIO()
+        flags = ["--report"] if report else []
         with redirect_stdout(out):
-            status = gate.main(["gate", self.base_dir, self.cur_dir, *names])
+            status = gate.main(["gate", *flags, self.base_dir, self.cur_dir, *names])
         return status, out.getvalue()
 
     def test_median_regression_is_flagged(self):
@@ -161,6 +165,42 @@ class GateFixture(unittest.TestCase):
         flagged = [l for l in report.splitlines() if ":warning:" in l]
         self.assertEqual(len(flagged), 1)
         self.assertIn("n=65536", flagged[0])
+
+    def test_report_flag_prints_fingerprint_and_compared_rows(self):
+        self.write(
+            self.base_dir,
+            "a.json",
+            doc([row(1, n=65536, m_median_ns=100.0), row(2, n=65536, m_median_ns=100.0)]),
+        )
+        self.write(
+            self.cur_dir,
+            "a.json",
+            doc([row(1, n=65536, m_median_ns=100.0), row(4, n=65536, m_median_ns=100.0)]),
+        )
+        status, report = self.run_gate("a.json", report=True)
+        self.assertEqual(status, 0)
+        self.assertIn("report:", report)
+        self.assertIn("(8, 'x86_64', 'linux')", report)
+        # Only the intersection is compared: threads=1 in both docs.
+        self.assertIn("rows compared: 1t/n=65536", report)
+        self.assertNotIn("2t/n=65536", report.split("report:")[1].splitlines()[0])
+
+    def test_report_flag_names_both_machines_on_cross_machine_skip(self):
+        other = {"cpus": 2, "arch": "aarch64", "os": "macos"}
+        self.write(self.base_dir, "a.json", doc([row(2, m_median_ns=1.0)], machine=other))
+        self.write(self.cur_dir, "a.json", doc([row(2, m_median_ns=100.0)]))
+        status, report = self.run_gate("a.json", report=True)
+        self.assertEqual(status, 0)
+        self.assertIn("report:", report)
+        self.assertIn("(2, 'aarch64', 'macos')", report)
+        self.assertIn("cross-machine comparison skipped", report)
+
+    def test_without_report_flag_no_audit_line(self):
+        self.write(self.base_dir, "a.json", doc([row(2, m_median_ns=100.0)]))
+        self.write(self.cur_dir, "a.json", doc([row(2, m_median_ns=100.0)]))
+        status, report = self.run_gate("a.json")
+        self.assertEqual(status, 0)
+        self.assertNotIn("report:", report)
 
     def test_degenerate_zero_median_is_skipped_not_crashed(self):
         self.write(self.base_dir, "a.json", doc([row(2, m_median_ns=0)]))
