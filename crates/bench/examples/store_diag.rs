@@ -29,12 +29,21 @@
 //! attribute a tuned run's throughput to the variant that actually
 //! served it.
 //!
+//! An epoch-attribution phase drives a `VersionedDsu` through a guarded
+//! burst trace (snapshot before every burst, one rollback, one rejected
+//! speculative batch) and reconciles the live `OpStats` stream with the
+//! structure's lifetime counters and the store's copy-on-write report —
+//! while every *unversioned* phase above asserts all four epoch columns
+//! (`snapshots_taken` / `segments_forked` / `rollbacks` / `cow_copies`)
+//! are **exactly zero**: versioning must cost nothing when unused.
+//!
 //! Run: `cargo run --release -p dsu-bench --example store_diag [log2_n]`
 
+use concurrent_dsu::epoch::EpochFork;
 use concurrent_dsu::{
     BatchTuning, Dsu, DsuStore, FaultPlan, FaultyStore, FlatStore, GrowableStore, KeyedDsu,
     OpStats, PackedSegmentedStore, PackedStore, PlanTuning, SegmentedStore, ShardSpec,
-    ShardedSegmentedStore, ShardedStore, TunedDsu, TunerMode, TwoTrySplit, Variant,
+    ShardedSegmentedStore, ShardedStore, TunedDsu, TunerMode, TwoTrySplit, Variant, VersionedDsu,
 };
 use dsu_bench::{dup_edge_batches, standard_workload};
 use dsu_workloads::{KeyedOp, KeyedSpec};
@@ -189,6 +198,14 @@ fn run<S: DsuStore>(label: &str) {
         ("planned", &planned_batch),
     ] {
         assert_eq!(s.faults_injected, 0, "{label}/{phase}: phantom fault attribution");
+        // None of these phases runs through a `VersionedDsu`, so the
+        // epoch columns must be exactly zero: an unversioned run pays no
+        // snapshots, no forks, no rollbacks, no copy-on-write.
+        assert_eq!(
+            (s.snapshots_taken, s.segments_forked, s.rollbacks, s.cow_copies),
+            (0, 0, 0, 0),
+            "{label}/{phase}: phantom epoch attribution on an unversioned run"
+        );
         // Unless the env knob armed the batch-ingest trigger, no phase
         // above runs a sweep, so flatten attribution must be exactly zero.
         if dsu.flatten_policy() == concurrent_dsu::FlattenPolicy::Off {
@@ -307,6 +324,68 @@ fn keyed<S: GrowableStore>(label: &str) {
     );
     assert_eq!(stats.faults_injected, 0, "{label}/keyed: phantom fault attribution");
     assert_eq!(stats.cas_retries, 0, "{label}/keyed: retries on an unfaulted single-threaded run");
+    assert_eq!(
+        (stats.snapshots_taken, stats.segments_forked, stats.rollbacks, stats.cow_copies),
+        (0, 0, 0, 0),
+        "{label}/keyed: phantom epoch attribution on an unversioned run"
+    );
+}
+
+/// Epoch attribution: a versioned burst trace with a guard point before
+/// every burst, one explicit rollback, and one validator-rejected
+/// speculative batch. Two accounting streams exist — the live `*_with`
+/// sinks fed per event, and [`VersionedDsu::report_into`]'s lifetime
+/// fold — and they must reconcile exactly with each other and with the
+/// store's own fork report. (The unversioned phases above assert all
+/// four epoch columns are exactly zero; this phase is where they earn
+/// their nonzero values.)
+fn epochs() {
+    let n = 1 << 15;
+    let trace = dsu_bench::standard_edge_batches(n, 16, 1024, 1.1);
+    let mut dsu: VersionedDsu = VersionedDsu::with_initial(n);
+    let mut live = OpStats::default();
+    let t0 = Instant::now();
+    let mut guards = Vec::new();
+    for burst in &trace.batches {
+        guards.push(dsu.snapshot_with(&mut live));
+        dsu.unite_batch(burst);
+    }
+    // Roll the last burst off, then reject a speculative one (its
+    // internal snapshot + rollback land in the same live stream).
+    let last = *guards.last().expect("at least one burst");
+    dsu.rollback_with(last, &mut live);
+    let edges: Vec<(usize, usize)> = (0..512).map(|i| (i, n - 1 - i)).collect();
+    let outcome = dsu.try_unite_batch_with(&edges, |_, _| false, &mut live);
+    let elapsed = t0.elapsed();
+    assert!(!outcome.is_committed(), "the rejecting validator must roll back");
+    let report = dsu.dsu().store().epoch_report();
+    println!(
+        "epochs : versioned {elapsed:>12?} | snapshots {} rollbacks {} segments_forked {} \
+         cow_copies {}",
+        dsu.snapshots_taken(),
+        dsu.rollbacks(),
+        report.segments_forked,
+        report.cow_copies
+    );
+    // Live stream vs structure counters: every snapshot/rollback above
+    // went through a `*_with` entry point, so the streams are equal.
+    assert_eq!(live.snapshots_taken, dsu.snapshots_taken(), "live stream vs snapshot counter");
+    assert_eq!(live.rollbacks, dsu.rollbacks(), "live stream vs rollback counter");
+    assert_eq!(live.snapshots_taken, trace.batches.len() as u64 + 1, "one guard per burst + 1");
+    assert_eq!(live.rollbacks, 2, "the explicit rollback + the rejected batch");
+    // Lifetime fold vs the store's report: report_into is the protocol a
+    // harness uses when it never held the live sinks.
+    let mut folded = OpStats::default();
+    dsu.report_into(&mut folded);
+    assert_eq!(folded.snapshots_taken, dsu.snapshots_taken());
+    assert_eq!(folded.rollbacks, dsu.rollbacks());
+    assert_eq!(folded.segments_forked, report.segments_forked, "fold vs store fork report");
+    assert_eq!(folded.cow_copies, report.cow_copies, "fold vs store copy report");
+    assert!(report.segments_forked > 0, "guarded bursts must have forked");
+    assert!(
+        report.cow_copies >= report.segments_forked,
+        "every fork copies at least one cell's worth"
+    );
 }
 
 /// Tuner attribution: the mixed workload through the self-tuning
@@ -390,4 +469,5 @@ fn main() {
     keyed::<SegmentedStore>("flat   ");
     keyed::<ShardedSegmentedStore>("sharded");
     tuner();
+    epochs();
 }

@@ -86,6 +86,47 @@ pub mod strategy {
             rng.gen()
         }
     }
+
+    /// The constant strategy: always yields a clone of its value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut ChaCha12Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union over same-`Value` strategies — what
+    /// [`prop_oneof!`](crate::prop_oneof) builds. Arms are boxed because
+    /// the macro mixes heterogeneous strategy types.
+    pub struct WeightedUnion<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> WeightedUnion<T> {
+        /// A union drawing each arm with probability `weight / Σ weights`.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<T> Strategy for WeightedUnion<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut ChaCha12Rng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.new_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("pick < total by construction")
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -257,13 +298,30 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Source-compatible subset of proptest's `prop_oneof!`: a weighted
+/// (`w => strategy`) or unweighted (`strategy, strategy, ...`) union of
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight, ::std::boxed::Box::new($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, ::std::boxed::Box::new($strat))),+
+        ])
+    };
+}
+
 pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude::*`.
 
     pub use crate::arbitrary::any;
     pub use crate::prop;
-    pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
 }
 
 #[cfg(test)]
@@ -290,6 +348,20 @@ mod tests {
         #[test]
         fn prop_map_applies(s in (0..3, 0..3).prop_map(|(a, b)| a + b), flag in any::<bool>()) {
             prop_assert!(s <= 4, "sum {} out of range (flag {})", s, flag);
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(
+            picks in prop::collection::vec(
+                prop_oneof![
+                    3 => (0usize..4).prop_map(|x| x),
+                    1 => Just(100usize),
+                ],
+                200..201,
+            )
+        ) {
+            prop_assert!(picks.iter().all(|&p| p < 4 || p == 100));
+            prop_assert!(picks.iter().any(|&p| p < 4), "heavy arm never drawn");
         }
     }
 

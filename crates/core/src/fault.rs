@@ -303,6 +303,13 @@ impl<S> FaultyStore<S> {
         &self.inner
     }
 
+    /// Exclusive access to the wrapped store, for forwarding quiescent
+    /// epoch transitions (see
+    /// [`EpochFork`](crate::epoch::EpochFork)'s `&mut self` methods).
+    pub(crate) fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
     /// Unwraps, discarding the fault state.
     pub fn into_inner(self) -> S {
         self.inner
@@ -668,6 +675,22 @@ impl StatsSink for RetryBudget {
     #[inline]
     fn faults_injected(&mut self, n: usize) {
         self.stats.faults_injected(n);
+    }
+    #[inline]
+    fn snapshot_taken(&mut self) {
+        self.stats.snapshot_taken();
+    }
+    #[inline]
+    fn segments_forked(&mut self, n: usize) {
+        self.stats.segments_forked(n);
+    }
+    #[inline]
+    fn rollback_done(&mut self) {
+        self.stats.rollback_done();
+    }
+    #[inline]
+    fn cow_copies(&mut self, n: usize) {
+        self.stats.cow_copies(n);
     }
 }
 

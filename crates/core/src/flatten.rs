@@ -225,38 +225,58 @@ impl FlattenPolicy {
     /// `every=<k>`, or `hops=<x>`. Unset means [`Off`](FlattenPolicy::Off);
     /// a set-but-unrecognized value degrades to
     /// [`Auto`](FlattenPolicy::Auto) (the operator asked for *something*),
-    /// mirroring `DSU_TUNER`'s graceful degradation.
+    /// mirroring `DSU_TUNER`'s graceful degradation — loudly: the first
+    /// degradation warns on stderr ([`knob`](crate::knob)).
     pub fn from_env() -> Self {
         match std::env::var("DSU_FLATTEN") {
-            Ok(v) => Self::parse(&v),
+            Ok(v) => Self::parse_recognized(&v).unwrap_or_else(|| {
+                crate::knob::warn_unrecognized(
+                    "DSU_FLATTEN",
+                    &v,
+                    "off | auto | every=<k≥1> | hops=<x> with x > 0",
+                    "auto",
+                );
+                FlattenPolicy::Auto
+            }),
             Err(_) => FlattenPolicy::Off,
         }
     }
 
-    /// Parses a policy string (the `DSU_FLATTEN` grammar above).
+    /// Parses a policy string (the `DSU_FLATTEN` grammar above);
+    /// unrecognized values degrade to [`Auto`](FlattenPolicy::Auto)
+    /// silently — the programmatic contract. Use
+    /// [`parse_recognized`](FlattenPolicy::parse_recognized) to detect the
+    /// degradation.
     pub fn parse(v: &str) -> Self {
+        Self::parse_recognized(v).unwrap_or(FlattenPolicy::Auto)
+    }
+
+    /// [`parse`](FlattenPolicy::parse) distinguishing recognized values
+    /// from the degradation fallback: `None` iff `v` is not in the
+    /// grammar.
+    pub fn parse_recognized(v: &str) -> Option<Self> {
         let v = v.trim();
         if v.eq_ignore_ascii_case("off") {
-            return FlattenPolicy::Off;
+            return Some(FlattenPolicy::Off);
         }
         if v.eq_ignore_ascii_case("auto") {
-            return FlattenPolicy::Auto;
+            return Some(FlattenPolicy::Auto);
         }
         if let Some(k) = v.strip_prefix("every=") {
             if let Ok(k) = k.parse::<usize>() {
                 if k >= 1 {
-                    return FlattenPolicy::EveryKBatches(k);
+                    return Some(FlattenPolicy::EveryKBatches(k));
                 }
             }
         }
         if let Some(t) = v.strip_prefix("hops=") {
             if let Ok(t) = t.parse::<f64>() {
                 if t.is_finite() && t > 0.0 {
-                    return FlattenPolicy::HopsThreshold(t);
+                    return Some(FlattenPolicy::HopsThreshold(t));
                 }
             }
         }
-        FlattenPolicy::Auto
+        None
     }
 }
 
@@ -351,6 +371,26 @@ mod tests {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    #[test]
+    fn parse_recognized_detects_degradation() {
+        assert_eq!(FlattenPolicy::parse_recognized("off"), Some(FlattenPolicy::Off));
+        assert_eq!(FlattenPolicy::parse_recognized("AUTO"), Some(FlattenPolicy::Auto));
+        assert_eq!(
+            FlattenPolicy::parse_recognized("every=3"),
+            Some(FlattenPolicy::EveryKBatches(3))
+        );
+        assert_eq!(
+            FlattenPolicy::parse_recognized("hops=1.5"),
+            Some(FlattenPolicy::HopsThreshold(1.5))
+        );
+        // The unrecognized shapes that used to degrade silently.
+        for bogus in ["hosp=2", "every=0", "hops=-1", "hops=inf", "", "42"] {
+            assert_eq!(FlattenPolicy::parse_recognized(bogus), None, "{bogus:?}");
+            // The silent programmatic fallback is unchanged.
+            assert_eq!(FlattenPolicy::parse(bogus), FlattenPolicy::Auto, "{bogus:?}");
+        }
     }
 
     #[test]

@@ -172,7 +172,10 @@ impl GrowableStore for SegmentedStore {
 /// Shared segment-directory scan geometry: one stride-1 run per *allocated*
 /// segment (segment `s` holds elements `2^s - 1 ..= 2^(s+1) - 2`), clipped
 /// to `len`.
-fn segment_scan_runs(len: usize, allocated: impl Fn(usize) -> bool) -> Vec<crate::store::ScanRun> {
+pub(crate) fn segment_scan_runs(
+    len: usize,
+    allocated: impl Fn(usize) -> bool,
+) -> Vec<crate::store::ScanRun> {
     let mut runs = Vec::new();
     for s in 0..SEGMENTS {
         let base = (1usize << s) - 1;
@@ -413,6 +416,34 @@ impl<F: FindPolicy, S: GrowableStore, L: LinkPolicy> GrowableDsu<F, S, L> {
     /// Number of disjoint sets right now.
     pub fn set_count(&self) -> usize {
         self.len() - self.links.load(store::STAT)
+    }
+
+    /// The underlying store — for layout-specific diagnostics (a
+    /// [`FaultyStore`](crate::FaultyStore)'s
+    /// [`fault_report`](crate::FaultyStore::fault_report), an
+    /// [`EpochStore`](crate::EpochStore)'s
+    /// [`epoch_report`](crate::epoch::EpochFork::epoch_report)), mirroring
+    /// [`Dsu::store`](crate::Dsu::store).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Exclusive store access for quiescent epoch transitions
+    /// ([`EpochFork::fork_point`](crate::epoch::EpochFork::fork_point) and
+    /// friends take `&mut self` so the borrow checker enforces the
+    /// quiescence they require).
+    pub(crate) fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Restores the element and link counters to a recorded quiescent
+    /// state — the [`VersionedDsu`](crate::VersionedDsu) rollback hook,
+    /// paired with the store-level segment restore. Caller must be
+    /// quiescent and `links <= len`.
+    pub(crate) fn restore_counters(&self, len: usize, links: usize) {
+        debug_assert!(links <= len);
+        self.count.store(len, Ordering::SeqCst);
+        self.links.store(links, Ordering::SeqCst);
     }
 
     /// The name of the find policy, for reports.

@@ -175,8 +175,9 @@
 //! | `DSU_BATCH_PLAN` | [`bulk::runtime_default_tuning`] | set to `1`/`true` to route count-only batch entry points through the ingestion planner ([`ingest`]); verdict-returning paths are unaffected. Default: off |
 //! | `DSU_FAULT_SEED` | [`FaultPlan::from_env`] | seed for the fault-injection plan a [`FaultyStore`] runs; only consulted by fault-test binaries that opt in. Default: 0 |
 //! | `DSU_FAULT_RATE` | [`FaultPlan::from_env`] | probability in `[0, 1]` of injecting a fault at each eligible store access. Default: 0.0 |
-//! | `DSU_TUNER` | [`TunerMode::from_env`] (used by [`TunedDsu`] constructors) | `off` pins the paper-default variant, `auto` samples a prefix and dispatches to the [`DecisionTable`] winner, an explicit `<find>/<link>` tag (e.g. `halving/index`) forces that variant from construction. Unrecognized values degrade to `auto`. Default: `auto` |
-//! | `DSU_FLATTEN` | [`FlattenPolicy::from_env`] (used by [`Dsu`] / [`GrowableDsu`] constructors) | adaptive flatten-pass trigger consulted after every ingested batch: `off` never sweeps, `every=<k>` sweeps after each `k`-th batch, `hops=<x>` sweeps when a sampled mean tree depth exceeds `x`, `auto` = `hops=1.75`. Unrecognized values degrade to `auto`. Default: `off` |
+//! | `DSU_TUNER` | [`TunerMode::from_env`] (used by [`TunedDsu`] constructors) | `off` pins the paper-default variant, `auto` samples a prefix and dispatches to the [`DecisionTable`] winner, an explicit `<find>/<link>` tag (e.g. `halving/index`) forces that variant from construction. Unrecognized values degrade to `auto` with a one-time stderr warning ([`knob`]). Default: `auto` |
+//! | `DSU_FLATTEN` | [`FlattenPolicy::from_env`] (used by [`Dsu`] / [`GrowableDsu`] constructors) | adaptive flatten-pass trigger consulted after every ingested batch: `off` never sweeps, `every=<k>` sweeps after each `k`-th batch, `hops=<x>` sweeps when a sampled mean tree depth exceeds `x`, `auto` = `hops=1.75`. Unrecognized values degrade to `auto` with a one-time stderr warning ([`knob`]). Default: `off` |
+//! | `DSU_EPOCH_EVERY` | [`epoch::epoch_every_from_env`] (used by [`VersionedDsu`] constructors) | auto-snapshot cadence for [`VersionedDsu::ingest_batch`]: a positive integer `k` records an O(1) snapshot before every `k`-th batch (replacing the previous auto snapshot), `off`/`0` never does. Unrecognized values degrade to `off` with a one-time stderr warning ([`knob`]). Default: `off` |
 //!
 //! The `strict-sc` cargo feature (not an env var) restores the paper's
 //! sequentially consistent orderings crate-wide; the `default-store-flat`
@@ -187,12 +188,14 @@
 
 pub mod bulk;
 pub mod cache;
+pub mod epoch;
 pub mod fault;
 pub mod find;
 pub mod flatten;
 pub mod growable;
 pub mod ingest;
 pub mod keyed;
+pub mod knob;
 pub mod ops;
 pub mod order;
 pub mod stats;
@@ -205,6 +208,10 @@ mod dsu;
 pub use bulk::{BatchTuning, WaveDepth};
 pub use cache::RootCache;
 pub use dsu::{CachedHandle, Dsu};
+pub use epoch::{
+    BatchOutcome, Epoch, EpochFork, EpochReport, EpochStore, SegmentSnapshot, VersionedDsu,
+    ENV_EPOCH_EVERY,
+};
 pub use fault::{BrokenStore, FaultPlan, FaultReport, FaultyStore, RetryBudget, TestWatchdog};
 pub use find::{Compress, FindPolicy, Halving, NoCompaction, OneTrySplit, TwoTrySplit};
 pub use flatten::{FlattenPolicy, FlattenTrigger};

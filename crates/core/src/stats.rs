@@ -119,6 +119,26 @@ pub trait StatsSink {
     /// sweep re-reads and retries. The CAS is counted by
     /// [`compact_cas_fail`](StatsSink::compact_cas_fail).
     fn flatten_cas_lost(&mut self) {}
+    /// A [`VersionedDsu`](crate::VersionedDsu) recorded an O(1) snapshot
+    /// (an epoch boundary: segment pointers cloned, the epoch counter
+    /// bumped — no cells copied). Exactly zero on unversioned runs.
+    fn snapshot_taken(&mut self) {}
+    /// An [`EpochStore`](crate::EpochStore) copy-on-wrote one segment: the
+    /// first mutation after a snapshot displaced the shared segment node
+    /// with a private copy. Fed from
+    /// [`epoch_report`](crate::EpochFork::epoch_report) totals by harness
+    /// code at quiescence, like [`faults_injected`]. Exactly zero on
+    /// unversioned runs.
+    ///
+    /// [`faults_injected`]: StatsSink::faults_injected
+    fn segments_forked(&mut self, _n: usize) {}
+    /// A [`VersionedDsu`](crate::VersionedDsu) rolled the forest back to a
+    /// recorded snapshot. Exactly zero on unversioned runs.
+    fn rollback_done(&mut self) {}
+    /// Segment forks copied `n` cells (the actual CoW byte traffic behind
+    /// [`segments_forked`](StatsSink::segments_forked); fed from the same
+    /// quiescent report). Exactly zero on unversioned runs.
+    fn cow_copies(&mut self, _n: usize) {}
 }
 
 impl StatsSink for () {
@@ -174,6 +194,14 @@ impl StatsSink for () {
     fn flatten_jump(&mut self) {}
     #[inline(always)]
     fn flatten_cas_lost(&mut self) {}
+    #[inline(always)]
+    fn snapshot_taken(&mut self) {}
+    #[inline(always)]
+    fn segments_forked(&mut self, _n: usize) {}
+    #[inline(always)]
+    fn rollback_done(&mut self) {}
+    #[inline(always)]
+    fn cow_copies(&mut self, _n: usize) {}
 }
 
 /// Plain counters for the events of [`StatsSink`]. Keep one per thread and
@@ -263,6 +291,18 @@ pub struct OpStats {
     /// Flatten pointer-jump CASes lost to concurrent mutators (each also
     /// counted in `compact_cas_fail`).
     pub flatten_cas_lost: u64,
+    /// O(1) snapshots recorded by versioned structures (epoch boundaries;
+    /// no cells copied at snapshot time). Exactly zero on unversioned runs.
+    pub snapshots_taken: u64,
+    /// Segments copy-on-write-forked (first mutation of a shared segment
+    /// after a snapshot). Exactly zero on unversioned runs.
+    pub segments_forked: u64,
+    /// Rollbacks to a recorded snapshot. Exactly zero on unversioned runs.
+    pub rollbacks: u64,
+    /// Cells copied by segment forks — the deferred CoW cost the O(1)
+    /// snapshots push onto first-mutation. Exactly zero on unversioned
+    /// runs.
+    pub cow_copies: u64,
 }
 
 impl OpStats {
@@ -305,6 +345,10 @@ impl OpStats {
         self.flatten_passes += other.flatten_passes;
         self.flatten_jumps += other.flatten_jumps;
         self.flatten_cas_lost += other.flatten_cas_lost;
+        self.snapshots_taken += other.snapshots_taken;
+        self.segments_forked += other.segments_forked;
+        self.rollbacks += other.rollbacks;
+        self.cow_copies += other.cow_copies;
     }
 
     /// Mean find-loop iterations per operation (`NaN` if no ops ran).
@@ -424,6 +468,22 @@ impl StatsSink for OpStats {
     #[inline]
     fn flatten_cas_lost(&mut self) {
         self.flatten_cas_lost += 1;
+    }
+    #[inline]
+    fn snapshot_taken(&mut self) {
+        self.snapshots_taken += 1;
+    }
+    #[inline]
+    fn segments_forked(&mut self, n: usize) {
+        self.segments_forked += n as u64;
+    }
+    #[inline]
+    fn rollback_done(&mut self) {
+        self.rollbacks += 1;
+    }
+    #[inline]
+    fn cow_copies(&mut self, n: usize) {
+        self.cow_copies += n as u64;
     }
 }
 
@@ -663,6 +723,37 @@ mod tests {
         unit.flatten_pass();
         unit.flatten_jump();
         unit.flatten_cas_lost();
+    }
+
+    #[test]
+    fn epoch_counters_count_and_merge() {
+        let mut a = OpStats::default();
+        a.snapshot_taken();
+        a.snapshot_taken();
+        a.segments_forked(3);
+        a.rollback_done();
+        a.cow_copies(128);
+        assert_eq!(
+            (a.snapshots_taken, a.segments_forked, a.rollbacks, a.cow_copies),
+            (2, 3, 1, 128)
+        );
+        // Epoch events are versioning bookkeeping, not shared-memory
+        // accesses — the fork copies' loads/stores happen outside the
+        // ParentStore access contract the paper's work bounds count.
+        assert_eq!(a.memory_accesses(), 0);
+        let mut b = OpStats::default();
+        b.rollback_done();
+        b.merge(&a);
+        assert_eq!(
+            (b.snapshots_taken, b.segments_forked, b.rollbacks, b.cow_copies),
+            (2, 3, 2, 128)
+        );
+        // The unit sink accepts the new events too.
+        let mut unit = ();
+        unit.snapshot_taken();
+        unit.segments_forked(1);
+        unit.rollback_done();
+        unit.cow_copies(1);
     }
 
     #[test]

@@ -142,6 +142,14 @@
 //! [`ParentStore::cas_from`], so they obey the same ordering contract as
 //! finds and are safe concurrently with unites.
 //!
+//! **Versioning.** When the workload needs O(1) snapshots, rollback, or
+//! speculative all-or-nothing batches, use the epoch-forking growable
+//! layout [`EpochStore`](crate::EpochStore) under a
+//! [`VersionedDsu`](crate::VersionedDsu) (the [`epoch`](crate::epoch)
+//! module). Like fault injection it is a separate type, so the layouts in
+//! this guide pay nothing for its existence; and it composes with
+//! [`FaultyStore`](crate::FaultyStore) for chaos-tested rollback.
+//!
 //! # Memory orderings (and the `strict-sc` feature)
 //!
 //! The paper's APRAM model assumes sequentially consistent single-word

@@ -452,20 +452,42 @@ pub enum TunerMode {
 
 impl TunerMode {
     /// Parses a `DSU_TUNER` value: `off`, `auto`, or a `<find>/<link>`
-    /// tag. Unrecognized values fall back to `Auto` (the unset default) —
-    /// a misspelled knob should degrade to the self-tuning behavior, not
-    /// abort the host process.
+    /// tag. Unrecognized values fall back to `Auto` (the unset default)
+    /// silently — a misspelled knob should degrade to the self-tuning
+    /// behavior, not abort the host process. Use
+    /// [`parse_recognized`](TunerMode::parse_recognized) to detect the
+    /// degradation.
     pub fn parse(s: &str) -> TunerMode {
+        Self::parse_recognized(s).unwrap_or(TunerMode::Auto)
+    }
+
+    /// [`parse`](TunerMode::parse) distinguishing recognized values from
+    /// the degradation fallback: `None` iff `s` is neither a mode keyword
+    /// nor a valid variant tag.
+    pub fn parse_recognized(s: &str) -> Option<TunerMode> {
         match s.trim() {
-            "off" => TunerMode::Off,
-            "" | "auto" => TunerMode::Auto,
-            tag => Variant::parse(tag).map(TunerMode::Forced).unwrap_or(TunerMode::Auto),
+            "off" => Some(TunerMode::Off),
+            "" | "auto" => Some(TunerMode::Auto),
+            tag => Variant::parse(tag).map(TunerMode::Forced),
         }
     }
 
-    /// Reads `DSU_TUNER` from the environment (`Auto` when unset).
+    /// Reads `DSU_TUNER` from the environment (`Auto` when unset); a
+    /// set-but-unrecognized value degrades to `Auto` with a one-time
+    /// stderr warning ([`knob`](crate::knob)).
     pub fn from_env() -> TunerMode {
-        std::env::var("DSU_TUNER").map(|v| TunerMode::parse(&v)).unwrap_or(TunerMode::Auto)
+        match std::env::var("DSU_TUNER") {
+            Err(_) => TunerMode::Auto,
+            Ok(v) => Self::parse_recognized(&v).unwrap_or_else(|| {
+                crate::knob::warn_unrecognized(
+                    "DSU_TUNER",
+                    &v,
+                    "off | auto | <find>/<link> (e.g. `halving/index`)",
+                    "auto",
+                );
+                TunerMode::Auto
+            }),
+        }
     }
 }
 
@@ -833,6 +855,17 @@ mod tests {
         );
         // Misspellings degrade to auto, never panic.
         assert_eq!(TunerMode::parse("halving/indx"), TunerMode::Auto);
+    }
+
+    #[test]
+    fn tuner_mode_parse_recognized_detects_degradation() {
+        assert_eq!(TunerMode::parse_recognized("off"), Some(TunerMode::Off));
+        assert_eq!(TunerMode::parse_recognized(""), Some(TunerMode::Auto));
+        assert!(matches!(TunerMode::parse_recognized("halving/index"), Some(TunerMode::Forced(_))));
+        // The misspellings that `parse` degrades to Auto are surfaced as
+        // unrecognized here, which is what lets `from_env` warn.
+        assert_eq!(TunerMode::parse_recognized("halving/indx"), None);
+        assert_eq!(TunerMode::parse_recognized("bogus"), None);
     }
 
     #[test]

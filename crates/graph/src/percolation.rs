@@ -12,7 +12,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
-use concurrent_dsu::{Dsu, TwoTrySplit};
+use concurrent_dsu::{Dsu, TwoTrySplit, VersionedDsu};
 use sequential_dsu::{Compaction, Linking, SeqDsu};
 
 /// One percolation trial: opens sites of an `size × size` grid in a
@@ -188,6 +188,113 @@ fn percolation_batched_with(
     1.0
 }
 
+/// The exact one-by-one percolation threshold recovered from **batched**
+/// ingestion by binary search over epoch snapshots — the first payoff of
+/// the versioned structure ([`VersionedDsu`]).
+///
+/// [`percolation_threshold`] pays one connectivity probe per opened site;
+/// [`percolation_threshold_batched`] amortizes ingestion but coarsens the
+/// answer to the burst boundary. This routine gets both: ingest in bursts
+/// of `batch`, and when a burst first percolates, binary-search the exact
+/// crossing *inside* the burst by rolling back to the pre-burst snapshot
+/// (O(1) to take, O(forked segments) to restore) and replaying half-ranges
+/// — instead of the linear re-sweep from scratch a snapshotless structure
+/// would need.
+///
+/// The recovered threshold is **exactly** [`percolation_threshold`]`(size,
+/// seed)` for every batch size (the tests pin this), because
+/// prefix-connectivity is order-independent: whether the first `k` sites
+/// of the shuffled order percolate depends only on the *set* of open
+/// sites (set union is confluent and site-opening monotone), so
+/// "percolates after `k` sites" is a monotone predicate of `k` and binary
+/// search recovers its exact threshold.
+///
+/// # Panics
+///
+/// Panics if `size == 0` or `batch == 0`.
+pub fn percolation_threshold_versioned(size: usize, seed: u64, batch: usize) -> f64 {
+    assert!(size > 0, "grid must be non-empty");
+    assert!(batch > 0, "batch must be non-empty");
+    let n = size * size;
+    let top = n;
+    let bottom = n + 1;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut ChaCha12Rng::seed_from_u64(seed));
+    // pos[site] = when `site` opens; an edge (site, neighbor) belongs to
+    // the prefix-`k` graph iff both positions are below `k`, and is
+    // emitted exactly once — by the later endpoint.
+    let mut pos = vec![0usize; n];
+    for (k, &site) in order.iter().enumerate() {
+        pos[site] = k;
+    }
+    let edges_for = |range: std::ops::Range<usize>, out: &mut Vec<(usize, usize)>| {
+        out.clear();
+        for k in range {
+            let site = order[k];
+            let (r, c) = (site / size, site % size);
+            if r == 0 {
+                out.push((site, top));
+            }
+            if r == size - 1 {
+                out.push((site, bottom));
+            }
+            let mut link = |other: usize| {
+                if pos[other] < k {
+                    out.push((site, other));
+                }
+            };
+            if r > 0 {
+                link(site - size);
+            }
+            if r + 1 < size {
+                link(site + size);
+            }
+            if c > 0 {
+                link(site - 1);
+            }
+            if c + 1 < size {
+                link(site + 1);
+            }
+        }
+    };
+
+    let mut dsu: VersionedDsu<TwoTrySplit> = VersionedDsu::with_initial(n + 2);
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(6 * batch);
+    let mut opened = 0;
+    while opened < n {
+        let burst_end = (opened + batch).min(n);
+        // O(1) guard before the burst — the candidate rollback point.
+        let pre = dsu.snapshot();
+        edges_for(opened..burst_end, &mut pairs);
+        dsu.unite_batch(&pairs);
+        if dsu.same_set(top, bottom) {
+            // The crossing is in (opened, burst_end]: shrink it to one
+            // site by replaying half-ranges off the pre-burst snapshot.
+            let (mut lo, mut hi) = (opened, burst_end);
+            let mut base = pre;
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                dsu.rollback(base); // state: exactly `lo` sites open
+                edges_for(lo..mid, &mut pairs);
+                dsu.unite_batch(&pairs);
+                if dsu.same_set(top, bottom) {
+                    hi = mid;
+                } else {
+                    // Advance the invariant "not percolated at lo": keep
+                    // the mid-state and guard it with a fresh snapshot.
+                    lo = mid;
+                    dsu.drop_snapshot(base);
+                    base = dsu.snapshot();
+                }
+            }
+            return hi as f64 / n as f64;
+        }
+        dsu.drop_snapshot(pre);
+        opened = burst_end;
+    }
+    1.0
+}
+
 /// Monte-Carlo estimate of the percolation threshold: the mean of
 /// [`percolation_threshold`] over `trials` trials with consecutive seeds.
 ///
@@ -316,6 +423,28 @@ mod tests {
     #[should_panic(expected = "batch must be non-empty")]
     fn zero_batch_rejected() {
         percolation_threshold_batched(4, 0, 0);
+    }
+
+    #[test]
+    fn versioned_recovers_the_exact_threshold_for_every_batch() {
+        // The whole point: batched ingestion, *one-by-one* answer. Exact
+        // equality (not tolerance) across seeds and batch sizes, including
+        // batches far larger than the crossing burst.
+        for seed in 0..6 {
+            let exact = percolation_threshold(12, seed);
+            for batch in [1, 3, 16, 50, 144] {
+                assert_eq!(
+                    percolation_threshold_versioned(12, seed, batch),
+                    exact,
+                    "seed {seed} batch {batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn versioned_one_by_one_grid() {
+        assert_eq!(percolation_threshold_versioned(1, 0, 4), 1.0);
     }
 
     #[test]

@@ -89,6 +89,33 @@ fn main() {
     // (`cargo run --release --example keyed_dedup` for the full story;
     // `DSU_KEY_SHARDS` tunes the id-table shard count.)
 
+    // Need an undo button? `VersionedDsu` wraps the growable core with
+    // O(1) copy-on-write snapshots: `snapshot()` records the live
+    // segments and bumps an epoch; only the first post-snapshot write to
+    // each segment pays a fork, and `rollback` restores the forest
+    // *bit-identically*. Snapshot handles also answer time-travel
+    // queries while newer unites land.
+    let mut versioned: jt_dsu::VersionedDsu = jt_dsu::VersionedDsu::with_initial(8);
+    versioned.unite(0, 1);
+    let guard = versioned.snapshot();
+    versioned.unite(2, 3);
+    assert!(versioned.same_set(2, 3));
+    assert!(!versioned.same_set_at(guard, 2, 3)); // the past is frozen
+    versioned.rollback(guard);
+    assert!(versioned.same_set(0, 1) && !versioned.same_set(2, 3)); // undone
+
+    // Untrusted upstream data? `try_unite_batch` ingests a whole batch
+    // speculatively and lets a validator accept or reject the result —
+    // rejection rolls the entire batch back as if it never happened:
+    let outcome = versioned.try_unite_batch(&[(4, 5), (5, 6)], |_, linked| linked == 2);
+    assert!(outcome.is_committed() && versioned.same_set(4, 6));
+    let poisoned = versioned.try_unite_batch(&[(6, 7), (0, 4)], |dsu, _| !dsu.same_set(0, 5));
+    assert!(!poisoned.is_committed() && !versioned.same_set(6, 7));
+    // (`DSU_EPOCH_EVERY=<k>` keeps a rolling auto-snapshot before every
+    // k-th ingested batch; unversioned structures pay zero for any of
+    // this. `crates/graph`'s `percolation_threshold_versioned` shows the
+    // payoff: exact thresholds via binary search over snapshot forks.)
+
     // Want to see the same run survive an adversary? Wrap any store in
     // `jt_dsu::concurrent_dsu::FaultyStore` to inject spurious CAS
     // failures, delayed loads, and stall windows from a seeded

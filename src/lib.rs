@@ -110,9 +110,12 @@
 //! `prefetch` feature cell, a `planned` cell that runs the full workspace
 //! with `DSU_BATCH_PLAN=1` (every count-only batch entry point routed
 //! through the ingestion planner — planning must be invisible to link
-//! counts and partitions), and a `keyed` cell that re-runs the keyed-layer
-//! suite under both orderings with `DSU_KEY_SHARDS=2`; `bench-smoke`,
-//! which runs the six A/B examples in quick mode, archives their JSON
+//! counts and partitions), a `keyed` cell that re-runs the keyed-layer
+//! suite under both orderings with `DSU_KEY_SHARDS=2`, and `variants` /
+//! `flatten` / `epochs` cells that re-run the full core suite with
+//! `default-link-index`, `DSU_FLATTEN=auto`, and `DSU_EPOCH_EVERY=1`
+//! respectively; `bench-smoke`,
+//! which runs the A/B examples in quick mode, archives their JSON
 //! (machine-fingerprinted), and fail-soft-compares both medians *and* A/B
 //! ratios against the previous run's cached baseline
 //! (>15% regression warns in the job summary, never turns red; baselines
@@ -137,7 +140,8 @@ pub use linearize;
 pub use sequential_dsu;
 
 pub use concurrent_dsu::{
-    ConcurrentUnionFind, Dsu, DsuHalving, DsuNoCompaction, DsuOneTry, DsuTwoTry, GrowableDsu,
-    Halving, KeyedDsu, NoCompaction, OneTrySplit, OpStats, ShardSpec, ShardedStore, TwoTrySplit,
+    BatchOutcome, ConcurrentUnionFind, Dsu, DsuHalving, DsuNoCompaction, DsuOneTry, DsuTwoTry,
+    Epoch, GrowableDsu, Halving, KeyedDsu, NoCompaction, OneTrySplit, OpStats, ShardSpec,
+    ShardedStore, TwoTrySplit, VersionedDsu,
 };
 pub use sequential_dsu::{Compaction, Linking, Partition, SeqDsu};
